@@ -1,0 +1,136 @@
+//! Criterion benches for the companion paper's figures (1–8): the
+//! simulated-cluster branch-and-bound at each figure's configuration,
+//! at sampling-friendly sizes. Full-scale series come from the `pfig*`
+//! binaries.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mutree_bench::data;
+use mutree_clustersim::ClusterSpec;
+use mutree_core::{MutSolver, SearchBackend, ThreeThree};
+
+fn sim_solver(slaves: usize, rule: ThreeThree) -> MutSolver {
+    MutSolver::new()
+        .backend(SearchBackend::SimulatedCluster {
+            spec: ClusterSpec::with_slaves(slaves),
+        })
+        .three_three(rule)
+        .max_branches(60_000)
+}
+
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g
+}
+
+/// Companion Fig. 1 — 16 simulated processors, HMDNA.
+fn bench_pfig1(c: &mut Criterion) {
+    let m = data::hmdna_matrix(24, 0);
+    quick(c, "pfig1_hmdna_16proc").bench_function("n24", |b| {
+        b.iter(|| sim_solver(16, ThreeThree::Off).solve(&m).unwrap().weight)
+    });
+}
+
+/// Companion Fig. 2 — single simulated processor, HMDNA.
+fn bench_pfig2(c: &mut Criterion) {
+    let m = data::hmdna_matrix(24, 0);
+    quick(c, "pfig2_hmdna_1proc").bench_function("n24", |b| {
+        b.iter(|| sim_solver(1, ThreeThree::Off).solve(&m).unwrap().weight)
+    });
+}
+
+/// Companion Fig. 3 — speedup computation (both cluster sizes).
+fn bench_pfig3(c: &mut Criterion) {
+    let m = data::hmdna_matrix(22, 0);
+    quick(c, "pfig3_hmdna_speedup").bench_function("n22", |b| {
+        b.iter(|| {
+            let t1 = sim_solver(1, ThreeThree::Off).solve(&m).unwrap();
+            let t16 = sim_solver(16, ThreeThree::Off).solve(&m).unwrap();
+            t1.sim.unwrap().makespan / t16.sim.unwrap().makespan
+        })
+    });
+}
+
+/// Companion Fig. 4 — 3-3 relationship on vs off, HMDNA, 16 processors.
+fn bench_pfig4(c: &mut Criterion) {
+    let m = data::hmdna_matrix(24, 0);
+    let mut g = quick(c, "pfig4_hmdna_threethree");
+    g.bench_function("without_33", |b| {
+        b.iter(|| sim_solver(16, ThreeThree::Off).solve(&m).unwrap().weight)
+    });
+    g.bench_function("with_33", |b| {
+        b.iter(|| {
+            sim_solver(16, ThreeThree::InitialOnly)
+                .solve(&m)
+                .unwrap()
+                .weight
+        })
+    });
+    g.finish();
+}
+
+/// Companion Fig. 5 — 16 simulated processors, random data.
+fn bench_pfig5(c: &mut Criterion) {
+    let m = data::random_species_matrix(14, 0);
+    quick(c, "pfig5_random_16proc").bench_function("n14", |b| {
+        b.iter(|| sim_solver(16, ThreeThree::Off).solve(&m).unwrap().weight)
+    });
+}
+
+/// Companion Fig. 6 — speedup, random data.
+fn bench_pfig6(c: &mut Criterion) {
+    let m = data::random_species_matrix(12, 0);
+    quick(c, "pfig6_random_speedup").bench_function("n12", |b| {
+        b.iter(|| {
+            let t1 = sim_solver(1, ThreeThree::Off).solve(&m).unwrap();
+            let t16 = sim_solver(16, ThreeThree::Off).solve(&m).unwrap();
+            t1.sim.unwrap().makespan / t16.sim.unwrap().makespan
+        })
+    });
+}
+
+/// Companion Fig. 7 — single simulated processor, random data.
+fn bench_pfig7(c: &mut Criterion) {
+    let m = data::random_species_matrix(14, 0);
+    quick(c, "pfig7_random_1proc").bench_function("n14", |b| {
+        b.iter(|| sim_solver(1, ThreeThree::Off).solve(&m).unwrap().weight)
+    });
+}
+
+/// Companion Fig. 8 — 3-3 relationship on vs off, random data.
+fn bench_pfig8(c: &mut Criterion) {
+    let m = data::random_species_matrix(14, 1);
+    let mut g = quick(c, "pfig8_random_threethree");
+    g.bench_function("without_33", |b| {
+        b.iter(|| sim_solver(16, ThreeThree::Off).solve(&m).unwrap().weight)
+    });
+    g.bench_function("with_33", |b| {
+        b.iter(|| {
+            sim_solver(16, ThreeThree::InitialOnly)
+                .solve(&m)
+                .unwrap()
+                .weight
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    hpcasia,
+    bench_pfig1,
+    bench_pfig2,
+    bench_pfig3,
+    bench_pfig4,
+    bench_pfig5,
+    bench_pfig6,
+    bench_pfig7,
+    bench_pfig8
+);
+criterion_main!(hpcasia);

@@ -1,0 +1,151 @@
+//! Criterion benches for the PaCT 2005 figures (8–13): one group per
+//! figure, exercising exactly the computation the figure plots, at sizes
+//! small enough for repeated sampling. The full-scale series come from
+//! the `fig*` experiment binaries.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mutree_bench::data;
+use mutree_core::{CompactPipeline, MutSolver};
+
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g
+}
+
+/// Fig. 8 — computing time on random data, without vs with compact sets.
+fn bench_fig08(c: &mut Criterion) {
+    let m = data::random_species_matrix(16, 0);
+    let mut g = quick(c, "fig08_random_time");
+    g.bench_function("without_compact_sets_n16", |b| {
+        b.iter(|| MutSolver::new().solve(&m).unwrap().weight)
+    });
+    g.bench_function("with_compact_sets_n16", |b| {
+        b.iter(|| {
+            CompactPipeline::new()
+                .threshold(10)
+                .solve(&m)
+                .unwrap()
+                .weight
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 9 — total tree cost on random data (the cost computation path).
+fn bench_fig09(c: &mut Criterion) {
+    let m = data::random_species_matrix(14, 1);
+    let mut g = quick(c, "fig09_random_cost");
+    g.bench_function("cost_both_methods_n14", |b| {
+        b.iter(|| {
+            let e = MutSolver::new().solve(&m).unwrap().weight;
+            let p = CompactPipeline::new()
+                .threshold(8)
+                .solve(&m)
+                .unwrap()
+                .weight;
+            (e, p)
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 10 — tree cost on 26-species HMDNA sets.
+fn bench_fig10(c: &mut Criterion) {
+    let m = data::hmdna_matrix(26, 0);
+    let mut g = quick(c, "fig10_hmdna26_cost");
+    g.bench_function("pipeline_cost_26", |b| {
+        b.iter(|| {
+            CompactPipeline::new()
+                .threshold(12)
+                .solve(&m)
+                .unwrap()
+                .weight
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 11 — computing time on 26-species HMDNA sets.
+fn bench_fig11(c: &mut Criterion) {
+    let m = data::hmdna_matrix(26, 1);
+    let mut g = quick(c, "fig11_hmdna26_time");
+    g.bench_function("without_compact_sets_26", |b| {
+        b.iter(|| {
+            MutSolver::new()
+                .max_branches(50_000)
+                .solve(&m)
+                .unwrap()
+                .weight
+        })
+    });
+    g.bench_function("with_compact_sets_26", |b| {
+        b.iter(|| {
+            CompactPipeline::new()
+                .threshold(12)
+                .solve(&m)
+                .unwrap()
+                .weight
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 12 — tree cost on 30-species HMDNA sets.
+fn bench_fig12(c: &mut Criterion) {
+    let m = data::hmdna_matrix(30, 0);
+    let mut g = quick(c, "fig12_hmdna30_cost");
+    g.bench_function("pipeline_cost_30", |b| {
+        b.iter(|| {
+            CompactPipeline::new()
+                .threshold(12)
+                .solve(&m)
+                .unwrap()
+                .weight
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 13 — computing time on 30-species HMDNA sets.
+fn bench_fig13(c: &mut Criterion) {
+    let m = data::hmdna_matrix(30, 1);
+    let mut g = quick(c, "fig13_hmdna30_time");
+    g.bench_function("without_compact_sets_30", |b| {
+        b.iter(|| {
+            MutSolver::new()
+                .max_branches(50_000)
+                .solve(&m)
+                .unwrap()
+                .weight
+        })
+    });
+    g.bench_function("with_compact_sets_30", |b| {
+        b.iter(|| {
+            CompactPipeline::new()
+                .threshold(12)
+                .solve(&m)
+                .unwrap()
+                .weight
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    pact,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13
+);
+criterion_main!(pact);

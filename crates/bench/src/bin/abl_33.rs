@@ -1,0 +1,6 @@
+//! Ablation study: abl_33.
+fn main() {
+    mutree_bench::experiments::ablations::abl_33()
+        .emit(None)
+        .expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Ablation study: abl_bound.
+fn main() {
+    mutree_bench::experiments::ablations::abl_bound()
+        .emit(None)
+        .expect("write results");
+}

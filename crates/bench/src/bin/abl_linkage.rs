@@ -1,0 +1,6 @@
+//! Ablation study: abl_linkage.
+fn main() {
+    mutree_bench::experiments::ablations::abl_linkage()
+        .emit(None)
+        .expect("write results");
+}

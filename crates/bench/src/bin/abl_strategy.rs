@@ -1,0 +1,6 @@
+//! Ablation study: DFS vs best-first node selection.
+fn main() {
+    mutree_bench::experiments::ablations::abl_strategy()
+        .emit(None)
+        .expect("write results");
+}

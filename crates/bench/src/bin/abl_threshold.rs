@@ -1,0 +1,6 @@
+//! Ablation study: abl_threshold.
+fn main() {
+    mutree_bench::experiments::ablations::abl_threshold()
+        .emit(None)
+        .expect("write results");
+}

@@ -1,0 +1,8 @@
+//! Classical distance-method baselines vs the exact and compact-set
+//! constructions. See `experiments::ablations::exp_baselines`.
+
+fn main() {
+    mutree_bench::experiments::ablations::exp_baselines()
+        .emit(None)
+        .expect("write results");
+}

@@ -1,0 +1,8 @@
+//! Cluster-vs-grid study (the report's NCS 2005 evaluation). See
+//! `experiments::ablations::exp_grid`.
+
+fn main() {
+    mutree_bench::experiments::ablations::exp_grid()
+        .emit(None)
+        .expect("write results");
+}

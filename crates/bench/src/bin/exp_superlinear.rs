@@ -1,0 +1,8 @@
+//! Per-instance speedup study: where the paper's *super-linear* speedup
+//! comes from. See `experiments::ablations::exp_superlinear`.
+
+fn main() {
+    mutree_bench::experiments::ablations::exp_superlinear()
+        .emit(None)
+        .expect("write results");
+}

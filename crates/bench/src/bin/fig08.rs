@@ -1,0 +1,6 @@
+//! Regenerates PaCT 2005 Figure 08.
+fn main() {
+    mutree_bench::experiments::pact::fig08()
+        .emit(None)
+        .expect("write results");
+}

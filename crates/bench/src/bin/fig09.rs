@@ -1,0 +1,6 @@
+//! Regenerates PaCT 2005 Figure 09.
+fn main() {
+    mutree_bench::experiments::pact::fig09()
+        .emit(None)
+        .expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Regenerates PaCT 2005 Figure 10.
+fn main() {
+    mutree_bench::experiments::pact::fig10()
+        .emit(None)
+        .expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Regenerates PaCT 2005 Figure 11.
+fn main() {
+    mutree_bench::experiments::pact::fig11()
+        .emit(None)
+        .expect("write results");
+}

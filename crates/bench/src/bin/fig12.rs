@@ -1,0 +1,6 @@
+//! Regenerates PaCT 2005 Figure 12.
+fn main() {
+    mutree_bench::experiments::pact::fig12()
+        .emit(None)
+        .expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Regenerates PaCT 2005 Figure 13.
+fn main() {
+    mutree_bench::experiments::pact::fig13()
+        .emit(None)
+        .expect("write results");
+}

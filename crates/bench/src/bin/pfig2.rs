@@ -1,0 +1,6 @@
+//! Regenerates HPC Asia 2005 companion Figure 2.
+fn main() {
+    mutree_bench::experiments::hpcasia::pfig2()
+        .emit(None)
+        .expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Regenerates HPC Asia 2005 companion Figure 6.
+fn main() {
+    mutree_bench::experiments::hpcasia::pfig6()
+        .emit(None)
+        .expect("write results");
+}

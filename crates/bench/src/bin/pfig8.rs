@@ -1,0 +1,6 @@
+//! Regenerates HPC Asia 2005 companion Figure 8.
+fn main() {
+    mutree_bench::experiments::hpcasia::pfig8()
+        .emit(None)
+        .expect("write results");
+}

@@ -1,0 +1,205 @@
+//! HPC Asia 2005 §4: the parallel branch-and-bound evaluation, on the
+//! simulated 16-node cluster.
+//!
+//! The companion paper times its master/slave algorithm on a real 16-node
+//! Linux cluster; we replay the identical protocol on the deterministic
+//! discrete-event simulator (`mutree_core::solve_simulated`), so the
+//! reported "computing times" are virtual seconds. Speedups (Fig. 3/6)
+//! and the 3-3 relationship effect (Fig. 4/8) are ratios of virtual
+//! times, which makes them directly comparable with the paper's shapes.
+//!
+//! Each species count runs several data sets and reports the **median**,
+//! as the project report does, because branch-and-bound times vary wildly
+//! across matrices of the same size.
+
+use mutree_clustersim::ClusterSpec;
+use mutree_core::{MutSolver, SearchBackend, ThreeThree};
+use mutree_distmat::DistanceMatrix;
+
+use crate::data;
+use crate::report::{fmt_secs, Table};
+
+/// Branch budget per solve (runs hitting it are flagged).
+pub const SIM_BUDGET: u64 = 400_000;
+/// Data sets per species count.
+pub const SETS_PER_SIZE: u64 = 5;
+/// Species counts for the HMDNA series (the paper reaches 38 on 16
+/// processors and stops at 26 on one).
+pub const HMDNA_SIZES: &[usize] = &[20, 24, 28, 32, 36, 38];
+/// Species counts for the random series.
+pub const RANDOM_SIZES: &[usize] = &[10, 12, 14, 16, 18];
+
+/// Which data family an experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Synthetic Human Mitochondrial DNA edit-distance matrices.
+    Hmdna,
+    /// The random species matrices of the PaCT experiments.
+    Random,
+}
+
+impl Family {
+    fn sizes(self) -> &'static [usize] {
+        match self {
+            Family::Hmdna => HMDNA_SIZES,
+            Family::Random => RANDOM_SIZES,
+        }
+    }
+
+    fn matrix(self, n: usize, seed: u64) -> DistanceMatrix {
+        match self {
+            Family::Hmdna => data::hmdna_matrix(n, seed),
+            Family::Random => data::random_species_matrix(n, seed),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Family::Hmdna => "HMDNA",
+            Family::Random => "random",
+        }
+    }
+}
+
+/// Virtual computing time of one simulated run.
+pub fn simulated_time(m: &DistanceMatrix, slaves: usize, rule: ThreeThree) -> (f64, bool) {
+    let sol = MutSolver::new()
+        .backend(SearchBackend::SimulatedCluster {
+            spec: ClusterSpec::with_slaves(slaves),
+        })
+        .three_three(rule)
+        .max_branches(SIM_BUDGET)
+        .solve(m)
+        .expect("simulated solve");
+    let report = sol.sim.expect("simulated backend yields a report");
+    (report.makespan, sol.complete)
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+/// Sweeps a family at a slave count, returning `(n, median_time,
+/// any_capped)` rows.
+pub fn time_sweep(family: Family, slaves: usize, rule: ThreeThree) -> Vec<(usize, f64, bool)> {
+    family
+        .sizes()
+        .iter()
+        .map(|&n| {
+            let mut times = Vec::new();
+            let mut capped = false;
+            for seed in 0..SETS_PER_SIZE {
+                let m = family.matrix(n, seed);
+                let (t, complete) = simulated_time(&m, slaves, rule);
+                times.push(t);
+                capped |= !complete;
+            }
+            (n, median(times), capped)
+        })
+        .collect()
+}
+
+fn time_table(id: &str, family: Family, slaves: usize) -> Table {
+    let mut t = Table::new(
+        id,
+        &format!(
+            "median computing time (virtual s), {} processors, {}",
+            slaves,
+            family.label()
+        ),
+        &["species", "time_s", "capped"],
+    );
+    for (n, time, capped) in time_sweep(family, slaves, ThreeThree::Off) {
+        t.push(vec![
+            n.to_string(),
+            fmt_secs(time),
+            if capped { "yes".into() } else { "no".into() },
+        ]);
+    }
+    t
+}
+
+fn speedup_table(id: &str, family: Family) -> Table {
+    let one = time_sweep(family, 1, ThreeThree::Off);
+    let sixteen = time_sweep(family, 16, ThreeThree::Off);
+    let mut t = Table::new(
+        id,
+        &format!("speedup, 16 processors vs single, {}", family.label()),
+        &["species", "single_s", "sixteen_s", "speedup"],
+    );
+    for ((n, t1, _), (_, t16, _)) in one.into_iter().zip(sixteen) {
+        t.push(vec![
+            n.to_string(),
+            fmt_secs(t1),
+            fmt_secs(t16),
+            format!("{:.2}", t1 / t16),
+        ]);
+    }
+    t
+}
+
+fn three_three_table(id: &str, family: Family) -> Table {
+    let without = time_sweep(family, 16, ThreeThree::Off);
+    let with = time_sweep(family, 16, ThreeThree::InitialOnly);
+    let mut t = Table::new(
+        id,
+        &format!(
+            "median computing time (virtual s), 16 processors, {} — with vs without 3-3",
+            family.label()
+        ),
+        &["species", "without_33", "with_33", "saved_%"],
+    );
+    for ((n, toff, _), (_, ton, _)) in without.into_iter().zip(with) {
+        t.push(vec![
+            n.to_string(),
+            fmt_secs(toff),
+            fmt_secs(ton),
+            format!("{:.2}", 100.0 * (1.0 - ton / toff)),
+        ]);
+    }
+    t
+}
+
+/// Companion Fig. 1 — computing time, 16 processors, HMDNA.
+pub fn pfig1() -> Table {
+    time_table("pfig1", Family::Hmdna, 16)
+}
+
+/// Companion Fig. 2 — computing time, single processor, HMDNA.
+pub fn pfig2() -> Table {
+    time_table("pfig2", Family::Hmdna, 1)
+}
+
+/// Companion Fig. 3 — speedup, 16 vs 1 processors, HMDNA (the paper
+/// reports super-linear ratios).
+pub fn pfig3() -> Table {
+    speedup_table("pfig3", Family::Hmdna)
+}
+
+/// Companion Fig. 4 — 16-processor time with vs without the 3-3
+/// relationship, HMDNA.
+pub fn pfig4() -> Table {
+    three_three_table("pfig4", Family::Hmdna)
+}
+
+/// Companion Fig. 5 — computing time, 16 processors, random data.
+pub fn pfig5() -> Table {
+    time_table("pfig5", Family::Random, 16)
+}
+
+/// Companion Fig. 6 — speedup, 16 vs 1 processors, random data.
+pub fn pfig6() -> Table {
+    speedup_table("pfig6", Family::Random)
+}
+
+/// Companion Fig. 7 — computing time, single processor, random data.
+pub fn pfig7() -> Table {
+    time_table("pfig7", Family::Random, 1)
+}
+
+/// Companion Fig. 8 — 16-processor time with vs without the 3-3
+/// relationship, random data.
+pub fn pfig8() -> Table {
+    three_three_table("pfig8", Family::Random)
+}

@@ -1,0 +1,225 @@
+//! PaCT 2005 §4: compact sets vs plain exact construction.
+//!
+//! The paper's two knobs are the data family (randomly generated matrices
+//! vs Human Mitochondrial DNA) and the construction method (with vs
+//! without compact sets). "Without" is the parallel branch-and-bound MUT
+//! construction run on the whole matrix; "with" is the compact-set
+//! pipeline (decompose → solve small matrices → merge). Figures 8/9 plot
+//! time and total tree cost over the species count for random data;
+//! Figures 10–13 plot cost and time for 15×26 and 10×30 HMDNA data sets.
+
+use std::time::Instant;
+
+use mutree_core::{CompactPipeline, MutSolver};
+
+use crate::data;
+use crate::report::{fmt_secs, Table};
+
+/// Safety budget for one exact solve (branch operations); runs that hit
+/// it are flagged in the output and their times are lower bounds.
+pub const EXACT_BUDGET: u64 = 400_000;
+
+/// Species counts of the random-data sweep (paper Figs. 8–9).
+pub const RANDOM_SIZES: &[usize] = &[8, 12, 16, 20, 24, 28];
+/// Data sets per size for the random sweep.
+pub const RANDOM_TRIALS: u64 = 3;
+
+/// One measured comparison: exact vs pipeline on the same matrix.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Species count.
+    pub n: usize,
+    /// Data-set seed.
+    pub seed: u64,
+    /// Wall time of the plain exact construction (seconds).
+    pub exact_time: f64,
+    /// Wall time of the compact-set pipeline (seconds).
+    pub pipe_time: f64,
+    /// Total tree cost of the exact construction.
+    pub exact_cost: f64,
+    /// Total tree cost of the pipeline's tree.
+    pub pipe_cost: f64,
+    /// Whether the exact run finished within [`EXACT_BUDGET`].
+    pub exact_complete: bool,
+    /// Proper compact sets found.
+    pub compact_sets: usize,
+}
+
+/// Runs both constructions on one matrix.
+pub fn compare(m: &mutree_distmat::DistanceMatrix, n: usize, seed: u64) -> Comparison {
+    let solver = MutSolver::new().max_branches(EXACT_BUDGET);
+    let t = Instant::now();
+    let exact = solver.solve(m).expect("exact solve");
+    let exact_time = t.elapsed().as_secs_f64();
+
+    let pipeline = CompactPipeline::new()
+        .threshold(10)
+        .solver(MutSolver::new().max_branches(EXACT_BUDGET));
+    let t = Instant::now();
+    let pipe = pipeline.solve(m).expect("pipeline solve");
+    let pipe_time = t.elapsed().as_secs_f64();
+
+    assert!(
+        pipe.tree.is_feasible_for(m, 1e-6),
+        "pipeline tree must stay feasible"
+    );
+    Comparison {
+        n,
+        seed,
+        exact_time,
+        pipe_time,
+        exact_cost: exact.weight,
+        pipe_cost: pipe.weight,
+        exact_complete: exact.complete,
+        compact_sets: pipe.compact_sets,
+    }
+}
+
+/// The shared random-data sweep behind Figs. 8 and 9.
+pub fn random_sweep() -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for &n in RANDOM_SIZES {
+        for seed in 0..RANDOM_TRIALS {
+            let m = data::random_species_matrix(n, seed);
+            out.push(compare(&m, n, seed));
+        }
+    }
+    out
+}
+
+/// The shared HMDNA sweep behind Figs. 10–13: `sets` data sets of `n`
+/// species each.
+pub fn hmdna_sweep(n: usize, sets: u64) -> Vec<Comparison> {
+    (0..sets)
+        .map(|seed| {
+            let m = data::hmdna_matrix(n, seed);
+            compare(&m, n, seed)
+        })
+        .collect()
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+/// Fig. 8 — average computing time for the random data set, with vs
+/// without compact sets, plus the time saved (the paper reports savings
+/// between 77.19 % and 99.7 %).
+pub fn fig08() -> Table {
+    let runs = random_sweep();
+    let mut t = Table::new(
+        "fig08",
+        "computing time, random data (s): without vs with compact sets",
+        &[
+            "species",
+            "without_cs",
+            "with_cs",
+            "saved_%",
+            "exact_capped",
+        ],
+    );
+    for &n in RANDOM_SIZES {
+        let group: Vec<&Comparison> = runs.iter().filter(|c| c.n == n).collect();
+        let te = mean(group.iter().map(|c| c.exact_time));
+        let tp = mean(group.iter().map(|c| c.pipe_time));
+        let capped = group.iter().any(|c| !c.exact_complete);
+        t.push(vec![
+            n.to_string(),
+            fmt_secs(te),
+            fmt_secs(tp),
+            format!("{:.2}", 100.0 * (1.0 - tp / te)),
+            if capped { "yes".into() } else { "no".into() },
+        ]);
+    }
+    t
+}
+
+/// Fig. 9 — total tree cost for the random data set under both
+/// conditions (the paper reports differences below 5 %).
+pub fn fig09() -> Table {
+    let runs = random_sweep();
+    let mut t = Table::new(
+        "fig09",
+        "total tree cost, random data: without vs with compact sets",
+        &["species", "without_cs", "with_cs", "diff_%"],
+    );
+    for &n in RANDOM_SIZES {
+        let group: Vec<&Comparison> = runs.iter().filter(|c| c.n == n).collect();
+        let ce = mean(group.iter().map(|c| c.exact_cost));
+        let cp = mean(group.iter().map(|c| c.pipe_cost));
+        t.push(vec![
+            n.to_string(),
+            format!("{ce:.1}"),
+            format!("{cp:.1}"),
+            format!("{:.2}", 100.0 * (cp - ce) / ce),
+        ]);
+    }
+    t
+}
+
+fn hmdna_cost_table(id: &str, n: usize, sets: u64) -> Table {
+    let runs = hmdna_sweep(n, sets);
+    let mut t = Table::new(
+        id,
+        &format!("total tree cost, {sets} data sets of {n} HMDNA species"),
+        &["data_set", "without_cs", "with_cs", "diff_%"],
+    );
+    let mut worst: f64 = 0.0;
+    for c in &runs {
+        let diff = 100.0 * (c.pipe_cost - c.exact_cost) / c.exact_cost;
+        worst = worst.max(diff.abs());
+        t.push(vec![
+            (c.seed + 1).to_string(),
+            format!("{:.1}", c.exact_cost),
+            format!("{:.1}", c.pipe_cost),
+            format!("{diff:.2}"),
+        ]);
+    }
+    t.push(vec![
+        "max|diff|".into(),
+        String::new(),
+        String::new(),
+        format!("{worst:.2}"),
+    ]);
+    t
+}
+
+fn hmdna_time_table(id: &str, n: usize, sets: u64) -> Table {
+    let runs = hmdna_sweep(n, sets);
+    let mut t = Table::new(
+        id,
+        &format!("computing time (s), {sets} data sets of {n} HMDNA species"),
+        &["data_set", "without_cs", "with_cs"],
+    );
+    for c in &runs {
+        t.push(vec![
+            (c.seed + 1).to_string(),
+            fmt_secs(c.exact_time),
+            fmt_secs(c.pipe_time),
+        ]);
+    }
+    t
+}
+
+/// Fig. 10 — total tree cost, 15 data sets × 26 HMDNA species (the paper
+/// reports a maximum difference of 1.5 %).
+pub fn fig10() -> Table {
+    hmdna_cost_table("fig10", 26, 15)
+}
+
+/// Fig. 11 — computing time for the 26-species HMDNA sets (the paper
+/// notes both conditions are fast here, except one hard data set).
+pub fn fig11() -> Table {
+    hmdna_time_table("fig11", 26, 15)
+}
+
+/// Fig. 12 — total tree cost, 10 data sets × 30 DNAs.
+pub fn fig12() -> Table {
+    hmdna_cost_table("fig12", 30, 10)
+}
+
+/// Fig. 13 — computing time, 10 data sets × 30 DNAs.
+pub fn fig13() -> Table {
+    hmdna_time_table("fig13", 30, 10)
+}

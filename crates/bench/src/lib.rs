@@ -1,0 +1,18 @@
+//! Experiment harness for the paper's tables and figures.
+//!
+//! Each `fig*`/`pfig*`/`abl_*` binary regenerates one figure of the PaCT
+//! 2005 paper (or its HPC Asia 2005 companion), printing the series the
+//! paper plots and writing a CSV under `results/`. The mapping from
+//! figures to binaries lives in `DESIGN.md`; measured-vs-paper outcomes
+//! are recorded in `EXPERIMENTS.md`.
+//!
+//! The [`data`] module holds the canonical workload generators (one seed
+//! convention shared by every experiment), [`report`] the table/CSV
+//! plumbing, and [`experiments`] the experiment implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod experiments;
+pub mod report;

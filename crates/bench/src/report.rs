@@ -1,0 +1,180 @@
+//! Table printing and CSV/JSON persistence for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A rectangular experiment result: header plus rows of cells.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table {
+    /// The experiment id (`fig08`, `pfig3`, …).
+    pub id: String,
+    /// Human-readable description (what the paper's figure shows).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new, empty table.
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count does not match the header.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// The table as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Prints the table and writes `results/<id>.csv` and
+    /// `results/<id>.json` under the workspace root (or `dir` when given).
+    pub fn emit(&self, dir: Option<&Path>) -> std::io::Result<()> {
+        println!("{}", self.render());
+        let dir: PathBuf = dir.map(Path::to_path_buf).unwrap_or_else(results_dir);
+        fs::create_dir_all(&dir)?;
+        fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
+        let json = serde_json::to_string_pretty(self).expect("table serializes");
+        fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        println!("(written to {}/{}.csv)\n", dir.display(), self.id);
+        Ok(())
+    }
+}
+
+/// The default `results/` directory: next to the workspace `Cargo.toml`
+/// when run via `cargo run`, else the current directory.
+pub fn results_dir() -> PathBuf {
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .map(|p| {
+            p.parent()
+                .and_then(Path::parent)
+                .map(Path::to_path_buf)
+                .unwrap_or(p)
+        })
+        .unwrap_or_else(|_| PathBuf::from("."));
+    base.join("results")
+}
+
+/// Formats a duration in seconds with sensible precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}")
+    } else if s >= 1e-3 {
+        format!("{:.3}", s)
+    } else {
+        format!("{:.6}", s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_csv() {
+        let mut t = Table::new("t1", "demo", &["n", "time"]);
+        t.push(vec!["10".into(), "0.5".into()]);
+        t.push(vec!["20".into(), "1.5".into()]);
+        let r = t.render();
+        assert!(r.contains("t1"));
+        assert!(r.contains("time"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("n,time"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("t2", "demo", &["a"]);
+        t.push(vec!["x,y".into()]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn push_checks_width() {
+        Table::new("t3", "demo", &["a", "b"]).push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_secs_scales() {
+        assert_eq!(fmt_secs(2.5), "2.50");
+        assert_eq!(fmt_secs(0.012), "0.012");
+        assert_eq!(fmt_secs(0.000012), "0.000012");
+    }
+}

@@ -1,0 +1,77 @@
+//! A generic branch-and-bound engine.
+//!
+//! Branch-and-bound explores a tree of partial solutions (*nodes*), pruning
+//! every subtree whose [lower bound](Problem::lower_bound) cannot beat the
+//! best complete solution found so far (the *upper bound* or *incumbent*).
+//! This crate separates the search machinery from the problem:
+//!
+//! * implement [`Problem`] for your optimization problem;
+//! * run [`solve_sequential`] for the classic depth-first search, or
+//!   [`solve_parallel`] for the master/slave scheme of the PaCT 2005 /
+//!   HPC Asia 2005 papers — a shared atomic upper bound every worker sees
+//!   immediately, per-worker *local pools* searched depth-first, and a
+//!   *global pool* used both to seed the workers (the master pre-branches
+//!   until `2 × workers` open nodes exist, sorts them by lower bound and
+//!   deals them cyclically) and to rebalance load (an idle worker pulls
+//!   from the global pool; a loaded worker donates its most promising
+//!   pending node whenever the global pool runs dry).
+//!
+//! Because a better incumbent found by *any* worker immediately tightens
+//! pruning in *all* workers, the parallel search can visit strictly fewer
+//! nodes than the sequential one — the super-linear speedups reported in
+//! the paper. [`SearchOutcome::stats`] exposes node counts so experiments
+//! can observe exactly that effect.
+//!
+//! # Example: subset-sum as branch-and-bound
+//!
+//! ```
+//! use mutree_bnb::{Problem, SearchMode, SearchOptions, solve_sequential};
+//!
+//! /// Choose a subset of `items` minimizing |sum - target|.
+//! struct Closest { items: Vec<f64>, target: f64 }
+//!
+//! #[derive(Clone)]
+//! struct Pick { taken: Vec<bool>, sum: f64 }
+//!
+//! impl Problem for Closest {
+//!     type Node = Pick;
+//!     type Solution = Vec<bool>;
+//!
+//!     fn root(&self) -> Pick { Pick { taken: vec![], sum: 0.0 } }
+//!     fn lower_bound(&self, n: &Pick) -> f64 {
+//!         // Remaining items can only add weight: if sum already exceeds
+//!         // the target the gap can only grow.
+//!         if n.sum > self.target { n.sum - self.target } else { 0.0 }
+//!     }
+//!     fn solution(&self, n: &Pick) -> Option<(Vec<bool>, f64)> {
+//!         (n.taken.len() == self.items.len())
+//!             .then(|| (n.taken.clone(), (n.sum - self.target).abs()))
+//!     }
+//!     fn branch(&self, n: &Pick, out: &mut Vec<Pick>) {
+//!         let i = n.taken.len();
+//!         for take in [false, true] {
+//!             let mut c = n.clone();
+//!             c.taken.push(take);
+//!             if take { c.sum += self.items[i]; }
+//!             out.push(c);
+//!         }
+//!     }
+//! }
+//!
+//! let p = Closest { items: vec![3.0, 5.0, 9.0, 14.0], target: 17.0 };
+//! let out = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne));
+//! assert_eq!(out.best_value.unwrap(), 0.0); // 3 + 14 = 17
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parallel;
+mod problem;
+mod sequential;
+mod shared_bound;
+
+pub use parallel::solve_parallel;
+pub use problem::{Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, Strategy};
+pub use sequential::{solve_sequential, Incumbents};
+pub use shared_bound::SharedBound;

@@ -1,0 +1,447 @@
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::sequential::Incumbents;
+use crate::{Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, SharedBound};
+
+struct PoolState<N> {
+    global: Vec<N>,
+    idle: usize,
+    done: bool,
+}
+
+struct Shared<N> {
+    state: Mutex<PoolState<N>>,
+    cv: Condvar,
+    bound: SharedBound,
+    branches: AtomicU64,
+    aborted: AtomicBool,
+    workers: usize,
+}
+
+impl<N> Shared<N> {
+    /// Blocks until global work is available or the search has finished.
+    fn fetch_global(&self) -> Option<N> {
+        let mut st = self.state.lock();
+        loop {
+            if st.done {
+                return None;
+            }
+            if let Some(n) = st.global.pop() {
+                return Some(n);
+            }
+            st.idle += 1;
+            if st.idle == self.workers {
+                // Everyone is out of work: the search is over.
+                st.done = true;
+                self.cv.notify_all();
+                return None;
+            }
+            self.cv.wait(&mut st);
+            if st.done {
+                return None;
+            }
+            st.idle -= 1;
+        }
+    }
+
+    /// Ends the search early (branch budget exhausted).
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        let mut st = self.state.lock();
+        st.done = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Master/slave parallel branch-and-bound (the paper's Table 1 algorithm,
+/// with threads standing in for cluster nodes):
+///
+/// 1. the master applies the initial incumbent (Step 3) and pre-branches
+///    the tree breadth-first until at least `2 × workers` open nodes exist
+///    (Step 5);
+/// 2. open nodes are sorted by lower bound and dealt cyclically to the
+///    workers' local pools (Step 6);
+/// 3. every worker runs depth-first on its local pool (Step 7), pruning
+///    against the *shared* upper bound, which any improvement updates
+///    atomically — the thread analogue of broadcasting the global UB;
+/// 4. a worker whose local pool drains pulls from the global pool; when
+///    the global pool is empty, loaded workers donate their most promising
+///    pending node, so nobody idles while work remains;
+/// 5. when all workers are idle and the global pool is empty the search
+///    terminates and the master gathers solutions (Step 8).
+///
+/// With `workers == 1` this degenerates to (slightly buffered) sequential
+/// search; results are always identical in optimum value to
+/// [`solve_sequential`](crate::solve_sequential).
+pub fn solve_parallel<P: Problem>(
+    problem: &P,
+    opts: &SearchOptions,
+    workers: usize,
+) -> SearchOutcome<P::Solution> {
+    assert!(workers >= 1, "need at least one worker");
+    let mut master_stats = SearchStats::default();
+    let mut master_inc = Incumbents::new(opts);
+    let bound = SharedBound::unbounded();
+    if let Some((s, v)) = problem.initial_incumbent() {
+        master_inc.offer(v, s);
+        master_stats.incumbent_updates += 1;
+        bound.try_improve(v);
+    }
+
+    // --- Master seeding phase: breadth-first until 2×workers open nodes.
+    let target = 2 * workers;
+    let mut frontier: VecDeque<P::Node> = VecDeque::new();
+    frontier.push_back(problem.root());
+    let mut kids = Vec::new();
+    while frontier.len() < target {
+        let Some(node) = frontier.pop_front() else {
+            break;
+        };
+        let ub = bound.get();
+        let lb = problem.lower_bound(&node);
+        if Incumbents::<P::Solution>::prunable(lb, ub, opts) {
+            master_stats.pruned += 1;
+            continue;
+        }
+        if let Some((s, v)) = problem.solution(&node) {
+            master_stats.solutions_seen += 1;
+            if master_inc.offer(v, s) {
+                master_stats.incumbent_updates += 1;
+                bound.try_improve(v);
+            }
+            continue;
+        }
+        master_stats.branched += 1;
+        kids.clear();
+        problem.branch(&node, &mut kids);
+        let ub = bound.get();
+        for k in kids.drain(..) {
+            if Incumbents::<P::Solution>::prunable(problem.lower_bound(&k), ub, opts) {
+                master_stats.pruned += 1;
+            } else {
+                frontier.push_back(k);
+            }
+        }
+        master_stats.peak_pool = master_stats.peak_pool.max(frontier.len() as u64);
+    }
+
+    if frontier.is_empty() {
+        // The whole tree collapsed during seeding.
+        let best = master_inc
+            .solutions
+            .iter()
+            .map(|(v, _)| *v)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            });
+        return SearchOutcome {
+            best_value: best,
+            solutions: best.map(|b| master_inc.finish(b)).unwrap_or_default(),
+            stats: master_stats,
+            complete: true,
+        };
+    }
+
+    // --- Sort by lower bound, deal cyclically (Step 6).
+    let mut seeds: Vec<(f64, P::Node)> = frontier
+        .into_iter()
+        .map(|n| (problem.lower_bound(&n), n))
+        .collect();
+    seeds.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are finite"));
+    let mut locals: Vec<Vec<P::Node>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, (_, node)) in seeds.into_iter().enumerate() {
+        locals[i % workers].push(node);
+    }
+    // Local pools are stacks: reverse so the most promising node pops first.
+    for lp in &mut locals {
+        lp.reverse();
+    }
+
+    let shared = Shared {
+        state: Mutex::new(PoolState {
+            global: Vec::new(),
+            idle: 0,
+            done: false,
+        }),
+        cv: Condvar::new(),
+        bound,
+        branches: AtomicU64::new(master_stats.branched),
+        aborted: AtomicBool::new(false),
+        workers,
+    };
+
+    // --- Worker phase.
+    type WorkerHarvest<S> = Vec<(Vec<(f64, S)>, SearchStats)>;
+    let results: WorkerHarvest<P::Solution> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = locals
+            .into_iter()
+            .map(|lp| {
+                let shared = &shared;
+                scope.spawn(move |_| run_worker(problem, opts, shared, lp))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope panicked");
+
+    // --- Gather (Step 8).
+    let mut stats = master_stats;
+    let mut all: Vec<(f64, P::Solution)> = master_inc.solutions;
+    for (found, wstats) in results {
+        stats.merge(&wstats);
+        all.extend(found);
+    }
+    let best = all
+        .iter()
+        .map(|(v, _)| *v)
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        });
+    let complete = !shared.aborted.load(Ordering::Acquire);
+    match best {
+        Some(bv) => {
+            let eps = opts.eps(bv);
+            let mut solutions: Vec<P::Solution> = all
+                .into_iter()
+                .filter(|(v, _)| *v <= bv + eps)
+                .map(|(_, s)| s)
+                .collect();
+            if matches!(opts.mode, SearchMode::BestOne) {
+                solutions.truncate(1);
+            }
+            SearchOutcome {
+                best_value: Some(bv),
+                solutions,
+                stats,
+                complete,
+            }
+        }
+        None => SearchOutcome {
+            best_value: None,
+            solutions: Vec::new(),
+            stats,
+            complete,
+        },
+    }
+}
+
+fn run_worker<P: Problem>(
+    problem: &P,
+    opts: &SearchOptions,
+    shared: &Shared<P::Node>,
+    mut lp: Vec<P::Node>,
+) -> (Vec<(f64, P::Solution)>, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut found: Vec<(f64, P::Solution)> = Vec::new();
+    let mut kids = Vec::new();
+    loop {
+        let node = match lp.pop() {
+            Some(n) => n,
+            None => match shared.fetch_global() {
+                Some(n) => n,
+                None => break,
+            },
+        };
+        let ub = shared.bound.get();
+        let lb = problem.lower_bound(&node);
+        if Incumbents::<P::Solution>::prunable(lb, ub, opts) {
+            stats.pruned += 1;
+            continue;
+        }
+        if let Some((s, v)) = problem.solution(&node) {
+            stats.solutions_seen += 1;
+            match opts.mode {
+                SearchMode::BestOne => {
+                    if shared.bound.try_improve(v) {
+                        stats.incumbent_updates += 1;
+                        found.push((v, s));
+                    }
+                }
+                SearchMode::AllOptimal => {
+                    if v <= ub + opts.eps(ub) {
+                        found.push((v, s));
+                        if shared.bound.try_improve(v) {
+                            stats.incumbent_updates += 1;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        if shared.branches.fetch_add(1, Ordering::Relaxed) >= opts.max_branches {
+            shared.abort();
+            lp.clear();
+            continue;
+        }
+        stats.branched += 1;
+        kids.clear();
+        problem.branch(&node, &mut kids);
+        let ub = shared.bound.get();
+        for k in kids.drain(..).rev() {
+            if Incumbents::<P::Solution>::prunable(problem.lower_bound(&k), ub, opts) {
+                stats.pruned += 1;
+            } else {
+                lp.push(k);
+            }
+        }
+        stats.peak_pool = stats.peak_pool.max(lp.len() as u64);
+
+        // Load balancing: keep the global pool stocked while we have spare
+        // work (the paper's "send the last UT in sorted LP to GP").
+        if lp.len() > 1 {
+            let mut st = shared.state.lock();
+            if st.global.is_empty() && !st.done && st.idle > 0 {
+                let donated = lp.remove(0);
+                st.global.push(donated);
+                shared.cv.notify_one();
+            }
+        }
+    }
+    (found, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_sequential;
+
+    /// Minimize the weighted ones-count over binary strings, with values
+    /// crafted so the tree is big enough to exercise the pools.
+    struct WeightedBits {
+        weights: Vec<f64>,
+    }
+
+    impl Problem for WeightedBits {
+        type Node = Vec<bool>;
+        type Solution = Vec<bool>;
+
+        fn root(&self) -> Vec<bool> {
+            Vec::new()
+        }
+        fn lower_bound(&self, node: &Vec<bool>) -> f64 {
+            node.iter()
+                .zip(&self.weights)
+                .map(|(&b, &w)| if b { w } else { 0.0 })
+                .sum()
+        }
+        fn solution(&self, node: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
+            (node.len() == self.weights.len()).then(|| (node.clone(), self.lower_bound(node)))
+        }
+        fn branch(&self, node: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+            for b in [true, false] {
+                let mut c = node.clone();
+                c.push(b);
+                out.push(c);
+            }
+        }
+    }
+
+    fn problem(n: usize) -> WeightedBits {
+        WeightedBits {
+            weights: (0..n).map(|i| 1.0 + (i % 3) as f64).collect(),
+        }
+    }
+
+    #[test]
+    fn matches_sequential_optimum() {
+        let p = problem(10);
+        for workers in [1, 2, 4] {
+            let opts = SearchOptions::new(SearchMode::BestOne);
+            let seq = solve_sequential(&p, &opts);
+            let par = solve_parallel(&p, &opts, workers);
+            assert_eq!(seq.best_value, par.best_value, "workers = {workers}");
+            assert_eq!(par.solutions.len(), 1);
+            assert!(par.complete);
+        }
+    }
+
+    #[test]
+    fn all_optimal_matches_sequential_set() {
+        // Two zero-weight bits → 4 co-optimal solutions.
+        let p = WeightedBits {
+            weights: vec![0.0, 1.0, 0.0, 2.0, 1.0],
+        };
+        let opts = SearchOptions::new(SearchMode::AllOptimal);
+        let seq = solve_sequential(&p, &opts);
+        let par = solve_parallel(&p, &opts, 3);
+        let norm = |mut v: Vec<Vec<bool>>| {
+            v.sort();
+            v.dedup();
+            v
+        };
+        assert_eq!(seq.best_value, par.best_value);
+        let par_sols = norm(par.solutions);
+        assert_eq!(norm(seq.solutions), par_sols);
+        assert_eq!(par_sols.len(), 4);
+    }
+
+    #[test]
+    fn single_worker_agrees() {
+        let p = problem(8);
+        let opts = SearchOptions::new(SearchMode::AllOptimal);
+        let seq = solve_sequential(&p, &opts);
+        let par = solve_parallel(&p, &opts, 1);
+        assert_eq!(seq.best_value, par.best_value);
+        assert_eq!(seq.solutions.len(), par.solutions.len());
+    }
+
+    #[test]
+    fn more_workers_than_nodes() {
+        let p = problem(2);
+        let opts = SearchOptions::new(SearchMode::BestOne);
+        let par = solve_parallel(&p, &opts, 16);
+        assert_eq!(par.best_value, Some(0.0));
+    }
+
+    #[test]
+    fn budget_abort_is_reported() {
+        let p = problem(18);
+        let opts = SearchOptions::new(SearchMode::BestOne).max_branches(10);
+        let par = solve_parallel(&p, &opts, 4);
+        assert!(!par.complete);
+    }
+
+    #[test]
+    fn tree_that_collapses_during_seeding() {
+        struct Hinted(WeightedBits);
+        impl Problem for Hinted {
+            type Node = Vec<bool>;
+            type Solution = Vec<bool>;
+            fn root(&self) -> Vec<bool> {
+                Vec::new()
+            }
+            fn lower_bound(&self, n: &Vec<bool>) -> f64 {
+                self.0.lower_bound(n)
+            }
+            fn solution(&self, n: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
+                self.0.solution(n)
+            }
+            fn branch(&self, n: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+                self.0.branch(n, out)
+            }
+            fn initial_incumbent(&self) -> Option<(Vec<bool>, f64)> {
+                Some((vec![false; self.0.weights.len()], 0.0))
+            }
+        }
+        let p = Hinted(problem(6));
+        let out = solve_parallel(&p, &SearchOptions::new(SearchMode::BestOne), 4);
+        assert_eq!(out.best_value, Some(0.0));
+        assert_eq!(out.solutions.len(), 1);
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn stress_many_runs_no_deadlock() {
+        let p = problem(9);
+        for _ in 0..25 {
+            let out = solve_parallel(&p, &SearchOptions::new(SearchMode::BestOne), 4);
+            assert_eq!(out.best_value, Some(0.0));
+        }
+    }
+}

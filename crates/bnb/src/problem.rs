@@ -1,0 +1,153 @@
+/// A minimization problem searchable by branch-and-bound.
+///
+/// Nodes are partial solutions; [`branch`](Problem::branch) refines a node
+/// into children, [`solution`](Problem::solution) recognizes complete nodes,
+/// and [`lower_bound`](Problem::lower_bound) must never exceed the value of
+/// any complete solution reachable from the node (admissibility) — pruning
+/// correctness depends on it.
+pub trait Problem: Sync {
+    /// A partial solution.
+    type Node: Clone + Send;
+    /// A complete solution payload.
+    type Solution: Clone + Send;
+
+    /// The root of the search tree.
+    fn root(&self) -> Self::Node;
+
+    /// An admissible lower bound on every complete solution below `node`.
+    fn lower_bound(&self, node: &Self::Node) -> f64;
+
+    /// When `node` is complete, its solution and exact objective value.
+    fn solution(&self, node: &Self::Node) -> Option<(Self::Solution, f64)>;
+
+    /// Expands an incomplete node, pushing its children into `out`
+    /// (cleared by the caller).
+    fn branch(&self, node: &Self::Node, out: &mut Vec<Self::Node>);
+
+    /// An optional heuristic incumbent used as the initial upper bound
+    /// (the paper's UPGMM step). Defaults to none.
+    fn initial_incumbent(&self) -> Option<(Self::Solution, f64)> {
+        None
+    }
+}
+
+/// What to collect during the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Find one optimal solution (prune `LB ≥ UB`; fastest).
+    BestOne,
+    /// Enumerate **all** optimal solutions (prune only `LB > UB`, keep
+    /// co-optimal ties).
+    AllOptimal,
+}
+
+/// Node-selection strategy of the sequential driver.
+///
+/// The parallel and simulated drivers always run depth-first within each
+/// worker, as the papers do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Depth-first: cheap memory, reaches complete solutions fast —
+    /// Algorithm BBU's published strategy.
+    #[default]
+    DepthFirst,
+    /// Best-first: always expand the open node with the smallest lower
+    /// bound. Branches the provably minimal number of nodes in
+    /// [`SearchMode::BestOne`], at the price of a pool as large as the
+    /// frontier.
+    BestFirst,
+}
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Whether to find one optimum or all of them.
+    pub mode: SearchMode,
+    /// Node-selection strategy for the sequential driver.
+    pub strategy: Strategy,
+    /// Relative tolerance used when comparing objective values: values
+    /// within `tol × max(1, |UB|)` count as equal.
+    pub tol: f64,
+    /// Stop after this many branch operations (safety valve for
+    /// experiments; `u64::MAX` means unlimited). When the search stops
+    /// early [`SearchOutcome::complete`] is `false` and the incumbent is
+    /// only an upper bound.
+    pub max_branches: u64,
+}
+
+impl SearchOptions {
+    /// Options with the given mode, depth-first strategy, default
+    /// tolerance `1e-9`, no branch limit.
+    pub fn new(mode: SearchMode) -> Self {
+        SearchOptions {
+            mode,
+            strategy: Strategy::DepthFirst,
+            tol: 1e-9,
+            max_branches: u64::MAX,
+        }
+    }
+
+    /// Sets the branch-operation budget.
+    pub fn max_branches(mut self, limit: u64) -> Self {
+        self.max_branches = limit;
+        self
+    }
+
+    /// Sets the sequential node-selection strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    pub(crate) fn eps(&self, ub: f64) -> f64 {
+        if ub.is_finite() {
+            self.tol * 1f64.max(ub.abs())
+        } else {
+            // Before any incumbent exists the bound is ∞; a zero epsilon
+            // keeps `ub - eps` well-defined (∞ − ∞ would be NaN).
+            0.0
+        }
+    }
+}
+
+/// Counters describing a finished search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes expanded by [`Problem::branch`].
+    pub branched: u64,
+    /// Children discarded because their lower bound could not beat the
+    /// incumbent.
+    pub pruned: u64,
+    /// Complete solutions encountered (including non-improving ones).
+    pub solutions_seen: u64,
+    /// Times the incumbent improved.
+    pub incumbent_updates: u64,
+    /// Largest number of nodes simultaneously alive in the pools.
+    pub peak_pool: u64,
+}
+
+impl SearchStats {
+    /// Element-wise sum, for merging per-worker stats.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.branched += other.branched;
+        self.pruned += other.pruned;
+        self.solutions_seen += other.solutions_seen;
+        self.incumbent_updates += other.incumbent_updates;
+        self.peak_pool = self.peak_pool.max(other.peak_pool);
+    }
+}
+
+/// The result of a branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome<S> {
+    /// The optimal objective value, when any solution exists.
+    pub best_value: Option<f64>,
+    /// The optimal solutions: one in [`SearchMode::BestOne`], all of them
+    /// in [`SearchMode::AllOptimal`].
+    pub solutions: Vec<S>,
+    /// Search counters.
+    pub stats: SearchStats,
+    /// `false` when the search hit [`SearchOptions::max_branches`] and the
+    /// result is only an incumbent, not a proven optimum.
+    pub complete: bool,
+}

@@ -1,0 +1,432 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, Strategy};
+
+/// Tracks the incumbent value and the solutions worth keeping under the
+/// current [`SearchMode`]. The sequential, thread-parallel and simulated
+/// drivers all build on it; custom drivers (e.g. simulations with their
+/// own scheduling) can too.
+pub struct Incumbents<S> {
+    /// The best objective value seen so far (`+∞` before any solution).
+    pub ub: f64,
+    /// Kept solutions with their values (pruned of dominated entries as
+    /// the bound improves).
+    pub solutions: Vec<(f64, S)>,
+    mode: SearchMode,
+    tol: f64,
+}
+
+impl<S: Clone> Incumbents<S> {
+    /// An empty tracker configured from the search options.
+    pub fn new(opts: &SearchOptions) -> Self {
+        Incumbents {
+            ub: f64::INFINITY,
+            solutions: Vec::new(),
+            mode: opts.mode,
+            tol: opts.tol,
+        }
+    }
+
+    /// Whether a node with lower bound `lb` can be discarded given `ub`.
+    pub fn prunable(lb: f64, ub: f64, opts: &SearchOptions) -> bool {
+        match opts.mode {
+            SearchMode::BestOne => lb >= ub - opts.eps(ub),
+            SearchMode::AllOptimal => lb > ub + opts.eps(ub),
+        }
+    }
+
+    /// Offers a complete solution; returns whether it improved the bound.
+    pub fn offer(&mut self, value: f64, solution: S) -> bool {
+        let eps = if self.ub.is_finite() {
+            self.tol * 1f64.max(self.ub.abs())
+        } else {
+            0.0
+        };
+        if value < self.ub - eps {
+            self.ub = value;
+            match self.mode {
+                SearchMode::BestOne => {
+                    self.solutions.clear();
+                    self.solutions.push((value, solution));
+                }
+                SearchMode::AllOptimal => {
+                    let eps = self.tol * 1f64.max(value.abs());
+                    self.solutions.retain(|(v, _)| *v <= value + eps);
+                    self.solutions.push((value, solution));
+                }
+            }
+            true
+        } else if matches!(self.mode, SearchMode::AllOptimal) && value <= self.ub + eps {
+            self.solutions.push((value, solution));
+            false
+        } else {
+            false
+        }
+    }
+
+    /// Final solutions: exactly those within tolerance of `best`.
+    pub fn finish(self, best: f64) -> Vec<S> {
+        let eps = self.tol * 1f64.max(best.abs());
+        self.solutions
+            .into_iter()
+            .filter(|(v, _)| *v <= best + eps)
+            .map(|(_, s)| s)
+            .collect()
+    }
+}
+
+/// An open-node pool: LIFO for depth-first, a min-heap on the lower bound
+/// (FIFO among ties) for best-first.
+enum Pool<N> {
+    Stack(Vec<N>),
+    Heap(BinaryHeap<HeapEntry<N>>, u64),
+}
+
+struct HeapEntry<N> {
+    lb: f64,
+    seq: u64,
+    node: N,
+}
+
+impl<N> PartialEq for HeapEntry<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<N> Eq for HeapEntry<N> {}
+impl<N> Ord for HeapEntry<N> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse both: BinaryHeap is a max-heap, we want the smallest
+        // bound, then the earliest insertion.
+        other
+            .lb
+            .partial_cmp(&self.lb)
+            .expect("bounds are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl<N> PartialOrd for HeapEntry<N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<N> Pool<N> {
+    fn new(strategy: Strategy) -> Self {
+        match strategy {
+            Strategy::DepthFirst => Pool::Stack(Vec::new()),
+            Strategy::BestFirst => Pool::Heap(BinaryHeap::new(), 0),
+        }
+    }
+
+    fn push(&mut self, node: N, lb: f64) {
+        match self {
+            Pool::Stack(v) => v.push(node),
+            Pool::Heap(h, seq) => {
+                h.push(HeapEntry {
+                    lb,
+                    seq: *seq,
+                    node,
+                });
+                *seq += 1;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<N> {
+        match self {
+            Pool::Stack(v) => v.pop(),
+            Pool::Heap(h, _) => h.pop().map(|e| e.node),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Pool::Stack(v) => v.len(),
+            Pool::Heap(h, _) => h.len(),
+        }
+    }
+}
+
+/// Single-threaded branch-and-bound — Algorithm BBU's skeleton: keep a
+/// pool of open nodes (a stack under [`Strategy::DepthFirst`], a bound-
+/// ordered heap under [`Strategy::BestFirst`]), prune against the
+/// incumbent, and record complete solutions.
+pub fn solve_sequential<P: Problem>(
+    problem: &P,
+    opts: &SearchOptions,
+) -> SearchOutcome<P::Solution> {
+    let mut stats = SearchStats::default();
+    let mut inc = Incumbents::new(opts);
+    if let Some((s, v)) = problem.initial_incumbent() {
+        inc.offer(v, s);
+        stats.incumbent_updates += 1;
+    }
+    let mut pool = Pool::new(opts.strategy);
+    let root = problem.root();
+    let root_lb = problem.lower_bound(&root);
+    pool.push(root, root_lb);
+    let mut kids = Vec::new();
+    let mut complete = true;
+    while let Some(node) = pool.pop() {
+        let lb = problem.lower_bound(&node);
+        if Incumbents::<P::Solution>::prunable(lb, inc.ub, opts) {
+            stats.pruned += 1;
+            continue;
+        }
+        if let Some((s, v)) = problem.solution(&node) {
+            stats.solutions_seen += 1;
+            if inc.offer(v, s) {
+                stats.incumbent_updates += 1;
+            }
+            continue;
+        }
+        if stats.branched >= opts.max_branches {
+            complete = false;
+            break;
+        }
+        stats.branched += 1;
+        kids.clear();
+        problem.branch(&node, &mut kids);
+        // Push in reverse so the first child is explored first (DFS order
+        // matches the branching order, which problems tune for good
+        // early incumbents).
+        for k in kids.drain(..).rev() {
+            let klb = problem.lower_bound(&k);
+            if Incumbents::<P::Solution>::prunable(klb, inc.ub, opts) {
+                stats.pruned += 1;
+            } else {
+                pool.push(k, klb);
+            }
+        }
+        stats.peak_pool = stats.peak_pool.max(pool.len() as u64);
+    }
+    let best_value = inc
+        .solutions
+        .iter()
+        .map(|(v, _)| *v)
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        });
+    match best_value {
+        Some(bv) => SearchOutcome {
+            best_value: Some(bv),
+            solutions: inc.finish(bv),
+            stats,
+            complete,
+        },
+        None => SearchOutcome {
+            best_value: None,
+            solutions: Vec::new(),
+            stats,
+            complete,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy problem: binary strings of length `n`; value = number of ones +
+    /// `base`; optimum is the all-zero string with value `base`. Lower
+    /// bound = ones so far + base (admissible: flipping more bits only
+    /// adds). With `AllOptimal` and `twist = true`, bit 0 is free so two
+    /// optima exist.
+    struct Bits {
+        n: usize,
+        base: f64,
+        twist: bool,
+    }
+
+    impl Problem for Bits {
+        type Node = Vec<bool>;
+        type Solution = Vec<bool>;
+
+        fn root(&self) -> Vec<bool> {
+            Vec::new()
+        }
+        fn lower_bound(&self, node: &Vec<bool>) -> f64 {
+            self.base
+                + node
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, &b)| b && !(self.twist && *i == 0))
+                    .count() as f64
+        }
+        fn solution(&self, node: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
+            (node.len() == self.n).then(|| (node.clone(), self.lower_bound(node)))
+        }
+        fn branch(&self, node: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+            for b in [false, true] {
+                let mut c = node.clone();
+                c.push(b);
+                out.push(c);
+            }
+        }
+    }
+
+    #[test]
+    fn finds_the_optimum() {
+        let p = Bits {
+            n: 6,
+            base: 2.0,
+            twist: false,
+        };
+        let out = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne));
+        assert_eq!(out.best_value, Some(2.0));
+        assert_eq!(out.solutions, vec![vec![false; 6]]);
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn all_optimal_finds_both() {
+        let p = Bits {
+            n: 5,
+            base: 0.0,
+            twist: true,
+        };
+        let out = solve_sequential(&p, &SearchOptions::new(SearchMode::AllOptimal));
+        assert_eq!(out.best_value, Some(0.0));
+        let mut sols = out.solutions;
+        sols.sort();
+        assert_eq!(sols.len(), 2);
+        assert_eq!(sols[0], vec![false, false, false, false, false]);
+        assert_eq!(sols[1], vec![true, false, false, false, false]);
+    }
+
+    #[test]
+    fn best_one_prunes_more_than_all_optimal() {
+        let opts1 = SearchOptions::new(SearchMode::BestOne);
+        let opts2 = SearchOptions::new(SearchMode::AllOptimal);
+        let p = Bits {
+            n: 8,
+            base: 0.0,
+            twist: false,
+        };
+        let a = solve_sequential(&p, &opts1);
+        let b = solve_sequential(&p, &opts2);
+        assert!(a.stats.branched <= b.stats.branched);
+        assert_eq!(a.best_value, b.best_value);
+    }
+
+    #[test]
+    fn initial_incumbent_tightens_search() {
+        struct WithHint(Bits);
+        impl Problem for WithHint {
+            type Node = Vec<bool>;
+            type Solution = Vec<bool>;
+            fn root(&self) -> Vec<bool> {
+                self.0.root()
+            }
+            fn lower_bound(&self, n: &Vec<bool>) -> f64 {
+                self.0.lower_bound(n)
+            }
+            fn solution(&self, n: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
+                self.0.solution(n)
+            }
+            fn branch(&self, n: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+                self.0.branch(n, out)
+            }
+            fn initial_incumbent(&self) -> Option<(Vec<bool>, f64)> {
+                Some((vec![false; self.0.n], self.0.base))
+            }
+        }
+        let bare = Bits {
+            n: 8,
+            base: 1.0,
+            twist: false,
+        };
+        let hinted = WithHint(Bits {
+            n: 8,
+            base: 1.0,
+            twist: false,
+        });
+        let a = solve_sequential(&bare, &SearchOptions::new(SearchMode::BestOne));
+        let b = solve_sequential(&hinted, &SearchOptions::new(SearchMode::BestOne));
+        assert_eq!(a.best_value, b.best_value);
+        // The perfect hint prunes the entire tree.
+        assert_eq!(b.stats.branched, 0);
+    }
+
+    #[test]
+    fn best_first_agrees_with_depth_first() {
+        let p = Bits {
+            n: 9,
+            base: 2.0,
+            twist: false,
+        };
+        let dfs = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne));
+        let bfs = solve_sequential(
+            &p,
+            &SearchOptions::new(SearchMode::BestOne).strategy(crate::Strategy::BestFirst),
+        );
+        assert_eq!(dfs.best_value, bfs.best_value);
+        assert_eq!(dfs.solutions, bfs.solutions);
+        // Best-first never expands a node whose bound exceeds the optimum,
+        // so it cannot branch more than depth-first here.
+        assert!(bfs.stats.branched <= dfs.stats.branched);
+    }
+
+    #[test]
+    fn best_first_all_optimal_set_matches() {
+        let p = Bits {
+            n: 6,
+            base: 0.0,
+            twist: true,
+        };
+        let dfs = solve_sequential(&p, &SearchOptions::new(SearchMode::AllOptimal));
+        let bfs = solve_sequential(
+            &p,
+            &SearchOptions::new(SearchMode::AllOptimal).strategy(crate::Strategy::BestFirst),
+        );
+        let norm = |mut v: Vec<Vec<bool>>| {
+            v.sort();
+            v
+        };
+        assert_eq!(dfs.best_value, bfs.best_value);
+        assert_eq!(norm(dfs.solutions), norm(bfs.solutions));
+    }
+
+    #[test]
+    fn branch_budget_marks_incomplete() {
+        let p = Bits {
+            n: 12,
+            base: 0.0,
+            twist: false,
+        };
+        let out = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne).max_branches(3));
+        assert!(!out.complete);
+        assert!(out.stats.branched <= 3);
+    }
+
+    #[test]
+    fn infeasible_search_yields_none() {
+        /// A problem whose only leaves are pruned away by an initial
+        /// incumbent is still "solved" by that incumbent; a problem with no
+        /// solutions at all yields `None`.
+        struct NoSolutions;
+        impl Problem for NoSolutions {
+            type Node = u32;
+            type Solution = ();
+            fn root(&self) -> u32 {
+                0
+            }
+            fn lower_bound(&self, n: &u32) -> f64 {
+                *n as f64
+            }
+            fn solution(&self, _: &u32) -> Option<((), f64)> {
+                None
+            }
+            fn branch(&self, n: &u32, out: &mut Vec<u32>) {
+                if *n < 3 {
+                    out.push(n + 1);
+                }
+            }
+        }
+        let out = solve_sequential(&NoSolutions, &SearchOptions::new(SearchMode::BestOne));
+        assert_eq!(out.best_value, None);
+        assert!(out.solutions.is_empty());
+    }
+}

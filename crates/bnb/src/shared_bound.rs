@@ -1,0 +1,104 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically decreasing, lock-free shared upper bound.
+///
+/// Values must be non-negative (or `+∞`); for such floats the IEEE-754 bit
+/// pattern orders exactly like the number, so the bound can live in an
+/// `AtomicU64` and improve with a single `fetch_min`. This is the
+/// "broadcast the global upper bound" of the paper's parallel algorithm:
+/// every worker reads the freshest bound with one atomic load.
+#[derive(Debug)]
+pub struct SharedBound {
+    bits: AtomicU64,
+}
+
+impl SharedBound {
+    /// Creates the bound at `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `value` is negative or NaN.
+    pub fn new(value: f64) -> Self {
+        assert!(value >= 0.0, "bound must be non-negative");
+        SharedBound {
+            bits: AtomicU64::new(value.to_bits()),
+        }
+    }
+
+    /// Creates the bound at `+∞` (no incumbent yet).
+    pub fn unbounded() -> Self {
+        SharedBound::new(f64::INFINITY)
+    }
+
+    /// The current bound.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Lowers the bound to `value` if it improves on the current one.
+    /// Returns whether `value` became the new bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `value` is negative or NaN.
+    pub fn try_improve(&self, value: f64) -> bool {
+        assert!(value >= 0.0, "bound must be non-negative");
+        let old = self.bits.fetch_min(value.to_bits(), Ordering::AcqRel);
+        value.to_bits() < old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_unbounded() {
+        let b = SharedBound::unbounded();
+        assert_eq!(b.get(), f64::INFINITY);
+    }
+
+    #[test]
+    fn improves_monotonically() {
+        let b = SharedBound::unbounded();
+        assert!(b.try_improve(10.0));
+        assert!(!b.try_improve(11.0));
+        assert_eq!(b.get(), 10.0);
+        assert!(b.try_improve(3.5));
+        assert_eq!(b.get(), 3.5);
+        assert!(!b.try_improve(3.5));
+    }
+
+    #[test]
+    fn zero_is_a_valid_bound() {
+        let b = SharedBound::new(1.0);
+        assert!(b.try_improve(0.0));
+        assert_eq!(b.get(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        SharedBound::new(-1.0);
+    }
+
+    #[test]
+    fn concurrent_improvements_settle_at_min() {
+        let b = Arc::new(SharedBound::unbounded());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for k in (0..1000).rev() {
+                        b.try_improve((i * 1000 + k) as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.get(), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! `mutree` — construct minimum ultrametric evolutionary trees from
+//! distance matrices (the project report's "user-friendly tool system").
+//!
+//! ```text
+//! mutree solve  <matrix.phy> [--backend seq|par:N|sim:N] [--all] [--33 off|initial|full]
+//! mutree fast   <matrix.phy> [--threshold K] [--linkage max|min|avg]
+//! mutree sets   <matrix.phy>
+//! mutree heur   <matrix.phy> [--linkage max|avg|min]
+//! mutree nj     <matrix.phy>
+//! mutree rf     <a.nwk> <b.nwk>
+//! mutree gen    random|hmdna <n> [--seed S]
+//! ```
+//!
+//! Matrices are PHYLIP square format; `-` reads standard input. Trees are
+//! printed as Newick with branch lengths.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use mutree_core::{CompactPipeline, MutSolver, SearchBackend, SearchMode, ThreeThree};
+use mutree_distmat::{io as mio, DistanceMatrix};
+use mutree_graph::CompactSets;
+use mutree_tree::{cluster, newick, Linkage};
+
+const USAGE: &str = "\
+mutree — minimum ultrametric evolutionary trees (PaCT 2005 reproduction)
+
+USAGE:
+  mutree solve <matrix.phy> [--backend seq|par:N|sim:N] [--all] [--33 off|initial|full]
+        Exact minimum ultrametric tree via branch-and-bound.
+  mutree fast <matrix.phy> [--threshold K] [--linkage max|min|avg]
+        Near-optimal tree via compact-set decomposition (the fast technique).
+  mutree sets <matrix.phy>
+        List the compact sets of the distance graph.
+  mutree heur <matrix.phy> [--linkage max|avg|min]
+        Heuristic tree (UPGMM / UPGMA / single linkage).
+  mutree nj <matrix.phy>
+        Neighbor-joining tree (unrooted, clock-free baseline).
+  mutree rf <a.nwk> <b.nwk>
+        Robinson-Foulds distance between two ultrametric Newick trees.
+  mutree gen random|hmdna <n> [--seed S]
+        Print a synthetic PHYLIP matrix of either workload family.
+
+  <matrix.phy> is PHYLIP square format; use '-' for standard input.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    match cmd.as_str() {
+        "solve" => solve(&args[1..]),
+        "fast" => fast(&args[1..]),
+        "sets" => sets(&args[1..]),
+        "heur" => heur(&args[1..]),
+        "nj" => nj(&args[1..]),
+        "rf" => rf(&args[1..]),
+        "gen" => gen(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn read_matrix(path: &str) -> Result<DistanceMatrix, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    mio::parse_phylip(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn solve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("solve needs a matrix file")?;
+    let m = read_matrix(path)?;
+    let mut solver = MutSolver::new();
+    if let Some(backend) = flag_value(args, "--backend") {
+        solver = solver.backend(parse_backend(backend)?);
+    }
+    if args.iter().any(|a| a == "--all") {
+        solver = solver.mode(SearchMode::AllOptimal);
+    }
+    if let Some(rule) = flag_value(args, "--33") {
+        solver = solver.three_three(match rule {
+            "off" => ThreeThree::Off,
+            "initial" => ThreeThree::InitialOnly,
+            "full" => ThreeThree::Full,
+            other => return Err(format!("unknown 3-3 mode {other:?}")),
+        });
+    }
+    let sol = solver.solve(&m).map_err(|e| e.to_string())?;
+    println!("weight: {}", sol.weight);
+    println!(
+        "branched: {}  pruned: {}",
+        sol.stats.branched, sol.stats.pruned
+    );
+    if let Some(sim) = &sol.sim {
+        println!(
+            "virtual makespan: {:.6}s  messages: {}",
+            sim.makespan,
+            sim.total_messages()
+        );
+    }
+    for tree in &sol.trees {
+        println!("{}", newick::to_newick_with(tree, |t| m.label(t)));
+    }
+    Ok(())
+}
+
+fn fast(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("fast needs a matrix file")?;
+    let m = read_matrix(path)?;
+    let mut pipeline = CompactPipeline::new();
+    if let Some(threshold) = flag_value(args, "--threshold") {
+        let k: usize = threshold
+            .parse()
+            .map_err(|_| format!("bad threshold {threshold:?}"))?;
+        if k < 2 {
+            return Err("threshold must be at least 2".into());
+        }
+        pipeline = pipeline.threshold(k);
+    }
+    if let Some(linkage) = flag_value(args, "--linkage") {
+        pipeline = pipeline.linkage(parse_linkage(linkage)?);
+    }
+    let sol = pipeline.solve(&m).map_err(|e| e.to_string())?;
+    println!("weight: {}", sol.weight);
+    println!("compact sets: {}", sol.compact_sets);
+    let groups: Vec<String> = sol
+        .groups
+        .iter()
+        .map(|g| {
+            let names: Vec<String> = g.iter().map(|&t| m.label(t)).collect();
+            format!("{{{}}}", names.join(", "))
+        })
+        .collect();
+    println!("groups: {}", groups.join(" "));
+    println!("{}", newick::to_newick_with(&sol.tree, |t| m.label(t)));
+    Ok(())
+}
+
+fn sets(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("sets needs a matrix file")?;
+    let m = read_matrix(path)?;
+    let cs = CompactSets::find(&m);
+    if cs.is_empty() {
+        println!("no proper compact sets");
+        return Ok(());
+    }
+    for s in cs.iter() {
+        let names: Vec<String> = s.members().iter().map(|&t| m.label(t)).collect();
+        println!(
+            "{{{}}}  Max={}  Min(out)={}",
+            names.join(", "),
+            s.max_internal(),
+            s.min_crossing()
+        );
+    }
+    Ok(())
+}
+
+fn heur(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("heur needs a matrix file")?;
+    let m = read_matrix(path)?;
+    let linkage = match flag_value(args, "--linkage") {
+        None => Linkage::Maximum,
+        Some(l) => parse_linkage(l)?,
+    };
+    let mut tree = cluster(&m, linkage);
+    let weight = tree.fit_heights(&m);
+    println!("weight: {weight}");
+    println!("feasible: {}", tree.is_feasible_for(&m, 1e-9));
+    println!("{}", newick::to_newick_with(&tree, |t| m.label(t)));
+    Ok(())
+}
+
+fn nj(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("nj needs a matrix file")?;
+    let m = read_matrix(path)?;
+    let tree = mutree_tree::nj::neighbor_joining(&m);
+    println!("total length: {}", tree.total_length());
+    println!("mean distortion: {:.6}", tree.mean_distortion(&m));
+    println!("{}", tree.to_newick_with(|t| m.label(t)));
+    Ok(())
+}
+
+fn rf(args: &[String]) -> Result<(), String> {
+    let (pa, pb) = match args {
+        [a, b, ..] => (a, b),
+        _ => return Err("rf needs two Newick files".into()),
+    };
+    let read_tree = |path: &str| -> Result<(mutree_tree::UltrametricTree, Vec<String>), String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        newick::parse_newick(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let (ta, names_a) = read_tree(pa)?;
+    let (mut tb, names_b) = read_tree(pb)?;
+    // Align b's taxa to a's by leaf name.
+    let mut name_to_a = std::collections::HashMap::new();
+    for (taxon, name) in names_a.iter().enumerate() {
+        name_to_a.insert(name.clone(), taxon);
+    }
+    if names_b.len() != names_a.len() || !names_b.iter().all(|n| name_to_a.contains_key(n)) {
+        return Err("the two trees must share the same leaf names".into());
+    }
+    tb.map_taxa(|t| name_to_a[&names_b[t]]);
+    let rf = mutree_tree::compare::robinson_foulds(&ta, &tb).map_err(|e| e.to_string())?;
+    let nrf =
+        mutree_tree::compare::robinson_foulds_normalized(&ta, &tb).map_err(|e| e.to_string())?;
+    println!("robinson-foulds: {rf}");
+    println!("normalized: {nrf:.4}");
+    Ok(())
+}
+
+fn gen(args: &[String]) -> Result<(), String> {
+    let family = args.first().ok_or("gen needs a family (random|hmdna)")?;
+    let n: usize = args
+        .get(1)
+        .ok_or("gen needs a species count")?
+        .parse()
+        .map_err(|_| "species count must be a number".to_string())?;
+    if n < 2 {
+        return Err("need at least 2 species".into());
+    }
+    let seed: u64 = match flag_value(args, "--seed") {
+        None => 0,
+        Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}"))?,
+    };
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let m = match family.as_str() {
+        "random" => {
+            let mut m = mutree_distmat::gen::perturbed_ultrametric(n, 50.0, 0.2, &mut rng);
+            m.set_labels((0..n).map(|i| format!("sp{i:02}")));
+            m
+        }
+        "hmdna" => mutree_seqgen::hmdna_like_matrix(n, 200, &mut rng),
+        other => return Err(format!("unknown family {other:?}")),
+    };
+    print!("{}", mio::to_phylip(&m));
+    Ok(())
+}
+
+fn parse_backend(spec: &str) -> Result<SearchBackend, String> {
+    if spec == "seq" {
+        return Ok(SearchBackend::Sequential);
+    }
+    if let Some(workers) = spec.strip_prefix("par:") {
+        let w: usize = workers
+            .parse()
+            .map_err(|_| format!("bad worker count {workers:?}"))?;
+        if w == 0 {
+            return Err("need at least one worker".into());
+        }
+        return Ok(SearchBackend::Parallel { workers: w });
+    }
+    if let Some(slaves) = spec.strip_prefix("sim:") {
+        let s: usize = slaves
+            .parse()
+            .map_err(|_| format!("bad slave count {slaves:?}"))?;
+        if s == 0 {
+            return Err("need at least one slave".into());
+        }
+        return Ok(SearchBackend::SimulatedCluster {
+            spec: mutree_clustersim::ClusterSpec::with_slaves(s),
+        });
+    }
+    Err(format!("unknown backend {spec:?} (seq | par:N | sim:N)"))
+}
+
+fn parse_linkage(spec: &str) -> Result<Linkage, String> {
+    match spec {
+        "max" => Ok(Linkage::Maximum),
+        "min" => Ok(Linkage::Minimum),
+        "avg" => Ok(Linkage::Average),
+        other => Err(format!("unknown linkage {other:?} (max | min | avg)")),
+    }
+}

@@ -1,0 +1,202 @@
+//! End-to-end tests of the `mutree` command-line tool.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn mutree() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mutree"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = mutree().args(args).output().expect("spawn mutree");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn run_with_stdin(args: &[&str], input: &str) -> (String, bool) {
+    let mut child = mutree()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mutree");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.success(),
+    )
+}
+
+const MATRIX: &str = "\
+4
+alpha  0 2 8 8
+beta   2 0 8 8
+gamma  8 8 0 4
+delta  8 8 4 0
+";
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("compact-set"));
+}
+
+#[test]
+fn missing_subcommand_fails_with_usage() {
+    let (_, stderr, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("missing subcommand"));
+}
+
+#[test]
+fn solve_reads_stdin_and_prints_newick() {
+    let (stdout, ok) = run_with_stdin(&["solve", "-"], MATRIX);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("weight: 11"));
+    assert!(stdout.contains("alpha"));
+    assert!(stdout.contains(";"));
+}
+
+#[test]
+fn solve_all_enumerates_cooptima() {
+    let (stdout, ok) = run_with_stdin(&["solve", "-", "--all"], MATRIX);
+    assert!(ok);
+    // This matrix has a unique optimum; the flag still works.
+    assert_eq!(stdout.matches(';').count(), 1);
+}
+
+#[test]
+fn solve_with_simulated_backend_reports_makespan() {
+    let (stdout, ok) = run_with_stdin(&["solve", "-", "--backend", "sim:4"], MATRIX);
+    assert!(ok);
+    assert!(stdout.contains("virtual makespan"));
+}
+
+#[test]
+fn solve_rejects_bad_backend() {
+    let (_, stderr, ok) = run(&["solve", "/nonexistent", "--backend", "gpu"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}
+
+#[test]
+fn fast_prints_groups() {
+    let (stdout, ok) = run_with_stdin(&["fast", "-", "--threshold", "2"], MATRIX);
+    assert!(ok);
+    assert!(stdout.contains("groups:"));
+    assert!(stdout.contains("weight:"));
+}
+
+#[test]
+fn sets_lists_compact_sets() {
+    let (stdout, ok) = run_with_stdin(&["sets", "-"], MATRIX);
+    assert!(ok);
+    assert!(stdout.contains("alpha, beta"));
+    assert!(stdout.contains("Max="));
+}
+
+#[test]
+fn heur_reports_feasibility() {
+    let (stdout, ok) = run_with_stdin(&["heur", "-", "--linkage", "max"], MATRIX);
+    assert!(ok);
+    assert!(stdout.contains("feasible: true"));
+}
+
+#[test]
+fn gen_produces_parsable_phylip() {
+    let (stdout, _, ok) = run(&["gen", "hmdna", "6", "--seed", "9"]);
+    assert!(ok);
+    let m = mutree_distmat::io::parse_phylip(&stdout).expect("generated matrix parses");
+    assert_eq!(m.len(), 6);
+    // Determinism: same seed, same matrix.
+    let (again, _, _) = run(&["gen", "hmdna", "6", "--seed", "9"]);
+    assert_eq!(stdout, again);
+}
+
+#[test]
+fn gen_random_family_works_too() {
+    let (stdout, _, ok) = run(&["gen", "random", "5"]);
+    assert!(ok);
+    let m = mutree_distmat::io::parse_phylip(&stdout).unwrap();
+    assert!(m.is_metric(1e-9));
+}
+
+#[test]
+fn nj_prints_unrooted_tree() {
+    let (stdout, ok) = run_with_stdin(&["nj", "-"], MATRIX);
+    assert!(ok);
+    assert!(stdout.contains("total length:"));
+    assert!(stdout.contains("mean distortion: 0.000000")); // ultrametric input
+    assert!(stdout.contains("alpha"));
+}
+
+#[test]
+fn rf_compares_two_trees() {
+    let dir = std::env::temp_dir().join(format!("mutree-rf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.nwk");
+    let b = dir.join("b.nwk");
+    std::fs::write(&a, "((x:1,y:1):3,(z:2,w:2):2);").unwrap();
+    std::fs::write(&b, "((x:1,z:1):3,(y:2,w:2):2);").unwrap();
+    let (stdout, _, ok) = run(&["rf", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("robinson-foulds: 4"));
+    assert!(stdout.contains("normalized: 1.0000"));
+    let (stdout, _, ok) = run(&["rf", a.to_str().unwrap(), a.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("robinson-foulds: 0"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rf_rejects_mismatched_leaves() {
+    let dir = std::env::temp_dir().join(format!("mutree-rf2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.nwk");
+    let b = dir.join("b.nwk");
+    std::fs::write(&a, "(x:1,y:1);").unwrap();
+    std::fs::write(&b, "(x:1,q:1);").unwrap();
+    let (_, stderr, ok) = run(&["rf", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("same leaf names"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+}
+
+#[test]
+fn bad_matrix_reports_parse_error() {
+    let mut child = mutree()
+        .args(["solve", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"not a matrix")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parsing"));
+}

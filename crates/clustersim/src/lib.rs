@@ -1,0 +1,45 @@
+//! Discrete-event simulation of a master/slave PC cluster.
+//!
+//! The papers evaluate on a 16-node Linux cluster (100 Mbps links between
+//! computing nodes, 1 Gbps to the server) that we neither have nor could
+//! time deterministically. This crate provides the substrate to *simulate*
+//! such a cluster instead:
+//!
+//! * [`EventQueue`] — a virtual-time priority queue with deterministic
+//!   FIFO tie-breaking, the heart of any discrete-event simulation;
+//! * [`NetworkModel`] — a latency + bandwidth cost model for messages,
+//!   with presets matching the paper's interconnects;
+//! * [`ClusterSpec`] — node count and per-node compute rate, with the
+//!   paper's 16-slave configuration as a preset;
+//! * [`NodeMetrics`] / [`SimReport`] — per-node busy time, message and
+//!   byte counters, and makespan/utilization summaries.
+//!
+//! The cluster *protocol* (what the master and slaves actually do) lives
+//! with the algorithm being simulated — see `mutree_core::cluster` for the
+//! parallel branch-and-bound protocol of the paper. Because the simulation
+//! is deterministic, speedup experiments are exactly reproducible on any
+//! host, including a single-core one.
+//!
+//! ```
+//! use mutree_clustersim::{EventQueue, NetworkModel};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(2.0, "world");
+//! q.schedule(1.0, "hello");
+//! assert_eq!(q.pop(), Some((1.0, "hello")));
+//! assert_eq!(q.pop(), Some((2.0, "world")));
+//!
+//! let net = NetworkModel::fast_ethernet();
+//! assert!(net.delay(1500) > net.latency());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod network;
+mod queue;
+
+pub use metrics::{NodeMetrics, SimReport};
+pub use network::{ClusterSpec, NetworkModel, NodeSpec};
+pub use queue::EventQueue;

@@ -1,0 +1,101 @@
+/// Accumulated activity of one simulated node.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeMetrics {
+    /// Seconds spent computing.
+    pub busy: f64,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Work units completed.
+    pub ops: u64,
+}
+
+impl NodeMetrics {
+    /// Records `seconds` of compute covering `ops` work units.
+    pub fn record_busy(&mut self, seconds: f64, ops: u64) {
+        self.busy += seconds;
+        self.ops += ops;
+    }
+
+    /// Records an outgoing message of `bytes`.
+    pub fn record_send(&mut self, bytes: u64) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes;
+    }
+}
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimReport {
+    /// Virtual time at which the last event completed.
+    pub makespan: f64,
+    /// Per-slave metrics, indexed by slave id.
+    pub per_node: Vec<NodeMetrics>,
+}
+
+impl SimReport {
+    /// Mean fraction of the makespan the nodes spent computing
+    /// (`0.0` when the makespan is zero).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.per_node.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.per_node.iter().map(|m| m.busy).sum();
+        total / (self.makespan * self.per_node.len() as f64)
+    }
+
+    /// Total messages sent by all nodes.
+    pub fn total_messages(&self) -> u64 {
+        self.per_node.iter().map(|m| m.messages_sent).sum()
+    }
+
+    /// Total work units completed by all nodes.
+    pub fn total_ops(&self) -> u64 {
+        self.per_node.iter().map(|m| m.ops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut m = NodeMetrics::default();
+        m.record_busy(1.5, 3);
+        m.record_busy(0.5, 1);
+        m.record_send(100);
+        m.record_send(50);
+        assert_eq!(m.busy, 2.0);
+        assert_eq!(m.ops, 4);
+        assert_eq!(m.messages_sent, 2);
+        assert_eq!(m.bytes_sent, 150);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let report = SimReport {
+            makespan: 10.0,
+            per_node: vec![
+                NodeMetrics {
+                    busy: 10.0,
+                    ..Default::default()
+                },
+                NodeMetrics {
+                    busy: 5.0,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert!((report.mean_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let report = SimReport::default();
+        assert_eq!(report.mean_utilization(), 0.0);
+        assert_eq!(report.total_messages(), 0);
+        assert_eq!(report.total_ops(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A pending event at a virtual time.
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest event.
+        // Times are asserted finite at insertion, so partial_cmp is total.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("times are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A virtual-time event queue: events come out in non-decreasing time
+/// order; events scheduled for the same instant come out in scheduling
+/// order (FIFO), which keeps simulations deterministic.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at virtual time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// The time of the most recently popped event (zero initially).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute virtual `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `time` is non-finite or earlier than [`now`](Self::now)
+    /// — an event cannot be caused by the future.
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` after the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `delay` is negative or non-finite.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay.is_finite() && delay >= 0.0, "invalid delay {delay}");
+        let time = self.now + delay;
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 'c');
+        q.schedule(1.0, 'a');
+        q.schedule(2.0, 'b');
+        assert_eq!(q.pop(), Some((1.0, 'a')));
+        assert_eq!(q.pop(), Some((2.0, 'b')));
+        assert_eq!(q.pop(), Some((3.0, 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(5.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((5.0, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(2.5, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 2.5);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, "first");
+        q.pop();
+        q.schedule_in(1.5, "second");
+        assert_eq!(q.pop(), Some((3.5, "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_times() {
+        EventQueue::new().schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        q.schedule(1.0, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

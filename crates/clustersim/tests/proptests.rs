@@ -1,0 +1,59 @@
+//! Property tests of the discrete-event substrate.
+
+use mutree_clustersim::{EventQueue, NetworkModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn events_pop_in_time_then_fifo_order(times in proptest::collection::vec(0.0f64..1000.0, 1..80)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last_time = f64::NEG_INFINITY;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut current = f64::NEG_INFINITY;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t > current {
+                current = t;
+                seen_at_time.clear();
+            }
+            // FIFO among equal times: indices increase.
+            if let Some(&prev) = seen_at_time.last() {
+                prop_assert!(idx > prev);
+            }
+            seen_at_time.push(idx);
+            last_time = t;
+            prop_assert_eq!(q.now(), t);
+        }
+    }
+
+    #[test]
+    fn relative_scheduling_accumulates(delays in proptest::collection::vec(0.0f64..10.0, 1..30)) {
+        let mut q = EventQueue::new();
+        let mut expect = 0.0;
+        for (i, &d) in delays.iter().enumerate() {
+            q.schedule_in(d, i);
+            let (t, idx) = q.pop().unwrap();
+            expect += d;
+            prop_assert!((t - expect).abs() < 1e-9);
+            prop_assert_eq!(idx, i);
+        }
+    }
+
+    #[test]
+    fn network_delay_is_monotone_in_size(
+        latency in 0.0f64..0.01,
+        bandwidth in 1e3f64..1e9,
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+    ) {
+        let net = NetworkModel::new(latency, bandwidth);
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assert!(net.delay(small) <= net.delay(large));
+        prop_assert!(net.delay(0) >= latency);
+    }
+}

@@ -1,0 +1,571 @@
+//! Deterministic discrete-event simulation of the paper's cluster runs.
+//!
+//! The papers time their parallel branch-and-bound on a 16-node Linux PC
+//! cluster. To reproduce those experiments without the hardware (and
+//! deterministically, on any host), this module replays the master/slave
+//! protocol on a simulated cluster: every branch operation consumes
+//! virtual compute time, and every message — upper-bound broadcasts, work
+//! requests, work transfers and pool donations — pays the
+//! [`NetworkModel`](mutree_clustersim::NetworkModel)'s
+//! `latency + bytes/bandwidth`.
+//!
+//! The search logic is *identical* to the real drivers (same nodes, same
+//! bounds, same pruning), so the simulated optimum always matches the
+//! sequential one; only the timeline is modeled. Super-linear speedup
+//! emerges naturally: a slave that stumbles on a good incumbent early
+//! broadcasts it, and every other slave skips work the sequential search
+//! would have performed.
+//!
+//! Protocol, one virtual step per BBT node (the paper's Step 7 loop):
+//!
+//! * a slave pops from its local pool depth-first, prunes against its
+//!   *current view* of the global upper bound, branches otherwise;
+//! * an improving solution updates the slave's view immediately and is
+//!   broadcast to the master and all other slaves;
+//! * after every few branches a loaded slave donates its most promising
+//!   pending node to the master's global pool (the paper's "send the last
+//!   UT in sorted LP to GP"), which serves waiting slaves;
+//! * a slave with an empty pool sends a work request to the master and
+//!   waits;
+//! * the run ends when every slave is waiting, the global pool is empty
+//!   and no message is in flight.
+
+use std::collections::VecDeque;
+
+use mutree_bnb::{Incumbents, Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats};
+use mutree_clustersim::{ClusterSpec, EventQueue, NodeMetrics, SimReport};
+
+use crate::MutProblem;
+
+/// Cost-model hooks the simulation needs on top of [`Problem`].
+pub trait SimCost: Problem {
+    /// Work units consumed by branching `node` (child generation plus
+    /// bound evaluation).
+    fn branch_ops(&self, node: &Self::Node) -> f64;
+
+    /// Serialized size of `node` in bytes, for work-transfer messages.
+    fn node_bytes(&self, node: &Self::Node) -> u64;
+}
+
+impl SimCost for MutProblem<'_> {
+    fn branch_ops(&self, node: &Self::Node) -> f64 {
+        // 2k−1 children, each an O(k) height-path update.
+        let k = node.leaves_inserted() as f64;
+        (2.0 * k - 1.0) * k
+    }
+
+    fn node_bytes(&self, node: &Self::Node) -> u64 {
+        // Parent/children/height/leafset arrays over 2n−1 arena slots.
+        (2 * node.taxon_count() as u64 - 1) * 28
+    }
+}
+
+/// Result of a simulated run: the search outcome plus the virtual-time
+/// report.
+#[derive(Debug, Clone)]
+pub struct SimulatedOutcome<S> {
+    /// What the search found (identical in value to the real drivers).
+    pub outcome: SearchOutcome<S>,
+    /// Virtual-time measurements: makespan, per-slave busy time, message
+    /// and byte counts.
+    pub report: SimReport,
+}
+
+/// Control-message payload size (an upper bound value or a request).
+const CTRL_BYTES: u64 = 16;
+/// Work units charged for popping-and-pruning or accepting a solution.
+const TOUCH_OPS: f64 = 1.0;
+/// A slave donates to the global pool every this many branches…
+const DONATE_EVERY: u64 = 4;
+/// …as long as it keeps at least this many nodes for itself.
+const MIN_KEEP: usize = 3;
+
+enum Ev<N> {
+    /// Slave `i` is ready to process its next pool node.
+    Ready(usize),
+    /// A message arrives at slave `i`.
+    AtSlave(usize, SlaveMsg<N>),
+    /// A message from slave `i` arrives at the master.
+    AtMaster(usize, MasterMsg<N>),
+}
+
+enum SlaveMsg<N> {
+    Ub(f64),
+    Work(Vec<N>),
+}
+
+enum MasterMsg<N> {
+    Request,
+    Donate(N),
+    /// Bound broadcasts also reach the master (it only observes them, but
+    /// the message still costs wire time).
+    Ub,
+}
+
+struct Slave<N, S> {
+    lp: Vec<N>,
+    ub: f64,
+    waiting: bool,
+    branches_since_donate: u64,
+    found: Vec<(f64, S)>,
+    stats: SearchStats,
+    metrics: NodeMetrics,
+}
+
+/// Runs the search on a simulated cluster. See the module docs for the
+/// protocol. Deterministic: same inputs, same outcome, same timings.
+pub fn solve_simulated<P: SimCost>(
+    problem: &P,
+    opts: &SearchOptions,
+    spec: &ClusterSpec,
+) -> SimulatedOutcome<P::Solution> {
+    let p = spec.slave_count();
+    let mut master_stats = SearchStats::default();
+    let mut master_inc: Incumbents<P::Solution> = Incumbents::new(opts);
+    let mut seed_ub = f64::INFINITY;
+    if let Some((s, v)) = problem.initial_incumbent() {
+        master_inc.offer(v, s);
+        master_stats.incumbent_updates += 1;
+        seed_ub = v;
+    }
+
+    // --- Master seeding (the paper's Steps 1–5), charged to the master.
+    let mut seed_ops = 0.0;
+    let target = 2 * p;
+    let mut frontier = VecDeque::new();
+    frontier.push_back(problem.root());
+    let mut kids = Vec::new();
+    while frontier.len() < target {
+        let Some(node) = frontier.pop_front() else {
+            break;
+        };
+        let lb = problem.lower_bound(&node);
+        if Incumbents::<P::Solution>::prunable(lb, seed_ub, opts) {
+            master_stats.pruned += 1;
+            seed_ops += TOUCH_OPS;
+            continue;
+        }
+        if let Some((s, v)) = problem.solution(&node) {
+            master_stats.solutions_seen += 1;
+            if master_inc.offer(v, s) {
+                master_stats.incumbent_updates += 1;
+                seed_ub = seed_ub.min(v);
+            }
+            seed_ops += TOUCH_OPS;
+            continue;
+        }
+        master_stats.branched += 1;
+        seed_ops += problem.branch_ops(&node);
+        kids.clear();
+        problem.branch(&node, &mut kids);
+        for k in kids.drain(..) {
+            if Incumbents::<P::Solution>::prunable(problem.lower_bound(&k), seed_ub, opts) {
+                master_stats.pruned += 1;
+            } else {
+                frontier.push_back(k);
+            }
+        }
+    }
+
+    let t0 = seed_ops / spec.master_ops_per_sec();
+    if frontier.is_empty() {
+        return gather(
+            master_inc,
+            master_stats,
+            true,
+            SimReport {
+                makespan: t0,
+                per_node: vec![NodeMetrics::default(); p],
+            },
+            Vec::new(),
+        );
+    }
+
+    // --- Sort seeds by lower bound and deal cyclically (Step 6).
+    let mut seeds: Vec<(f64, P::Node)> = frontier
+        .into_iter()
+        .map(|n| (problem.lower_bound(&n), n))
+        .collect();
+    seeds.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are finite"));
+    let mut deals: Vec<Vec<P::Node>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, (_, node)) in seeds.into_iter().enumerate() {
+        deals[i % p].push(node);
+    }
+
+    let mut slaves: Vec<Slave<P::Node, P::Solution>> = (0..p)
+        .map(|_| Slave {
+            lp: Vec::new(),
+            ub: seed_ub,
+            waiting: false,
+            branches_since_donate: 0,
+            found: Vec::new(),
+            stats: SearchStats::default(),
+            metrics: NodeMetrics::default(),
+        })
+        .collect();
+
+    let mut q: EventQueue<Ev<P::Node>> = EventQueue::new();
+    let mut master_metrics = NodeMetrics::default();
+    master_metrics.record_busy(t0, seed_ops as u64);
+    for (i, mut batch) in deals.into_iter().enumerate() {
+        // Local pools are stacks: reverse so the best bound pops first.
+        batch.reverse();
+        let bytes: u64 = CTRL_BYTES + batch.iter().map(|n| problem.node_bytes(n)).sum::<u64>();
+        master_metrics.record_send(bytes);
+        let arrival = t0 + spec.master_slave_delay(i, bytes);
+        if batch.is_empty() {
+            q.schedule(arrival, Ev::Ready(i));
+        } else {
+            q.schedule(arrival, Ev::AtSlave(i, SlaveMsg::Work(batch)));
+        }
+    }
+
+    // --- Event loop.
+    let mut gp: Vec<P::Node> = Vec::new();
+    let mut pending_requests: VecDeque<usize> = VecDeque::new();
+    let mut total_branches = master_stats.branched;
+    let mut aborted = false;
+    let mut makespan = t0;
+
+    while let Some((now, ev)) = q.pop() {
+        makespan = makespan.max(now);
+        if aborted {
+            continue; // drain remaining events
+        }
+        match ev {
+            Ev::AtSlave(i, SlaveMsg::Ub(v)) => {
+                let s = &mut slaves[i];
+                if v < s.ub {
+                    s.ub = v;
+                }
+            }
+            Ev::AtSlave(i, SlaveMsg::Work(batch)) => {
+                // Work arrives either as the initial seeding delivery (the
+                // slave has no Ready event yet) or in response to a
+                // request (the slave is waiting); either way it can start.
+                let s = &mut slaves[i];
+                s.lp.extend(batch);
+                s.waiting = false;
+                q.schedule(now, Ev::Ready(i));
+            }
+            Ev::AtMaster(i, MasterMsg::Request) => {
+                pending_requests.push_back(i);
+                serve_requests(
+                    now,
+                    spec,
+                    &mut q,
+                    &mut gp,
+                    &mut pending_requests,
+                    &mut master_metrics,
+                    |n| problem.node_bytes(n),
+                );
+            }
+            Ev::AtMaster(_, MasterMsg::Donate(node)) => {
+                gp.push(node);
+                serve_requests(
+                    now,
+                    spec,
+                    &mut q,
+                    &mut gp,
+                    &mut pending_requests,
+                    &mut master_metrics,
+                    |n| problem.node_bytes(n),
+                );
+            }
+            Ev::AtMaster(_, MasterMsg::Ub) => {
+                // The master only observes; slaves broadcast directly.
+            }
+            Ev::Ready(i) => {
+                let Some(node) = slaves[i].lp.pop() else {
+                    let s = &mut slaves[i];
+                    if !s.waiting {
+                        s.waiting = true;
+                        s.metrics.record_send(CTRL_BYTES);
+                        q.schedule(
+                            now + spec.master_slave_delay(i, CTRL_BYTES),
+                            Ev::AtMaster(i, MasterMsg::Request),
+                        );
+                    }
+                    continue;
+                };
+                let ub = slaves[i].ub;
+                let lb = problem.lower_bound(&node);
+                if Incumbents::<P::Solution>::prunable(lb, ub, opts) {
+                    let s = &mut slaves[i];
+                    s.stats.pruned += 1;
+                    let dt = spec.compute_time(i, TOUCH_OPS);
+                    s.metrics.record_busy(dt, TOUCH_OPS as u64);
+                    q.schedule(now + dt, Ev::Ready(i));
+                    continue;
+                }
+                if let Some((sol, v)) = problem.solution(&node) {
+                    let improved;
+                    let keep;
+                    {
+                        let s = &mut slaves[i];
+                        s.stats.solutions_seen += 1;
+                        improved = v < s.ub - eps(opts, s.ub);
+                        keep = match opts.mode {
+                            SearchMode::BestOne => improved,
+                            SearchMode::AllOptimal => v <= s.ub + eps(opts, s.ub),
+                        };
+                        if keep {
+                            s.found.push((v, sol));
+                        }
+                        if improved {
+                            s.ub = v;
+                            s.stats.incumbent_updates += 1;
+                        }
+                        let dt = spec.compute_time(i, TOUCH_OPS);
+                        s.metrics.record_busy(dt, TOUCH_OPS as u64);
+                        q.schedule(now + dt, Ev::Ready(i));
+                    }
+                    if improved {
+                        // Broadcast the new bound to everyone.
+                        for other in 0..p {
+                            if other != i {
+                                slaves[i].metrics.record_send(CTRL_BYTES);
+                                q.schedule(
+                                    now + spec.slave_slave_delay(i, other, CTRL_BYTES),
+                                    Ev::AtSlave(other, SlaveMsg::Ub(v)),
+                                );
+                            }
+                        }
+                        slaves[i].metrics.record_send(CTRL_BYTES);
+                        q.schedule(
+                            now + spec.master_slave_delay(i, CTRL_BYTES),
+                            Ev::AtMaster(i, MasterMsg::Ub),
+                        );
+                    }
+                    continue;
+                }
+                if total_branches >= opts.max_branches {
+                    aborted = true;
+                    continue;
+                }
+                total_branches += 1;
+                let ops = problem.branch_ops(&node);
+                let dt = spec.compute_time(i, ops);
+                kids.clear();
+                problem.branch(&node, &mut kids);
+                let s = &mut slaves[i];
+                s.stats.branched += 1;
+                s.metrics.record_busy(dt, ops as u64);
+                for k in kids.drain(..).rev() {
+                    if Incumbents::<P::Solution>::prunable(problem.lower_bound(&k), s.ub, opts) {
+                        s.stats.pruned += 1;
+                    } else {
+                        s.lp.push(k);
+                    }
+                }
+                s.stats.peak_pool = s.stats.peak_pool.max(s.lp.len() as u64);
+                s.branches_since_donate += 1;
+                // Keep the global pool stocked (the paper's donation rule).
+                if s.branches_since_donate >= DONATE_EVERY && s.lp.len() > MIN_KEEP {
+                    s.branches_since_donate = 0;
+                    let donated = s.lp.remove(0);
+                    let bytes = CTRL_BYTES + problem.node_bytes(&donated);
+                    s.metrics.record_send(bytes);
+                    q.schedule(
+                        now + dt + spec.master_slave_delay(i, bytes),
+                        Ev::AtMaster(i, MasterMsg::Donate(donated)),
+                    );
+                }
+                q.schedule(now + dt, Ev::Ready(i));
+            }
+        }
+    }
+
+    let report = SimReport {
+        makespan,
+        per_node: slaves.iter().map(|s| s.metrics).collect(),
+    };
+    let mut stats = master_stats;
+    let mut found = Vec::new();
+    for s in slaves {
+        stats.merge(&s.stats);
+        found.extend(s.found);
+    }
+    gather(master_inc, stats, !aborted, report, found)
+}
+
+fn serve_requests<N>(
+    now: f64,
+    spec: &ClusterSpec,
+    q: &mut EventQueue<Ev<N>>,
+    gp: &mut Vec<N>,
+    pending: &mut VecDeque<usize>,
+    master_metrics: &mut NodeMetrics,
+    node_bytes: impl Fn(&N) -> u64,
+) {
+    while !pending.is_empty() && !gp.is_empty() {
+        let req = pending.pop_front().expect("checked non-empty");
+        let node = gp.pop().expect("checked non-empty");
+        let bytes = CTRL_BYTES + node_bytes(&node);
+        master_metrics.record_send(bytes);
+        q.schedule(
+            now + spec.master_slave_delay(req, bytes),
+            Ev::AtSlave(req, SlaveMsg::Work(vec![node])),
+        );
+    }
+}
+
+fn eps(opts: &SearchOptions, ub: f64) -> f64 {
+    if ub.is_finite() {
+        opts.tol * 1f64.max(ub.abs())
+    } else {
+        0.0
+    }
+}
+
+fn gather<S: Clone>(
+    mut inc: Incumbents<S>,
+    stats: SearchStats,
+    complete: bool,
+    report: SimReport,
+    found: Vec<(f64, S)>,
+) -> SimulatedOutcome<S> {
+    for (v, s) in found {
+        inc.offer(v, s);
+    }
+    let best = inc
+        .solutions
+        .iter()
+        .map(|(v, _)| *v)
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        });
+    let outcome = match best {
+        Some(bv) => SearchOutcome {
+            best_value: Some(bv),
+            solutions: inc.finish(bv),
+            stats,
+            complete,
+        },
+        None => SearchOutcome {
+            best_value: None,
+            solutions: Vec::new(),
+            stats,
+            complete,
+        },
+    };
+    SimulatedOutcome { outcome, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreeThree;
+    use mutree_bnb::solve_sequential;
+    use mutree_distmat::{gen, DistanceMatrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m6() -> DistanceMatrix {
+        let mut rng = StdRng::seed_from_u64(77);
+        gen::uniform_metric(6, 0.0, 100.0, &mut rng)
+    }
+
+    #[test]
+    fn simulated_matches_sequential_value() {
+        let m = m6();
+        let pm = m.maxmin_permutation().apply(&m);
+        let p = MutProblem::new(&pm, ThreeThree::Off, true);
+        let opts = SearchOptions::new(SearchMode::BestOne);
+        let seq = solve_sequential(&p, &opts);
+        for slaves in [1, 2, 4, 16] {
+            let sim = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(slaves));
+            assert_eq!(seq.best_value, sim.outcome.best_value, "slaves = {slaves}");
+            assert!(sim.outcome.complete);
+            assert!(sim.report.makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let m = m6();
+        let pm = m.maxmin_permutation().apply(&m);
+        let p = MutProblem::new(&pm, ThreeThree::Off, true);
+        let opts = SearchOptions::new(SearchMode::BestOne);
+        let spec = ClusterSpec::with_slaves(4);
+        let a = solve_simulated(&p, &opts, &spec);
+        let b = solve_simulated(&p, &opts, &spec);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.outcome.best_value, b.outcome.best_value);
+    }
+
+    #[test]
+    fn more_slaves_do_not_change_the_answer() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = gen::perturbed_ultrametric(8, 40.0, 0.1, &mut rng);
+        let pm = m.maxmin_permutation().apply(&m);
+        let p = MutProblem::new(&pm, ThreeThree::Off, true);
+        let opts = SearchOptions::new(SearchMode::BestOne);
+        let base = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(1));
+        for slaves in [3, 8] {
+            let sim = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(slaves));
+            assert_eq!(base.outcome.best_value, sim.outcome.best_value);
+        }
+    }
+
+    #[test]
+    fn parallelism_reduces_makespan_on_nontrivial_instances() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let m = gen::uniform_metric(10, 0.0, 100.0, &mut rng);
+        let pm = m.maxmin_permutation().apply(&m);
+        // Without the UPGMM hint the search cannot collapse during the
+        // master's seeding phase, so the slaves really run.
+        let p = MutProblem::new(&pm, ThreeThree::Off, false);
+        let opts = SearchOptions::new(SearchMode::BestOne);
+        let t1 = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(1))
+            .report
+            .makespan;
+        let t8 = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(8))
+            .report
+            .makespan;
+        assert!(
+            t8 < t1,
+            "8 slaves ({t8:.6}s) should beat 1 slave ({t1:.6}s)"
+        );
+    }
+
+    #[test]
+    fn metrics_account_messages() {
+        let m = m6();
+        let pm = m.maxmin_permutation().apply(&m);
+        let p = MutProblem::new(&pm, ThreeThree::Off, false);
+        let opts = SearchOptions::new(SearchMode::BestOne);
+        let sim = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(4));
+        // Slaves at least request more work once they drain.
+        assert!(sim.report.total_messages() > 0);
+        assert!(sim.report.total_ops() > 0);
+        assert_eq!(sim.report.per_node.len(), 4);
+    }
+
+    #[test]
+    fn budget_abort_reports_incomplete() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = gen::uniform_metric(12, 0.0, 100.0, &mut rng);
+        let pm = m.maxmin_permutation().apply(&m);
+        let p = MutProblem::new(&pm, ThreeThree::Off, false);
+        let opts = SearchOptions::new(SearchMode::BestOne).max_branches(20);
+        let sim = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(4));
+        assert!(!sim.outcome.complete);
+    }
+
+    #[test]
+    fn all_optimal_set_matches_sequential() {
+        let m = DistanceMatrix::from_rows(&[
+            vec![0.0, 6.0, 6.0],
+            vec![6.0, 0.0, 6.0],
+            vec![6.0, 6.0, 0.0],
+        ])
+        .unwrap();
+        let p = MutProblem::new(&m, ThreeThree::Off, false);
+        let opts = SearchOptions::new(SearchMode::AllOptimal);
+        let seq = solve_sequential(&p, &opts);
+        let sim = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(2));
+        assert_eq!(seq.best_value, sim.outcome.best_value);
+        assert_eq!(seq.solutions.len(), sim.outcome.solutions.len());
+    }
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+use mutree_distmat::MatrixError;
+use mutree_tree::TreeError;
+
+/// Errors from the MUT solver and the compact-set pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutError {
+    /// The exact search encodes leaf sets as 64-bit masks; matrices beyond
+    /// 64 taxa must go through the compact-set pipeline (which decomposes
+    /// them) or be reduced some other way.
+    TooManyTaxa {
+        /// Number of taxa requested.
+        n: usize,
+        /// The supported maximum for a single exact search.
+        max: usize,
+    },
+    /// The pipeline could not reduce the problem below the exact-search
+    /// limit: the matrix has too little compact structure.
+    NotDecomposable {
+        /// Number of groups the best decomposition produced.
+        groups: usize,
+        /// The exact-search limit the groups must fit within.
+        max: usize,
+    },
+    /// An underlying matrix error.
+    Matrix(MatrixError),
+    /// An underlying tree error.
+    Tree(TreeError),
+}
+
+impl fmt::Display for MutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutError::TooManyTaxa { n, max } => {
+                write!(f, "exact search supports at most {max} taxa, got {n}")
+            }
+            MutError::NotDecomposable { groups, max } => write!(
+                f,
+                "compact-set decomposition still leaves {groups} groups (limit {max})"
+            ),
+            MutError::Matrix(e) => write!(f, "matrix error: {e}"),
+            MutError::Tree(e) => write!(f, "tree error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MutError::Matrix(e) => Some(e),
+            MutError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MatrixError> for MutError {
+    fn from(e: MatrixError) -> Self {
+        MutError::Matrix(e)
+    }
+}
+
+impl From<TreeError> for MutError {
+    fn from(e: TreeError) -> Self {
+        MutError::Tree(e)
+    }
+}

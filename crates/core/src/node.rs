@@ -1,0 +1,396 @@
+use mutree_distmat::DistanceMatrix;
+use mutree_tree::UltrametricTree;
+
+const NONE: u32 = u32::MAX;
+
+/// A node of the branch-and-bound tree (BBT): an ultrametric tree over the
+/// first `k` species of a (maxmin-relabeled) matrix, with minimal heights.
+///
+/// The encoding is a flat arena sized for the complete tree so that clones
+/// — the dominant cost of branching — are straight `memcpy`s:
+///
+/// * node ids `0..n` are the leaves (id = taxon); ids `n..2n-1` are
+///   internal nodes, allocated in insertion order (inserting taxon `s`
+///   creates internal node `n + s − 1`);
+/// * each node stores its parent, children, height, and the bitmask of
+///   leaves below it (hence the 64-taxon limit of a single exact search —
+///   far beyond where exact search is computationally feasible anyway).
+///
+/// Heights are kept *minimal* for the topology at all times: inserting a
+/// leaf only updates heights along its root path, using the leaf masks to
+/// find the cross pairs each ancestor newly separates.
+#[derive(Debug, Clone)]
+pub struct PartialTree {
+    parent: Vec<u32>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    height: Vec<f64>,
+    leafset: Vec<u64>,
+    root: u32,
+    k: u32,
+    n: u32,
+    weight: f64,
+    lb: f64,
+}
+
+impl PartialTree {
+    /// The root BBT node: the unique topology over taxa `{0, 1}`, with
+    /// height `M[0,1] / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix exceeds 64 taxa (enforce via
+    /// [`MutSolver`](crate::MutSolver), which returns an error instead).
+    pub fn cherry(m: &DistanceMatrix) -> Self {
+        let n = m.len();
+        assert!(n <= 64, "PartialTree supports at most 64 taxa");
+        let cap = 2 * n - 1;
+        let mut t = PartialTree {
+            parent: vec![NONE; cap],
+            left: vec![NONE; cap],
+            right: vec![NONE; cap],
+            height: vec![0.0; cap],
+            leafset: vec![0; cap],
+            root: n as u32,
+            k: 2,
+            n: n as u32,
+            weight: 0.0,
+            lb: 0.0,
+        };
+        for leaf in 0..n {
+            t.leafset[leaf] = 1 << leaf;
+        }
+        let r = n; // first internal node
+        t.left[r] = 0;
+        t.right[r] = 1;
+        t.parent[0] = r as u32;
+        t.parent[1] = r as u32;
+        t.leafset[r] = 0b11;
+        t.height[r] = m.get(0, 1) / 2.0;
+        t.weight = m.get(0, 1);
+        t
+    }
+
+    /// Number of species inserted so far.
+    pub fn leaves_inserted(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Total number of species of the underlying matrix.
+    pub fn taxon_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether all species are inserted.
+    pub fn is_complete(&self) -> bool {
+        self.k == self.n
+    }
+
+    /// Current tree weight `ω` (minimal for the topology).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The cached lower bound (weight plus the insertion-cost suffix;
+    /// maintained by [`MutProblem`](crate::MutProblem)).
+    pub fn lower_bound(&self) -> f64 {
+        self.lb
+    }
+
+    pub(crate) fn set_lower_bound(&mut self, lb: f64) {
+        self.lb = lb;
+    }
+
+    /// All current insertion sites: inserting "above node `v`" splits the
+    /// edge from `v` to its parent (or roots a new node above the whole
+    /// tree when `v` is the root). A tree over `k` leaves has `2k − 1`
+    /// sites.
+    pub fn insertion_sites(&self) -> impl Iterator<Item = u32> + '_ {
+        let n = self.n as usize;
+        let k = self.k as usize;
+        (0..k).chain(n..n + k - 1).map(|v| v as u32)
+    }
+
+    /// Returns a copy of this tree with the next species (`taxon = k`)
+    /// inserted above node `site`, with heights and weight updated.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the tree is already complete or
+    /// `site` is not a live node.
+    pub fn insert_next(&self, m: &DistanceMatrix, site: u32) -> PartialTree {
+        debug_assert!(!self.is_complete(), "tree is already complete");
+        let s = self.k as usize; // the taxon being inserted
+        let n = self.n as usize;
+        let e = site as usize;
+        debug_assert!(
+            e < s || (n..n + s - 1).contains(&e),
+            "site {e} is not a live node"
+        );
+        let mut t = self.clone();
+        let j = n + s - 1; // the new internal node
+        let p = t.parent[e];
+        let sbit = 1u64 << s;
+
+        t.left[j] = e as u32;
+        t.right[j] = s as u32;
+        t.parent[j] = p;
+        t.parent[e] = j as u32;
+        t.parent[s] = j as u32;
+        t.leafset[j] = t.leafset[e] | sbit;
+        t.height[j] = t.height[e].max(t.max_dist_to_mask(m, s, self.leafset[e]) / 2.0);
+        if p == NONE {
+            t.root = j as u32;
+        } else {
+            let p = p as usize;
+            if t.left[p] == site {
+                t.left[p] = j as u32;
+            } else {
+                debug_assert_eq!(t.right[p], site);
+                t.right[p] = j as u32;
+            }
+        }
+
+        // Walk up from the new node, folding in the pairs (s, y) newly
+        // separated at each ancestor: exactly the leaves of the sibling
+        // subtree at that ancestor.
+        let mut child = j;
+        let mut a = p;
+        while a != NONE {
+            let ai = a as usize;
+            t.leafset[ai] |= sbit;
+            let sibling = if t.left[ai] == child as u32 {
+                t.right[ai]
+            } else {
+                t.left[ai]
+            } as usize;
+            let cand = t.max_dist_to_mask(m, s, t.leafset[sibling]) / 2.0;
+            t.height[ai] = t.height[ai].max(t.height[child]).max(cand);
+            child = ai;
+            a = t.parent[ai];
+        }
+
+        t.k += 1;
+        t.weight = t.recompute_weight();
+        t
+    }
+
+    fn max_dist_to_mask(&self, m: &DistanceMatrix, s: usize, mut mask: u64) -> f64 {
+        let mut best = 0.0f64;
+        while mask != 0 {
+            let y = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            best = best.max(m.get(s, y));
+        }
+        best
+    }
+
+    fn recompute_weight(&self) -> f64 {
+        let n = self.n as usize;
+        let k = self.k as usize;
+        let mut w = 0.0;
+        for v in (0..k).chain(n..n + k - 1) {
+            let p = self.parent[v];
+            if p != NONE {
+                w += self.height[p as usize] - self.height[v];
+            }
+        }
+        w
+    }
+
+    /// For the freshly inserted leaf `s = k − 1`, computes each earlier
+    /// leaf's position along `s`'s root path: `order[y]` is `0` for leaves
+    /// sharing `s`'s deepest ancestor, `1` for the next ancestor up, and so
+    /// on. Two leaves share their LCA with `s` iff their orders are equal,
+    /// and `LCA(y1, s)` is strictly below `LCA(y2, s)` iff
+    /// `order[y1] < order[y2]` — which is all the 3-3 rule needs.
+    pub fn root_path_orders(&self) -> Vec<u32> {
+        let s = (self.k - 1) as usize;
+        let mut order = vec![0u32; s];
+        let mut level = 0u32;
+        let mut child = self.parent[s]; // the joint node above s
+        debug_assert_ne!(child, NONE);
+        // At the joint node, the sibling subtree is everything under the
+        // joint except s itself.
+        let mut a = child;
+        while a != NONE {
+            let ai = a as usize;
+            let mut sib_mask = self.leafset[ai] & !(1u64 << s);
+            if child != a {
+                let sibling = if self.left[ai] == child {
+                    self.right[ai]
+                } else {
+                    self.left[ai]
+                } as usize;
+                sib_mask = self.leafset[sibling];
+            }
+            let mut mask = sib_mask;
+            while mask != 0 {
+                let y = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if y < s {
+                    order[y] = level;
+                }
+            }
+            // Only count leaves not yet assigned at deeper levels: the
+            // masks above are disjoint by construction (each ancestor
+            // contributes exactly its sibling subtree), except the joint
+            // node which contributes s's first siblings.
+            child = a;
+            a = self.parent[ai];
+            level += 1;
+        }
+        order
+    }
+
+    /// Converts to a full [`UltrametricTree`] (taxa keep their ids in the
+    /// matrix this tree was built against).
+    pub fn to_ultrametric(&self) -> UltrametricTree {
+        fn build(t: &PartialTree, v: usize) -> UltrametricTree {
+            if v < t.n as usize {
+                UltrametricTree::leaf(v)
+            } else {
+                let l = build(t, t.left[v] as usize);
+                let r = build(t, t.right[v] as usize);
+                UltrametricTree::join(l, r, t.height[v])
+            }
+        }
+        build(self, self.root as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m5() -> DistanceMatrix {
+        DistanceMatrix::from_rows(&[
+            vec![0.0, 9.0, 4.0, 6.0, 5.0],
+            vec![9.0, 0.0, 7.0, 8.0, 6.0],
+            vec![4.0, 7.0, 0.0, 3.0, 5.0],
+            vec![6.0, 8.0, 3.0, 0.0, 5.0],
+            vec![5.0, 6.0, 5.0, 5.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cherry_weight_and_sites() {
+        let m = m5();
+        let t = PartialTree::cherry(&m);
+        assert_eq!(t.leaves_inserted(), 2);
+        assert_eq!(t.weight(), 9.0);
+        assert_eq!(t.insertion_sites().count(), 3);
+        assert!(!t.is_complete());
+    }
+
+    #[test]
+    fn insertion_site_count_grows_correctly() {
+        let m = m5();
+        let mut t = PartialTree::cherry(&m);
+        for expect in [3usize, 5, 7] {
+            assert_eq!(t.insertion_sites().count(), expect);
+            let site = t.insertion_sites().next().unwrap();
+            t = t.insert_next(&m, site);
+        }
+        assert!(t.is_complete());
+    }
+
+    /// Every topology reachable by insertions must have the same weight as
+    /// the same topology built as an `UltrametricTree` and refit.
+    #[test]
+    fn weight_matches_fit_heights_everywhere() {
+        let m = m5();
+        // Depth-first over all insertion sequences.
+        let mut stack = vec![PartialTree::cherry(&m)];
+        let mut seen = 0;
+        while let Some(t) = stack.pop() {
+            if t.is_complete() {
+                seen += 1;
+                let mut ut = t.to_ultrametric();
+                let w = ut.fit_heights(&m);
+                assert!(
+                    (w - t.weight()).abs() < 1e-9,
+                    "incremental weight {} != refit {}",
+                    t.weight(),
+                    w
+                );
+                assert!(ut.is_feasible_for(&m, 1e-9));
+                continue;
+            }
+            let sites: Vec<u32> = t.insertion_sites().collect();
+            for site in sites {
+                stack.push(t.insert_next(&m, site));
+            }
+        }
+        // A(5) = 3 * 5 * 7 = 105 distinct insertion sequences/topologies.
+        assert_eq!(seen, 105);
+    }
+
+    #[test]
+    fn weight_never_decreases_with_insertions() {
+        let m = m5();
+        let t = PartialTree::cherry(&m);
+        for site in t.insertion_sites().collect::<Vec<_>>() {
+            let t2 = t.insert_next(&m, site);
+            assert!(t2.weight() >= t.weight() - 1e-12);
+            for site2 in t2.insertion_sites().collect::<Vec<_>>() {
+                let t3 = t2.insert_next(&m, site2);
+                assert!(t3.weight() >= t2.weight() - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn to_ultrametric_is_valid() {
+        let m = m5();
+        let mut t = PartialTree::cherry(&m);
+        while !t.is_complete() {
+            let site = t.insertion_sites().last().unwrap();
+            t = t.insert_next(&m, site);
+        }
+        let ut = t.to_ultrametric();
+        assert!(ut.validate().is_ok());
+        assert_eq!(ut.leaf_count(), 5);
+        assert!(ut.is_feasible_for(&m, 1e-9));
+    }
+
+    #[test]
+    fn root_path_orders_reflect_topology() {
+        let m = m5();
+        // Build ((0,2),1): insert 2 above leaf 0.
+        let t = PartialTree::cherry(&m).insert_next(&m, 0);
+        // s = 2; path: joint above {0,2}, then root. 0 shares the joint
+        // (order 0); 1 hangs off the root (order 1).
+        let order = t.root_path_orders();
+        assert_eq!(order, vec![0, 1]);
+
+        // Build (0,(1,2)): insert 2 above leaf 1.
+        let t = PartialTree::cherry(&m).insert_next(&m, 1);
+        assert_eq!(t.root_path_orders(), vec![1, 0]);
+
+        // Insert 2 above the root: both 0 and 1 are one level up.
+        let t = PartialTree::cherry(&m).insert_next(&m, 5);
+        assert_eq!(t.root_path_orders(), vec![0, 0]);
+    }
+
+    #[test]
+    fn heights_are_minimal_after_each_insertion() {
+        let m = m5();
+        let mut stack = vec![PartialTree::cherry(&m)];
+        while let Some(t) = stack.pop() {
+            let mut ut = t.to_ultrametric();
+            let refit = ut.fit_heights(&m);
+            assert!(
+                (refit - t.weight()).abs() < 1e-9,
+                "partial tree at k = {} not minimal",
+                t.leaves_inserted()
+            );
+            if t.leaves_inserted() < 4 {
+                for site in t.insertion_sites().collect::<Vec<_>>() {
+                    stack.push(t.insert_next(&m, site));
+                }
+            }
+        }
+    }
+}

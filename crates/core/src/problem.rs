@@ -1,0 +1,321 @@
+use mutree_bnb::Problem;
+use mutree_distmat::DistanceMatrix;
+use mutree_tree::{cluster, triples, Linkage, UltrametricTree};
+
+use crate::PartialTree;
+
+/// How aggressively to apply the 3-3 relationship rule during branching.
+///
+/// For a species triple the matrix may nominate a strict *close pair*
+/// (one distance smaller than both others); the rule discards topologies
+/// that resolve the triple differently. It is a heuristic: in the
+/// companion paper's experiments the surviving optima coincide with the
+/// unconstrained ones, but no proof guarantees it in general.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreeThree {
+    /// Do not use the rule (the PaCT paper's baseline configuration).
+    #[default]
+    Off,
+    /// Apply it only when inserting the third species — the companion
+    /// paper's Step 4.
+    InitialOnly,
+    /// Apply it at every insertion, checking all triples involving the new
+    /// species — the companion paper's proposed future-work extension.
+    Full,
+}
+
+/// The metric minimum ultrametric tree problem as a branch-and-bound
+/// [`Problem`], following Wu–Chao–Tang's Algorithm BBU.
+///
+/// The matrix **must already be maxmin-relabeled** for the lower bound to
+/// prune well (the bound stays admissible for any species order);
+/// [`MutSolver`](crate::MutSolver) handles the relabeling.
+///
+/// * **Nodes** — [`PartialTree`]s over the first `k` species, with minimal
+///   heights for their topology.
+/// * **Branching** — insert species `k` at each of the `2k − 1` sites,
+///   optionally filtered by the [`ThreeThree`] rule.
+/// * **Lower bound** — `ω(partial) + ½ Σ_{t>k} min_{i<t} M[i,t]`: each
+///   remaining species `t` eventually hangs from an ancestor of height at
+///   least `½ min_{i<t} M[i,t]` (its parent separates it from some earlier
+///   species), and those pendant edges are pairwise disjoint. The suffix
+///   sums are precomputed.
+/// * **Initial incumbent** — the UPGMM tree (complete-linkage
+///   agglomeration) with its own linkage heights, whose distances
+///   dominate the matrix — exactly the paper's Step 3 upper bound.
+pub struct MutProblem<'a> {
+    m: &'a DistanceMatrix,
+    /// `suffix[k]` = Σ_{t=k}^{n−1} min_{i<t} M[i,t] / 2; `suffix[n]` = 0.
+    suffix: Vec<f64>,
+    three_three: ThreeThree,
+    use_upgmm: bool,
+}
+
+impl<'a> MutProblem<'a> {
+    /// Wraps a (relabeled) matrix. `use_upgmm` controls whether the UPGMM
+    /// heuristic seeds the upper bound (disable to ablate Step 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix exceeds 64 taxa.
+    pub fn new(m: &'a DistanceMatrix, three_three: ThreeThree, use_upgmm: bool) -> Self {
+        let n = m.len();
+        assert!(n <= 64, "MutProblem supports at most 64 taxa");
+        let mut suffix = vec![0.0; n + 1];
+        for t in (2..n).rev() {
+            let minrow = (0..t).map(|i| m.get(i, t)).fold(f64::INFINITY, f64::min);
+            suffix[t] = suffix[t + 1] + minrow / 2.0;
+        }
+        MutProblem {
+            m,
+            suffix,
+            three_three,
+            use_upgmm,
+        }
+    }
+
+    /// The matrix this problem searches over.
+    pub fn matrix(&self) -> &DistanceMatrix {
+        self.m
+    }
+
+    fn bound_of(&self, t: &PartialTree) -> f64 {
+        t.weight() + self.suffix[t.leaves_inserted()]
+    }
+
+    /// Checks the 3-3 rule for the species inserted last: every triple
+    /// `(i, j, s)` with a strict matrix close pair must be resolved the
+    /// same way by the topology. `O(k²)` via the root-path orders of `s`.
+    fn three_three_ok(&self, t: &PartialTree) -> bool {
+        let s = t.leaves_inserted() - 1;
+        let order = t.root_path_orders();
+        for i in 0..s {
+            for j in (i + 1)..s {
+                match triples::close_pair_in_matrix(self.m, i, j, s) {
+                    None => {}
+                    Some(cp) => {
+                        let ok = if cp == (i, j) {
+                            order[i] == order[j]
+                        } else if cp == (i, s) {
+                            order[i] < order[j]
+                        } else {
+                            order[j] < order[i]
+                        };
+                        if !ok {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Problem for MutProblem<'_> {
+    type Node = PartialTree;
+    type Solution = UltrametricTree;
+
+    fn root(&self) -> PartialTree {
+        let mut t = PartialTree::cherry(self.m);
+        let lb = self.bound_of(&t);
+        t.set_lower_bound(lb);
+        t
+    }
+
+    fn lower_bound(&self, node: &PartialTree) -> f64 {
+        node.lower_bound()
+    }
+
+    fn solution(&self, node: &PartialTree) -> Option<(UltrametricTree, f64)> {
+        node.is_complete()
+            .then(|| (node.to_ultrametric(), node.weight()))
+    }
+
+    fn branch(&self, node: &PartialTree, out: &mut Vec<PartialTree>) {
+        let filter = match self.three_three {
+            ThreeThree::Off => false,
+            ThreeThree::InitialOnly => node.leaves_inserted() == 2,
+            ThreeThree::Full => true,
+        };
+        for site in node.insertion_sites() {
+            let mut child = node.insert_next(self.m, site);
+            if filter && !self.three_three_ok(&child) {
+                continue;
+            }
+            let lb = self.bound_of(&child);
+            child.set_lower_bound(lb);
+            out.push(child);
+        }
+    }
+
+    fn initial_incumbent(&self) -> Option<(UltrametricTree, f64)> {
+        if !self.use_upgmm {
+            return None;
+        }
+        // Paper-faithful: the UPGMM tree with its complete-linkage heights
+        // (Wu–Chao–Tang Step 3 uses the heuristic's own cost as UB; the
+        // search quickly re-derives the minimal heights for good
+        // topologies anyway).
+        let t = cluster(self.m, Linkage::Maximum);
+        let w = t.weight();
+        Some((t, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutree_bnb::{solve_sequential, SearchMode, SearchOptions};
+
+    fn m5() -> DistanceMatrix {
+        DistanceMatrix::from_rows(&[
+            vec![0.0, 9.0, 4.0, 6.0, 5.0],
+            vec![9.0, 0.0, 7.0, 8.0, 6.0],
+            vec![4.0, 7.0, 0.0, 3.0, 5.0],
+            vec![6.0, 8.0, 3.0, 0.0, 5.0],
+            vec![5.0, 6.0, 5.0, 5.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    /// Brute force: minimal weight over all 105 topologies.
+    fn brute_force(m: &DistanceMatrix) -> f64 {
+        let p = MutProblem::new(m, ThreeThree::Off, false);
+        let mut best = f64::INFINITY;
+        let mut stack = vec![p.root()];
+        while let Some(t) = stack.pop() {
+            if t.is_complete() {
+                best = best.min(t.weight());
+                continue;
+            }
+            for site in t.insertion_sites().collect::<Vec<_>>() {
+                stack.push(t.insert_next(m, site));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn bbu_finds_the_brute_force_optimum() {
+        let m = m5();
+        let p = MutProblem::new(&m, ThreeThree::Off, true);
+        let out = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne));
+        assert!((out.best_value.unwrap() - brute_force(&m)).abs() < 1e-9);
+        let tree = &out.solutions[0];
+        assert!(tree.is_feasible_for(&m, 1e-9));
+        assert!((tree.weight() - out.best_value.unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_is_admissible_along_paths() {
+        let m = m5();
+        let p = MutProblem::new(&m, ThreeThree::Off, false);
+        // For every partial tree, LB must not exceed the weight of any
+        // completion reachable from it.
+        fn walk(p: &MutProblem, t: &PartialTree) -> f64 {
+            if t.is_complete() {
+                return t.weight();
+            }
+            let mut best = f64::INFINITY;
+            let mut kids = Vec::new();
+            p.branch(t, &mut kids);
+            for k in kids {
+                let completion = walk(p, &k);
+                assert!(
+                    k.lower_bound() <= completion + 1e-9,
+                    "LB {} exceeds a completion of weight {}",
+                    k.lower_bound(),
+                    completion
+                );
+                best = best.min(completion);
+            }
+            best
+        }
+        let root = p.root();
+        let best = walk(&p, &root);
+        assert!(root.lower_bound() <= best + 1e-9);
+    }
+
+    #[test]
+    fn upgmm_incumbent_upper_bounds_optimum() {
+        let m = m5();
+        let p = MutProblem::new(&m, ThreeThree::Off, true);
+        let (tree, w) = p.initial_incumbent().unwrap();
+        assert!(tree.is_feasible_for(&m, 1e-9));
+        assert!(w >= brute_force(&m) - 1e-9);
+    }
+
+    #[test]
+    fn three_three_preserves_the_optimum_here() {
+        let m = m5();
+        let base = solve_sequential(
+            &MutProblem::new(&m, ThreeThree::Off, true),
+            &SearchOptions::new(SearchMode::BestOne),
+        );
+        for mode in [ThreeThree::InitialOnly, ThreeThree::Full] {
+            let constrained = solve_sequential(
+                &MutProblem::new(&m, mode, true),
+                &SearchOptions::new(SearchMode::BestOne),
+            );
+            assert_eq!(base.best_value, constrained.best_value, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn three_three_reduces_branching() {
+        let m = m5();
+        let p_off = MutProblem::new(&m, ThreeThree::Off, false);
+        let p_full = MutProblem::new(&m, ThreeThree::Full, false);
+        let node = p_off.root();
+        let mut kids_off = Vec::new();
+        let mut kids_full = Vec::new();
+        // Expand two levels and compare the generated child counts.
+        p_off.branch(&node, &mut kids_off);
+        p_full.branch(&node, &mut kids_full);
+        let count = |kids: &[PartialTree], p: &MutProblem| -> usize {
+            let mut total = kids.len();
+            let mut grand = Vec::new();
+            for k in kids {
+                grand.clear();
+                p.branch(k, &mut grand);
+                total += grand.len();
+            }
+            total
+        };
+        assert!(count(&kids_full, &p_full) < count(&kids_off, &p_off));
+    }
+
+    #[test]
+    fn all_optimal_enumerates_distinct_cooptima() {
+        // An ultrametric matrix with a tie: leaves 2 and 3 are symmetric,
+        // so at least... actually symmetric taxa still give one topology.
+        // Use a matrix with genuinely tied resolutions instead: equidistant
+        // triple.
+        let m = DistanceMatrix::from_rows(&[
+            vec![0.0, 6.0, 6.0],
+            vec![6.0, 0.0, 6.0],
+            vec![6.0, 6.0, 0.0],
+        ])
+        .unwrap();
+        let p = MutProblem::new(&m, ThreeThree::Off, false);
+        let out = solve_sequential(&p, &SearchOptions::new(SearchMode::AllOptimal));
+        // All three resolutions of the triple cost the same: both internal
+        // nodes sit at height 3, so ω = 3 + 3 + 3 + 0.
+        assert_eq!(out.solutions.len(), 3);
+        assert!((out.best_value.unwrap() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suffix_bound_matches_definition() {
+        let m = m5();
+        let p = MutProblem::new(&m, ThreeThree::Off, false);
+        // minrow[2] = min(4,7) = 4; minrow[3] = min(6,8,3) = 3;
+        // minrow[4] = min(5,6,5,5) = 5. suffix[2] = (4+3+5)/2 = 6.
+        assert!((p.suffix[2] - 6.0).abs() < 1e-12);
+        assert!((p.suffix[4] - 2.5).abs() < 1e-12);
+        assert_eq!(p.suffix[5], 0.0);
+        // Root LB = 9 + 6.
+        assert!((p.root().lower_bound() - 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,418 @@
+use mutree_bnb::{
+    solve_parallel, solve_sequential, SearchMode, SearchOptions, SearchStats, Strategy,
+};
+use mutree_clustersim::{ClusterSpec, SimReport};
+use mutree_distmat::DistanceMatrix;
+use mutree_tree::{newick, UltrametricTree};
+
+use crate::{solve_simulated, MutError, MutProblem, ThreeThree};
+
+/// Which execution backend runs the branch-and-bound search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchBackend {
+    /// Single-threaded depth-first search (Algorithm BBU as published).
+    Sequential,
+    /// Master/slave thread-parallel search with global and local pools.
+    Parallel {
+        /// Number of worker threads (the paper's slave computing nodes).
+        workers: usize,
+    },
+    /// Deterministic discrete-event simulation of the paper's PC cluster;
+    /// produces identical optima plus virtual-time measurements.
+    SimulatedCluster {
+        /// The simulated cluster configuration.
+        spec: ClusterSpec,
+    },
+}
+
+/// A solved minimum ultrametric tree instance.
+#[derive(Debug, Clone)]
+pub struct MutSolution {
+    /// An optimal ultrametric tree, taxa in the *original* matrix indexing.
+    pub tree: UltrametricTree,
+    /// Its weight — the minimum over all ultrametric trees for the matrix.
+    pub weight: f64,
+    /// All optimal trees when solving with [`SearchMode::AllOptimal`]
+    /// (deduplicated by topology); otherwise just the one tree.
+    pub trees: Vec<UltrametricTree>,
+    /// Search counters (branched, pruned, incumbent updates, …).
+    pub stats: SearchStats,
+    /// `false` when a branch budget stopped the search early, making
+    /// `weight` only an upper bound.
+    pub complete: bool,
+    /// Virtual-time measurements when the simulated-cluster backend ran.
+    pub sim: Option<SimReport>,
+}
+
+/// Builder-style front end for exact minimum ultrametric tree search.
+///
+/// ```
+/// use mutree_distmat::DistanceMatrix;
+/// use mutree_core::{MutSolver, SearchBackend, SearchMode};
+///
+/// let m = DistanceMatrix::from_rows(&[
+///     vec![0.0, 3.0, 8.0],
+///     vec![3.0, 0.0, 7.0],
+///     vec![8.0, 7.0, 0.0],
+/// ]).unwrap();
+/// let sol = MutSolver::new()
+///     .backend(SearchBackend::Parallel { workers: 2 })
+///     .mode(SearchMode::AllOptimal)
+///     .solve(&m)
+///     .unwrap();
+/// assert!(sol.tree.is_feasible_for(&m, 1e-9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MutSolver {
+    backend: SearchBackend,
+    mode: SearchMode,
+    strategy: Strategy,
+    three_three: ThreeThree,
+    max_branches: u64,
+    use_maxmin: bool,
+    use_upgmm: bool,
+}
+
+impl Default for MutSolver {
+    fn default() -> Self {
+        MutSolver::new()
+    }
+}
+
+impl MutSolver {
+    /// A sequential, best-one solver with maxmin relabeling, the UPGMM
+    /// initial bound and no 3-3 rule — Algorithm BBU's published
+    /// configuration.
+    pub fn new() -> Self {
+        MutSolver {
+            backend: SearchBackend::Sequential,
+            mode: SearchMode::BestOne,
+            strategy: Strategy::DepthFirst,
+            three_three: ThreeThree::Off,
+            max_branches: u64::MAX,
+            use_maxmin: true,
+            use_upgmm: true,
+        }
+    }
+
+    /// Selects the execution backend.
+    pub fn backend(mut self, backend: SearchBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Find one optimum or enumerate all of them.
+    pub fn mode(mut self, mode: SearchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the sequential backend's node-selection strategy (the
+    /// parallel and simulated backends always run depth-first per worker,
+    /// as the papers do).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the 3-3 relationship pruning strength.
+    pub fn three_three(mut self, rule: ThreeThree) -> Self {
+        self.three_three = rule;
+        self
+    }
+
+    /// Caps the number of branch operations; an exceeded cap is reported
+    /// via [`MutSolution::complete`].
+    pub fn max_branches(mut self, limit: u64) -> Self {
+        self.max_branches = limit;
+        self
+    }
+
+    /// Disables the maxmin relabeling (ablation; hurts the lower bound).
+    pub fn without_maxmin(mut self) -> Self {
+        self.use_maxmin = false;
+        self
+    }
+
+    /// Disables the UPGMM initial incumbent (ablation; the first bound
+    /// then comes from the first completed leaf).
+    pub fn without_upgmm(mut self) -> Self {
+        self.use_upgmm = false;
+        self
+    }
+
+    /// Solves the minimum ultrametric tree problem for `m`.
+    ///
+    /// # Errors
+    ///
+    /// [`MutError::TooManyTaxa`] beyond 64 taxa — use
+    /// [`CompactPipeline`](crate::CompactPipeline) there.
+    pub fn solve(&self, m: &DistanceMatrix) -> Result<MutSolution, MutError> {
+        let n = m.len();
+        if n > 64 {
+            return Err(MutError::TooManyTaxa { n, max: 64 });
+        }
+
+        // Step 1: maxmin relabeling.
+        let (pm, order): (DistanceMatrix, Vec<usize>) = if self.use_maxmin {
+            let perm = m.maxmin_permutation();
+            (perm.apply(m), perm.order().to_vec())
+        } else {
+            (m.clone(), (0..n).collect())
+        };
+
+        let problem = MutProblem::new(&pm, self.three_three, self.use_upgmm);
+        let opts = SearchOptions::new(self.mode)
+            .max_branches(self.max_branches)
+            .strategy(self.strategy);
+
+        let (outcome, sim) = match &self.backend {
+            SearchBackend::Sequential => (solve_sequential(&problem, &opts), None),
+            SearchBackend::Parallel { workers } => {
+                (solve_parallel(&problem, &opts, *workers), None)
+            }
+            SearchBackend::SimulatedCluster { spec } => {
+                let out = solve_simulated(&problem, &opts, spec);
+                (out.outcome, Some(out.report))
+            }
+        };
+
+        let weight = outcome
+            .best_value
+            .expect("a feasible UT always exists (UPGMM or exhaustive leaf)");
+
+        // Map taxa back to the original indexing and deduplicate by
+        // topology (the UPGMM incumbent can coincide with a search tree).
+        let mut trees: Vec<UltrametricTree> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for mut t in outcome.solutions {
+            t.map_taxa(|permuted| order[permuted]);
+            let canon = canonical_form(&t);
+            if seen.insert(canon) {
+                trees.push(t);
+            }
+        }
+        assert!(!trees.is_empty(), "search returned a value but no tree");
+        let tree = trees[0].clone();
+        Ok(MutSolution {
+            tree,
+            weight,
+            trees,
+            stats: outcome.stats,
+            complete: outcome.complete,
+            sim,
+        })
+    }
+}
+
+/// A topology-canonical string: Newick with children ordered by smallest
+/// descendant taxon and no branch lengths. Two trees get the same form iff
+/// they have the same leaf-labeled topology.
+fn canonical_form(t: &UltrametricTree) -> String {
+    fn rec(t: &UltrametricTree, id: mutree_tree::NodeId) -> (usize, String) {
+        match t.kind(id) {
+            mutree_tree::NodeKind::Leaf(taxon) => (taxon, format!("{taxon}")),
+            mutree_tree::NodeKind::Internal(a, b) => {
+                let (ma, sa) = rec(t, a);
+                let (mb, sb) = rec(t, b);
+                if ma <= mb {
+                    (ma, format!("({sa},{sb})"))
+                } else {
+                    (mb, format!("({sb},{sa})"))
+                }
+            }
+        }
+    }
+    rec(t, t.root()).1
+}
+
+/// Formats a solution's tree as Newick with the matrix's taxon labels.
+pub fn solution_newick(sol: &MutSolution, m: &DistanceMatrix) -> String {
+    newick::to_newick_with(&sol.tree, |t| m.label(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutree_distmat::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m5() -> DistanceMatrix {
+        DistanceMatrix::from_rows(&[
+            vec![0.0, 9.0, 4.0, 6.0, 5.0],
+            vec![9.0, 0.0, 7.0, 8.0, 6.0],
+            vec![4.0, 7.0, 0.0, 3.0, 5.0],
+            vec![6.0, 8.0, 3.0, 0.0, 5.0],
+            vec![5.0, 6.0, 5.0, 5.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn backends_agree_on_optimum() {
+        let m = m5();
+        let seq = MutSolver::new().solve(&m).unwrap();
+        let par = MutSolver::new()
+            .backend(SearchBackend::Parallel { workers: 3 })
+            .solve(&m)
+            .unwrap();
+        let sim = MutSolver::new()
+            .backend(SearchBackend::SimulatedCluster {
+                spec: ClusterSpec::with_slaves(4),
+            })
+            .solve(&m)
+            .unwrap();
+        assert!((seq.weight - par.weight).abs() < 1e-9);
+        assert!((seq.weight - sim.weight).abs() < 1e-9);
+        assert!(sim.sim.is_some());
+        assert!(seq.tree.is_feasible_for(&m, 1e-9));
+        assert!(par.tree.is_feasible_for(&m, 1e-9));
+        assert!(sim.tree.is_feasible_for(&m, 1e-9));
+    }
+
+    #[test]
+    fn backends_agree_on_random_matrices() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..5 {
+            let m = gen::uniform_metric(8, 0.0, 100.0, &mut rng);
+            let seq = MutSolver::new().solve(&m).unwrap();
+            let par = MutSolver::new()
+                .backend(SearchBackend::Parallel { workers: 4 })
+                .solve(&m)
+                .unwrap();
+            assert!(
+                (seq.weight - par.weight).abs() < 1e-6,
+                "trial {trial}: {} vs {}",
+                seq.weight,
+                par.weight
+            );
+        }
+    }
+
+    #[test]
+    fn all_optimal_sets_agree_across_backends() {
+        let m = m5();
+        let solve = |backend| {
+            let mut sol = MutSolver::new()
+                .backend(backend)
+                .mode(SearchMode::AllOptimal)
+                .solve(&m)
+                .unwrap();
+            let mut forms: Vec<String> = sol.trees.iter().map(super::canonical_form).collect();
+            forms.sort();
+            sol.trees.clear();
+            (sol.weight, forms)
+        };
+        let (w_seq, seq) = solve(SearchBackend::Sequential);
+        let (w_par, par) = solve(SearchBackend::Parallel { workers: 3 });
+        let (w_sim, sim) = solve(SearchBackend::SimulatedCluster {
+            spec: ClusterSpec::with_slaves(3),
+        });
+        assert!((w_seq - w_par).abs() < 1e-9);
+        assert!((w_seq - w_sim).abs() < 1e-9);
+        assert_eq!(seq, par);
+        assert_eq!(seq, sim);
+        assert!(!seq.is_empty());
+    }
+
+    #[test]
+    fn best_first_strategy_agrees() {
+        let m = m5();
+        let dfs = MutSolver::new().solve(&m).unwrap();
+        let bfs = MutSolver::new()
+            .strategy(Strategy::BestFirst)
+            .solve(&m)
+            .unwrap();
+        assert!((dfs.weight - bfs.weight).abs() < 1e-9);
+        assert!(bfs.stats.branched <= dfs.stats.branched);
+    }
+
+    #[test]
+    fn maxmin_off_still_correct() {
+        let m = m5();
+        let a = MutSolver::new().solve(&m).unwrap();
+        let b = MutSolver::new().without_maxmin().solve(&m).unwrap();
+        assert!((a.weight - b.weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upgmm_off_still_correct_but_slower() {
+        let m = m5();
+        let a = MutSolver::new().solve(&m).unwrap();
+        let b = MutSolver::new().without_upgmm().solve(&m).unwrap();
+        assert!((a.weight - b.weight).abs() < 1e-9);
+        assert!(b.stats.branched >= a.stats.branched);
+    }
+
+    #[test]
+    fn two_taxa_instance() {
+        let m = DistanceMatrix::from_rows(&[vec![0.0, 4.0], vec![4.0, 0.0]]).unwrap();
+        let sol = MutSolver::new().solve(&m).unwrap();
+        assert_eq!(sol.weight, 4.0);
+        assert_eq!(sol.tree.leaf_count(), 2);
+    }
+
+    #[test]
+    fn sixty_four_taxa_boundary_works() {
+        // The leaf-set bitmask uses all 64 bits at the engine limit; an
+        // ultrametric input keeps the search trivial so this stays fast.
+        let mut rng = StdRng::seed_from_u64(64);
+        let m = gen::random_ultrametric(64, 100.0, &mut rng);
+        let sol = MutSolver::new().solve(&m).unwrap();
+        assert_eq!(sol.tree.leaf_count(), 64);
+        assert_eq!(sol.tree.distance_matrix().max_relative_deviation(&m), 0.0);
+    }
+
+    #[test]
+    fn too_many_taxa_is_an_error() {
+        let m = DistanceMatrix::zeros(65).unwrap();
+        assert!(matches!(
+            MutSolver::new().solve(&m),
+            Err(MutError::TooManyTaxa { n: 65, max: 64 })
+        ));
+    }
+
+    #[test]
+    fn optimum_on_ultrametric_matrix_reproduces_it() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = gen::random_ultrametric(9, 50.0, &mut rng);
+        let sol = MutSolver::new().solve(&m).unwrap();
+        // The generating tree is itself feasible with weight equal to the
+        // matrix's own ultrametric tree; the optimum reproduces exact
+        // distances.
+        assert_eq!(sol.tree.distance_matrix().max_relative_deviation(&m), 0.0);
+    }
+
+    #[test]
+    fn newick_output_uses_labels() {
+        let mut m = m5();
+        m.set_labels(["a", "b", "c", "d", "e"]);
+        let sol = MutSolver::new().solve(&m).unwrap();
+        let nw = solution_newick(&sol, &m);
+        for l in ["a", "b", "c", "d", "e"] {
+            assert!(nw.contains(l), "{nw}");
+        }
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_topologies() {
+        let t1 = UltrametricTree::join(
+            UltrametricTree::cherry(0, 1, 1.0),
+            UltrametricTree::leaf(2),
+            2.0,
+        );
+        let t2 = UltrametricTree::join(
+            UltrametricTree::cherry(0, 2, 1.0),
+            UltrametricTree::leaf(1),
+            2.0,
+        );
+        let t1_flipped = UltrametricTree::join(
+            UltrametricTree::leaf(2),
+            UltrametricTree::cherry(1, 0, 1.0),
+            9.0,
+        );
+        assert_ne!(canonical_form(&t1), canonical_form(&t2));
+        assert_eq!(canonical_form(&t1), canonical_form(&t1_flipped));
+    }
+}

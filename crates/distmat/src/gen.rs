@@ -1,0 +1,181 @@
+//! Random distance-matrix generators for experiments.
+//!
+//! Two families match the paper's workloads:
+//!
+//! * [`uniform_metric`] — "randomly generated species matrix" with values in
+//!   a range such as `0..100`, made metric by Floyd–Warshall closure (the
+//!   paper assumes the triangle inequality holds for its inputs);
+//! * [`perturbed_ultrametric`] — clock-like matrices with bounded relative
+//!   noise, structurally similar to distance matrices computed from real
+//!   mitochondrial DNA (near-ultrametric with clustered subfamilies).
+//!
+//! All generators are deterministic given the caller's RNG, so experiments
+//! are reproducible from a seed.
+
+use rand::Rng;
+
+use crate::DistanceMatrix;
+
+/// Generates a symmetric matrix with off-diagonal entries uniform in
+/// `[lo, hi)`, then applies [`DistanceMatrix::metric_closure`] so the result
+/// is a metric.
+///
+/// # Panics
+///
+/// Panics when `n < 2` or the range is empty or negative.
+pub fn uniform_metric<R: Rng + ?Sized>(n: usize, lo: f64, hi: f64, rng: &mut R) -> DistanceMatrix {
+    assert!(n >= 2, "need at least two taxa");
+    assert!(0.0 <= lo && lo < hi, "need 0 <= lo < hi");
+    let mut m = DistanceMatrix::zeros(n).expect("n >= 2");
+    for i in 1..n {
+        for j in 0..i {
+            // Keep distances strictly positive so taxa stay distinguishable.
+            let v = rng.gen_range(lo..hi).max(f64::MIN_POSITIVE);
+            m.set(i, j, v);
+        }
+    }
+    m.metric_closure()
+}
+
+/// Generates an exactly ultrametric matrix by drawing a random rooted binary
+/// tree shape and monotone node heights, then reading off leaf distances
+/// `2 · height(LCA)`.
+///
+/// `max_height` bounds the root height; heights shrink geometrically toward
+/// the leaves, giving clustered, clock-like matrices.
+///
+/// # Panics
+///
+/// Panics when `n < 2` or `max_height <= 0`.
+pub fn random_ultrametric<R: Rng + ?Sized>(
+    n: usize,
+    max_height: f64,
+    rng: &mut R,
+) -> DistanceMatrix {
+    assert!(n >= 2, "need at least two taxa");
+    assert!(max_height > 0.0, "max_height must be positive");
+
+    // Random agglomeration: repeatedly join two random clusters; the join
+    // created at step k (out of n-1) gets a height drawn within a window
+    // that grows with k, keeping heights monotone along root paths.
+    struct Cluster {
+        leaves: Vec<usize>,
+        height: f64,
+    }
+    let mut clusters: Vec<Cluster> = (0..n)
+        .map(|i| Cluster {
+            leaves: vec![i],
+            height: 0.0,
+        })
+        .collect();
+    let mut m = DistanceMatrix::zeros(n).expect("n >= 2");
+    let mut floor = 0.0f64;
+    while clusters.len() > 1 {
+        let a = rng.gen_range(0..clusters.len());
+        let mut b = rng.gen_range(0..clusters.len() - 1);
+        if b >= a {
+            b += 1;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let cb = clusters.swap_remove(b);
+        let ca = &mut clusters[a];
+        let low = floor.max(ca.height).max(cb.height);
+        // Strictly above every prior join so the matrix is generically
+        // ultrametric with distinct internal heights.
+        let height = rng
+            .gen_range((low + 1e-9)..(low + 1e-9 + max_height / n as f64).max(low * 1.0001 + 1e-9));
+        for &i in &ca.leaves {
+            for &j in &cb.leaves {
+                m.set(i, j, 2.0 * height);
+            }
+        }
+        ca.leaves.extend(cb.leaves);
+        ca.height = height;
+        floor = height;
+    }
+    m
+}
+
+/// Generates a near-ultrametric matrix: [`random_ultrametric`] distances,
+/// each multiplied by an independent factor uniform in
+/// `[1 − noise, 1 + noise]`, then metric closure.
+///
+/// With `noise` around `0.05–0.15` the result behaves like edit-distance
+/// matrices from clock-like molecular data: almost ultrametric, strongly
+/// clustered, metric.
+///
+/// # Panics
+///
+/// Panics when `n < 2`, `max_height <= 0`, or `noise` is outside `[0, 1)`.
+pub fn perturbed_ultrametric<R: Rng + ?Sized>(
+    n: usize,
+    max_height: f64,
+    noise: f64,
+    rng: &mut R,
+) -> DistanceMatrix {
+    assert!((0.0..1.0).contains(&noise), "noise must be in [0, 1)");
+    let mut m = random_ultrametric(n, max_height, rng);
+    if noise > 0.0 {
+        for i in 1..n {
+            for j in 0..i {
+                let f = rng.gen_range((1.0 - noise)..(1.0 + noise));
+                m.set(i, j, m.get(i, j) * f);
+            }
+        }
+        m = m.metric_closure();
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_metric_is_metric_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = uniform_metric(12, 0.0, 100.0, &mut rng);
+        assert!(m.is_metric(1e-9));
+        assert!(m.max_distance() < 100.0);
+        assert!(m.min_distance() > 0.0);
+    }
+
+    #[test]
+    fn uniform_metric_deterministic_per_seed() {
+        let a = uniform_metric(8, 0.0, 100.0, &mut StdRng::seed_from_u64(1));
+        let b = uniform_metric(8, 0.0, 100.0, &mut StdRng::seed_from_u64(1));
+        let c = uniform_metric(8, 0.0, 100.0, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_ultrametric_is_ultrametric() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2, 3, 5, 17] {
+            let m = random_ultrametric(n, 50.0, &mut rng);
+            assert!(m.is_ultrametric(1e-9), "n = {n}");
+            assert!(m.is_metric(1e-9), "n = {n}");
+            assert!(m.min_distance() > 0.0, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn perturbed_is_metric_but_usually_not_ultrametric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = perturbed_ultrametric(15, 50.0, 0.1, &mut rng);
+        assert!(m.is_metric(1e-9));
+        // With 10% noise on 15 taxa, exact ultrametricity is essentially
+        // impossible.
+        assert!(!m.is_ultrametric(1e-9));
+    }
+
+    #[test]
+    fn zero_noise_preserves_ultrametricity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = perturbed_ultrametric(10, 50.0, 0.0, &mut rng);
+        assert!(m.is_ultrametric(1e-9));
+    }
+}

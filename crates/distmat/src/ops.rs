@@ -1,0 +1,286 @@
+use crate::DistanceMatrix;
+
+/// A maxmin permutation of the taxa of a matrix, as required by the
+/// Wu–Chao–Tang branch-and-bound lower bound (their Step 1, "relabel the
+/// species such that (1, 2, …, n) is a maxmin permutation").
+///
+/// A permutation `π` is *maxmin* when `M[π₀, π₁]` is the maximum distance in
+/// the matrix and, for every `k ≥ 2`, taxon `π_k` maximizes
+/// `min_{i < k} M[π_i, π_k]` among the remaining taxa. Inserting species in
+/// this order makes the per-species lower-bound contributions as large as
+/// possible as early as possible, which tightens pruning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxminPermutation {
+    order: Vec<usize>,
+}
+
+impl MaxminPermutation {
+    /// Computes a maxmin permutation greedily in `O(n²)`.
+    ///
+    /// Ties break toward smaller taxon indices, so the result is
+    /// deterministic.
+    pub fn compute(m: &DistanceMatrix) -> Self {
+        let n = m.len();
+        let (a, b, _) = m.max_pair();
+        let mut order = Vec::with_capacity(n);
+        order.push(a);
+        order.push(b);
+        let mut chosen = vec![false; n];
+        chosen[a] = true;
+        chosen[b] = true;
+        // min_to_chosen[t] = min distance from t to any already-chosen taxon.
+        let mut min_to_chosen: Vec<f64> = (0..n).map(|t| m.get(t, a).min(m.get(t, b))).collect();
+        for _ in 2..n {
+            let mut best: Option<usize> = None;
+            for t in 0..n {
+                if chosen[t] {
+                    continue;
+                }
+                match best {
+                    None => best = Some(t),
+                    Some(cur) if min_to_chosen[t] > min_to_chosen[cur] => best = Some(t),
+                    _ => {}
+                }
+            }
+            let t = best.expect("unchosen taxon exists");
+            chosen[t] = true;
+            order.push(t);
+            for u in 0..n {
+                if !chosen[u] {
+                    min_to_chosen[u] = min_to_chosen[u].min(m.get(u, t));
+                }
+            }
+        }
+        MaxminPermutation { order }
+    }
+
+    /// The permutation: `order()[k]` is the original index of the taxon that
+    /// becomes taxon `k` after relabeling.
+    #[inline]
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Applies the permutation to the matrix it was computed from.
+    pub fn apply(&self, m: &DistanceMatrix) -> DistanceMatrix {
+        m.permute(&self.order)
+    }
+
+    /// Checks the maxmin property on a matrix, within additive tolerance
+    /// `tol`. Mostly useful in tests.
+    pub fn is_maxmin_for(&self, m: &DistanceMatrix, tol: f64) -> bool {
+        let n = m.len();
+        if self.order.len() != n {
+            return false;
+        }
+        let o = &self.order;
+        if m.get(o[0], o[1]) + tol < m.max_distance() {
+            return false;
+        }
+        for k in 2..n {
+            let mink = (0..k)
+                .map(|i| m.get(o[i], o[k]))
+                .fold(f64::INFINITY, f64::min);
+            for t in (k + 1)..n {
+                let mint = (0..k)
+                    .map(|i| m.get(o[i], o[t]))
+                    .fold(f64::INFINITY, f64::min);
+                if mint > mink + tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl DistanceMatrix {
+    /// Convenience wrapper around [`MaxminPermutation::compute`].
+    pub fn maxmin_permutation(&self) -> MaxminPermutation {
+        MaxminPermutation::compute(self)
+    }
+
+    /// The *subdominant ultrametric* of the matrix: the largest ultrametric
+    /// dominated by it, given by minimax path distances
+    /// `d'(i, j) = min over paths p from i to j of max edge on p`
+    /// (a Floyd–Warshall pass with `(max, min)` in place of `(+, min)`).
+    ///
+    /// This is exactly the leaf-distance matrix of the single-linkage
+    /// dendrogram, and it lower-bounds every ultrametric matrix below `M` —
+    /// the classical dual of the minimum ultrametric tree problem (which
+    /// asks for a cheap ultrametric *above* `M`).
+    pub fn subdominant_ultrametric(&self) -> DistanceMatrix {
+        let n = self.len();
+        let mut full: Vec<f64> = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                full.push(self.get(i, j));
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = full[i * n + k];
+                for j in 0..n {
+                    let through = dik.max(full[k * n + j]);
+                    if through < full[i * n + j] {
+                        full[i * n + j] = through;
+                    }
+                }
+            }
+        }
+        let mut out = self.clone();
+        for i in 1..n {
+            for j in 0..i {
+                out.set(i, j, full[i * n + j]);
+            }
+        }
+        out
+    }
+
+    /// Whether the matrix satisfies the **four-point condition** — for
+    /// every quadruple, the two largest of the three pairings
+    /// `d(i,j)+d(k,l)`, `d(i,k)+d(j,l)`, `d(i,l)+d(j,k)` are equal within
+    /// `tol`. Additive matrices are exactly those realizable by an
+    /// edge-weighted tree (neighbor joining recovers them exactly);
+    /// every ultrametric matrix is additive. `O(n⁴)`.
+    pub fn is_additive(&self, tol: f64) -> bool {
+        let n = self.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for k in (j + 1)..n {
+                    for l in (k + 1)..n {
+                        let mut s = [
+                            self.get(i, j) + self.get(k, l),
+                            self.get(i, k) + self.get(j, l),
+                            self.get(i, l) + self.get(j, k),
+                        ];
+                        s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                        if (s[2] - s[1]).abs() > tol {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DistanceMatrix {
+        DistanceMatrix::from_rows(&[
+            vec![0.0, 4.0, 2.0, 9.0, 5.0, 8.0],
+            vec![4.0, 0.0, 4.0, 9.0, 5.0, 8.0],
+            vec![2.0, 4.0, 0.0, 9.0, 5.0, 8.0],
+            vec![9.0, 9.0, 9.0, 0.0, 9.0, 3.0],
+            vec![5.0, 5.0, 5.0, 9.0, 0.0, 8.0],
+            vec![8.0, 8.0, 8.0, 3.0, 8.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn starts_with_max_pair() {
+        let m = sample();
+        let p = m.maxmin_permutation();
+        let o = p.order();
+        assert_eq!(m.get(o[0], o[1]), 9.0);
+    }
+
+    #[test]
+    fn satisfies_maxmin_property() {
+        let m = sample();
+        let p = m.maxmin_permutation();
+        assert!(p.is_maxmin_for(&m, 1e-9));
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        let m = sample();
+        let p = m.maxmin_permutation();
+        let mut sorted = p.order().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn apply_matches_permute() {
+        let m = sample();
+        let p = m.maxmin_permutation();
+        assert_eq!(p.apply(&m), m.permute(p.order()));
+    }
+
+    #[test]
+    fn detects_non_maxmin() {
+        let m = sample();
+        let bad = MaxminPermutation {
+            order: vec![0, 1, 2, 3, 4, 5],
+        };
+        // (0, 1) has distance 4 < max distance 9.
+        assert!(!bad.is_maxmin_for(&m, 1e-9));
+    }
+
+    #[test]
+    fn subdominant_is_ultrametric_and_dominated() {
+        let m = sample();
+        let u = m.subdominant_ultrametric();
+        assert!(u.is_ultrametric(1e-9));
+        for (i, j, d) in u.pairs() {
+            assert!(d <= m.get(i, j) + 1e-12);
+        }
+        // Idempotent on ultrametric input.
+        assert_eq!(u.subdominant_ultrametric(), u);
+    }
+
+    #[test]
+    fn subdominant_uses_minimax_paths() {
+        let mut m = DistanceMatrix::zeros(3).unwrap();
+        m.set(0, 1, 1.0);
+        m.set(1, 2, 2.0);
+        m.set(0, 2, 10.0); // the path 0-1-2 has max edge 2
+        let u = m.subdominant_ultrametric();
+        assert_eq!(u.get(0, 2), 2.0);
+        assert_eq!(u.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn four_point_condition() {
+        // An additive (tree-realizable) but non-ultrametric matrix.
+        let additive = DistanceMatrix::from_rows(&[
+            vec![0.0, 5.0, 9.0, 9.0],
+            vec![5.0, 0.0, 10.0, 10.0],
+            vec![9.0, 10.0, 0.0, 8.0],
+            vec![9.0, 10.0, 8.0, 0.0],
+        ])
+        .unwrap();
+        assert!(additive.is_additive(1e-9));
+        assert!(!additive.is_ultrametric(1e-9));
+
+        // Ultrametric ⊂ additive.
+        let um = DistanceMatrix::from_rows(&[
+            vec![0.0, 2.0, 8.0, 8.0],
+            vec![2.0, 0.0, 8.0, 8.0],
+            vec![8.0, 8.0, 0.0, 4.0],
+            vec![8.0, 8.0, 4.0, 0.0],
+        ])
+        .unwrap();
+        assert!(um.is_additive(1e-9));
+
+        // Perturbing a distance that participates in the two dominant
+        // pairing sums breaks the condition.
+        let mut bad = additive.clone();
+        bad.set(0, 2, 12.0);
+        assert!(!bad.is_additive(1e-9));
+    }
+
+    #[test]
+    fn two_taxa_trivial() {
+        let m = DistanceMatrix::from_rows(&[vec![0.0, 5.0], vec![5.0, 0.0]]).unwrap();
+        let p = m.maxmin_permutation();
+        assert!(p.is_maxmin_for(&m, 1e-9));
+        assert_eq!(p.order().len(), 2);
+    }
+}

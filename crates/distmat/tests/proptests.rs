@@ -1,0 +1,104 @@
+//! Property tests of the distance-matrix invariants.
+
+use mutree_distmat::{gen, io, DistanceMatrix, MaxminPermutation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_matrix(max_n: usize) -> impl Strategy<Value = DistanceMatrix> {
+    (2..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = DistanceMatrix::zeros(n).unwrap();
+        for i in 1..n {
+            for j in 0..i {
+                m.set(i, j, rand::Rng::gen_range(&mut rng, 0.5..100.0));
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn condensed_roundtrip(m in arb_matrix(12)) {
+        let again = DistanceMatrix::from_condensed(m.len(), m.condensed().to_vec()).unwrap();
+        prop_assert_eq!(&m, &again);
+    }
+
+    #[test]
+    fn permutation_composes_to_identity(m in arb_matrix(10), seed in any::<u64>()) {
+        let n = m.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Fisher–Yates with the seeded rng.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..n).rev() {
+            let j = rand::Rng::gen_range(&mut rng, 0..=i);
+            perm.swap(i, j);
+        }
+        let permuted = m.permute(&perm);
+        // Inverse permutation restores the original.
+        let mut inv = vec![0usize; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        prop_assert_eq!(permuted.permute(&inv), m);
+    }
+
+    #[test]
+    fn closure_is_idempotent_and_dominated(m in arb_matrix(10)) {
+        let c1 = m.metric_closure();
+        let c2 = c1.metric_closure();
+        prop_assert!(c1.is_metric(1e-9));
+        // Idempotent up to floating-point ulps: a second pass may shave a
+        // last-bit triangle violation left by summation rounding.
+        prop_assert!(c1.max_relative_deviation(&c2) < 1e-12);
+        for (i, j, d) in c1.pairs() {
+            prop_assert!(d <= m.get(i, j) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn submatrix_preserves_entries(m in arb_matrix(10)) {
+        let n = m.len();
+        if n < 4 {
+            return Ok(());
+        }
+        let taxa = [0usize, n / 2, n - 1];
+        let s = m.submatrix(&taxa).unwrap();
+        for (a, &ta) in taxa.iter().enumerate() {
+            for (b, &tb) in taxa.iter().enumerate() {
+                prop_assert_eq!(s.get(a, b), m.get(ta, tb));
+            }
+        }
+    }
+
+    #[test]
+    fn phylip_roundtrip(m in arb_matrix(8)) {
+        let mut labeled = m.clone();
+        labeled.set_labels((0..m.len()).map(|i| format!("sp{i}")));
+        let text = io::to_phylip(&labeled);
+        let parsed = io::parse_phylip(&text).unwrap();
+        prop_assert_eq!(parsed.len(), labeled.len());
+        for (i, j, d) in labeled.pairs() {
+            prop_assert!((parsed.get(i, j) - d).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn maxmin_is_maxmin(n in 2usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::uniform_metric(n, 1.0, 50.0, &mut rng);
+        let p = MaxminPermutation::compute(&m);
+        prop_assert!(p.is_maxmin_for(&m, 1e-9));
+    }
+
+    #[test]
+    fn ultrametric_generator_beats_its_own_check(n in 2usize..16, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::random_ultrametric(n, 30.0, &mut rng);
+        prop_assert!(m.is_ultrametric(1e-9));
+        prop_assert!(m.is_metric(1e-9));
+    }
+}

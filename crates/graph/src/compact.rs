@@ -1,0 +1,459 @@
+use mutree_distmat::DistanceMatrix;
+
+use crate::{kruskal, WeightedGraph};
+
+/// A compact set: a vertex subset whose largest internal distance is smaller
+/// than its smallest escaping distance (`Max(C) < Min(C, V ∖ C)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactSet {
+    members: Vec<usize>,
+    max_internal: f64,
+    min_crossing: f64,
+}
+
+impl CompactSet {
+    /// The member vertices, sorted ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Compact sets always have at least two members here, so this is
+    /// always `false`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `Max(C)`: the largest pairwise distance inside the set.
+    pub fn max_internal(&self) -> f64 {
+        self.max_internal
+    }
+
+    /// `Min(C, V ∖ C)`: the smallest distance from a member to a
+    /// non-member.
+    pub fn min_crossing(&self) -> f64 {
+        self.min_crossing
+    }
+
+    /// Whether `other ⊆ self`.
+    pub fn contains_set(&self, other: &CompactSet) -> bool {
+        // Both member lists are sorted.
+        let mut it = self.members.iter().peekable();
+        'outer: for x in &other.members {
+            for y in it.by_ref() {
+                match y.cmp(x) {
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// All *proper* compact sets of a distance matrix: sets with at least two
+/// members and fewer than all of them. Singletons and the full vertex set
+/// are compact by convention and are omitted.
+///
+/// Sets are stored in detection order (ascending merge weight), which places
+/// every set after all of its subsets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactSets {
+    n: usize,
+    sets: Vec<CompactSet>,
+}
+
+impl CompactSets {
+    /// Runs the paper's compact-set algorithm (§3.1):
+    ///
+    /// 1. build the minimum spanning tree of the complete distance graph
+    ///    (Kruskal, so the edges come out weight-sorted);
+    /// 2. process MST edges in ascending order, merging their endpoint
+    ///    components;
+    /// 3. after each merge `A`, test `Max(A) < Min(A, !A)` — when it holds,
+    ///    `A` is compact.
+    ///
+    /// `Max` is maintained incrementally:
+    /// `Max(A ∪ B) = max(Max A, Max B, cross-max(A, B))`, so the total cost
+    /// of all max updates is `O(n²)`; each crossing minimum is recomputed in
+    /// `O(|A| · (n − |A|))`, for `O(n³)` worst-case overall — ample for the
+    /// matrix sizes where exact tree search is feasible.
+    ///
+    /// Correctness: every compact set `C` induces a connected subtree of the
+    /// MST whose internal edges all weigh less than every edge escaping `C`
+    /// (Lemmas 2 and 4), so in ascending order the component equals exactly
+    /// `C` right after its last internal MST edge — the test then fires.
+    /// Hence **all** compact sets are found.
+    pub fn find(m: &DistanceMatrix) -> Self {
+        let n = m.len();
+        let mst = kruskal(&WeightedGraph::from_matrix(m)).expect("complete graph is connected");
+
+        // comp[v] = current component id of v; components store members and
+        // running internal max.
+        let mut comp: Vec<usize> = (0..n).collect();
+        let mut members: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+        let mut max_internal: Vec<f64> = vec![0.0; n];
+        let mut sets = Vec::new();
+
+        for e in mst.edges() {
+            let (ca, cb) = (comp[e.u], comp[e.v]);
+            debug_assert_ne!(ca, cb, "MST edges join distinct components");
+            // Merge smaller into larger to bound relabeling cost.
+            let (keep, drop) = if members[ca].len() >= members[cb].len() {
+                (ca, cb)
+            } else {
+                (cb, ca)
+            };
+            let mut cross_max = 0.0f64;
+            for &x in &members[keep] {
+                for &y in &members[drop] {
+                    cross_max = cross_max.max(m.get(x, y));
+                }
+            }
+            let dropped = std::mem::take(&mut members[drop]);
+            for &y in &dropped {
+                comp[y] = keep;
+            }
+            members[keep].extend(dropped);
+            max_internal[keep] = max_internal[keep].max(max_internal[drop]).max(cross_max);
+
+            let size = members[keep].len();
+            if size < n {
+                // Min(A, !A): smallest distance escaping the merged set.
+                let mut inside = vec![false; n];
+                for &x in &members[keep] {
+                    inside[x] = true;
+                }
+                let mut min_crossing = f64::INFINITY;
+                for &x in &members[keep] {
+                    for (y, &is_in) in inside.iter().enumerate() {
+                        if !is_in {
+                            min_crossing = min_crossing.min(m.get(x, y));
+                        }
+                    }
+                }
+                if max_internal[keep] < min_crossing {
+                    let mut ms = members[keep].clone();
+                    ms.sort_unstable();
+                    sets.push(CompactSet {
+                        members: ms,
+                        max_internal: max_internal[keep],
+                        min_crossing,
+                    });
+                }
+            }
+        }
+        CompactSets { n, sets }
+    }
+
+    /// Number of taxa in the underlying matrix.
+    pub fn taxon_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of proper compact sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether no proper compact set exists.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Iterates the sets in detection order (subsets before supersets).
+    pub fn iter(&self) -> impl Iterator<Item = &CompactSet> {
+        self.sets.iter()
+    }
+
+    /// The sets as a slice, in detection order.
+    pub fn as_slice(&self) -> &[CompactSet] {
+        &self.sets
+    }
+
+    /// The maximal proper compact sets: those contained in no other proper
+    /// compact set. They are pairwise disjoint (Lemma 3).
+    pub fn maximal(&self) -> Vec<&CompactSet> {
+        self.sets
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                !self
+                    .sets
+                    .iter()
+                    .enumerate()
+                    .any(|(j, t)| j != *i && t.len() > s.len() && t.contains_set(s))
+            })
+            .map(|(_, s)| s)
+            .collect()
+    }
+
+    /// Builds the laminar containment forest over the proper compact sets.
+    pub fn forest(&self) -> LaminarForest {
+        let k = self.sets.len();
+        // Smallest strict superset is the parent; detection order puts
+        // supersets after subsets, but sizes are the robust criterion.
+        let parent: Vec<Option<usize>> = (0..k)
+            .map(|i| {
+                let mut best: Option<usize> = None;
+                for j in 0..k {
+                    if j != i
+                        && self.sets[j].len() > self.sets[i].len()
+                        && self.sets[j].contains_set(&self.sets[i])
+                    {
+                        match best {
+                            None => best = Some(j),
+                            Some(b) if self.sets[j].len() < self.sets[b].len() => best = Some(j),
+                            _ => {}
+                        }
+                    }
+                }
+                best
+            })
+            .collect();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut roots = Vec::new();
+        for (i, p) in parent.iter().enumerate() {
+            match p {
+                Some(p) => children[*p].push(i),
+                None => roots.push(i),
+            }
+        }
+        let nodes = (0..k)
+            .map(|i| LaminarNode {
+                set: i,
+                parent: parent[i],
+                children: children[i].clone(),
+            })
+            .collect();
+        LaminarForest {
+            n: self.n,
+            nodes,
+            roots,
+        }
+    }
+
+    /// Partitions the taxa for decomposition: descend the laminar forest and
+    /// cut at the largest compact sets with at most `max_size` members;
+    /// every taxon not covered by such a set becomes a singleton group.
+    ///
+    /// Groups are returned sorted by their smallest member; members inside a
+    /// group are sorted ascending. The groups always partition `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_size < 2` (no set could ever be cut).
+    pub fn partition(&self, max_size: usize) -> Vec<Vec<usize>> {
+        assert!(max_size >= 2, "max_size must be at least 2");
+        let forest = self.forest();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut covered = vec![false; self.n];
+        // Iterative DFS from the roots.
+        let mut stack: Vec<usize> = forest.roots.clone();
+        while let Some(node) = stack.pop() {
+            let set = &self.sets[forest.nodes[node].set];
+            if set.len() <= max_size {
+                groups.push(set.members().to_vec());
+                for &v in set.members() {
+                    covered[v] = true;
+                }
+            } else {
+                stack.extend(forest.nodes[node].children.iter().copied());
+            }
+        }
+        for (v, &is_covered) in covered.iter().enumerate() {
+            if !is_covered {
+                groups.push(vec![v]);
+            }
+        }
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+/// One node of a [`LaminarForest`]: a compact set with its containment
+/// parent and children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaminarNode {
+    /// Index of this node's set within the originating [`CompactSets`].
+    pub set: usize,
+    /// Index of the smallest strictly-containing set, if any.
+    pub parent: Option<usize>,
+    /// Indices of the maximal strictly-contained sets.
+    pub children: Vec<usize>,
+}
+
+/// The containment forest of a laminar family of compact sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaminarForest {
+    n: usize,
+    /// One node per proper compact set, indexed like the originating
+    /// [`CompactSets`].
+    pub nodes: Vec<LaminarNode>,
+    /// Nodes with no parent (the maximal proper compact sets).
+    pub roots: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 6-vertex instance shaped like the paper's running example
+    /// (Figs. 3–5): MST edge order (0,2), (3,5), (0,1), (2,4), (4,5) and
+    /// compact sets {0,2}, {3,5}, {0,1,2}, {0,1,2,4}.
+    fn paper_like() -> DistanceMatrix {
+        DistanceMatrix::from_rows(&[
+            vec![0.0, 3.0, 1.0, 7.0, 4.5, 6.5],
+            vec![3.0, 0.0, 3.5, 7.2, 4.2, 6.8],
+            vec![1.0, 3.5, 0.0, 7.5, 4.0, 6.9],
+            vec![7.0, 7.2, 7.5, 0.0, 6.0, 2.0],
+            vec![4.5, 4.2, 4.0, 6.0, 0.0, 5.0],
+            vec![6.5, 6.8, 6.9, 2.0, 5.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_paper_example_sets() {
+        let cs = CompactSets::find(&paper_like());
+        let members: Vec<Vec<usize>> = cs.iter().map(|s| s.members().to_vec()).collect();
+        assert_eq!(
+            members,
+            vec![vec![0, 2], vec![3, 5], vec![0, 1, 2], vec![0, 1, 2, 4],]
+        );
+    }
+
+    #[test]
+    fn lemma2_holds_on_every_set() {
+        let cs = CompactSets::find(&paper_like());
+        for s in cs.iter() {
+            assert!(
+                s.max_internal() < s.min_crossing(),
+                "set {:?} violates Lemma 2",
+                s.members()
+            );
+        }
+    }
+
+    #[test]
+    fn laminar_nesting() {
+        let cs = CompactSets::find(&paper_like());
+        // Every pair of sets is nested or disjoint (Lemma 3).
+        for a in cs.iter() {
+            for b in cs.iter() {
+                let inter = a
+                    .members()
+                    .iter()
+                    .filter(|x| b.members().contains(x))
+                    .count();
+                let nested = a.contains_set(b) || b.contains_set(a);
+                assert!(inter == 0 || nested);
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_sets_are_disjoint_cover() {
+        let cs = CompactSets::find(&paper_like());
+        let maximal = cs.maximal();
+        let members: Vec<Vec<usize>> = maximal.iter().map(|s| s.members().to_vec()).collect();
+        assert_eq!(members, vec![vec![3, 5], vec![0, 1, 2, 4]]);
+    }
+
+    #[test]
+    fn forest_structure() {
+        let cs = CompactSets::find(&paper_like());
+        let forest = cs.forest();
+        assert_eq!(forest.roots.len(), 2);
+        // {0,1,2,4} is the parent of {0,1,2}, which is the parent of {0,2}.
+        let idx_of = |ms: &[usize]| {
+            cs.as_slice()
+                .iter()
+                .position(|s| s.members() == ms)
+                .unwrap()
+        };
+        let big = idx_of(&[0, 1, 2, 4]);
+        let mid = idx_of(&[0, 1, 2]);
+        let small = idx_of(&[0, 2]);
+        assert_eq!(forest.nodes[mid].parent, Some(big));
+        assert_eq!(forest.nodes[small].parent, Some(mid));
+        assert_eq!(forest.nodes[big].parent, None);
+    }
+
+    #[test]
+    fn partition_cuts_at_threshold() {
+        let cs = CompactSets::find(&paper_like());
+        // Threshold 4: take {0,1,2,4} and {3,5} whole.
+        assert_eq!(cs.partition(4), vec![vec![0, 1, 2, 4], vec![3, 5]]);
+        // Threshold 3: {0,1,2,4} is too big, descend to {0,1,2}; 4 is loose.
+        assert_eq!(cs.partition(3), vec![vec![0, 1, 2], vec![3, 5], vec![4]]);
+        // Threshold 2: descend further to {0,2}.
+        assert_eq!(
+            cs.partition(2),
+            vec![vec![0, 2], vec![1], vec![3, 5], vec![4]]
+        );
+    }
+
+    #[test]
+    fn partition_is_a_partition() {
+        let cs = CompactSets::find(&paper_like());
+        for t in 2..=6 {
+            let groups = cs.partition(t);
+            let mut all: Vec<usize> = groups.concat();
+            all.sort_unstable();
+            assert_eq!(all, (0..6).collect::<Vec<_>>(), "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn uniform_matrix_has_no_proper_compact_sets() {
+        // All distances equal: the strict inequality never fires.
+        let m = DistanceMatrix::from_rows(&[
+            vec![0.0, 5.0, 5.0],
+            vec![5.0, 0.0, 5.0],
+            vec![5.0, 5.0, 0.0],
+        ])
+        .unwrap();
+        let cs = CompactSets::find(&m);
+        assert!(cs.is_empty());
+        // Partition degrades to singletons.
+        assert_eq!(cs.partition(3), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn two_taxa_no_proper_sets() {
+        let m = DistanceMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(CompactSets::find(&m).is_empty());
+    }
+
+    #[test]
+    fn ultrametric_matrix_yields_deep_hierarchy() {
+        // Perfect binary ultrametric: ((0,1),(2,3)) far from ((4,5),(6,7)).
+        let mut m = DistanceMatrix::zeros(8).unwrap();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let d = if i / 4 != j / 4 {
+                    16.0
+                } else if i / 2 != j / 2 {
+                    8.0
+                } else {
+                    2.0
+                };
+                m.set(i, j, d);
+            }
+        }
+        let cs = CompactSets::find(&m);
+        let members: Vec<Vec<usize>> = cs.iter().map(|s| s.members().to_vec()).collect();
+        assert!(members.contains(&vec![0, 1]));
+        assert!(members.contains(&vec![6, 7]));
+        assert!(members.contains(&vec![0, 1, 2, 3]));
+        assert!(members.contains(&vec![4, 5, 6, 7]));
+        assert_eq!(cs.len(), 6);
+    }
+}

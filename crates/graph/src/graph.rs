@@ -1,0 +1,173 @@
+use std::fmt;
+
+use mutree_distmat::DistanceMatrix;
+
+/// An undirected weighted edge between vertices `u` and `v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: usize,
+    /// The other endpoint.
+    pub v: usize,
+    /// Edge weight; finite and non-negative.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// The endpoint opposite `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is not an endpoint of this edge.
+    pub fn other(&self, x: usize) -> usize {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("{x} is not an endpoint of ({}, {})", self.u, self.v)
+        }
+    }
+}
+
+/// Errors from graph algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph is not connected, so no spanning tree exists.
+    Disconnected,
+    /// The graph has no vertices.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::Empty => write!(f, "graph has no vertices"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected weighted graph in edge-list form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl WeightedGraph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        WeightedGraph {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is out of bounds, the edge is a self-loop, or
+    /// the weight is negative or non-finite.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
+        assert!(u < self.n && v < self.n, "vertex out of bounds");
+        assert!(u != v, "self-loops are not allowed");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weights must be finite and non-negative"
+        );
+        self.edges.push(Edge { u, v, weight });
+    }
+
+    /// Builds the complete graph whose edge weights come from `f(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a produced weight is negative or non-finite.
+    pub fn complete_from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v, f(u, v));
+            }
+        }
+        g
+    }
+
+    /// Builds the complete graph of a distance matrix (the paper's
+    /// "complete, weighted, undirected graph" of Fig. 3).
+    pub fn from_matrix(m: &DistanceMatrix) -> Self {
+        WeightedGraph::complete_from_fn(m.len(), |u, v| m.get(u, v))
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// The edges, in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = WeightedGraph::complete_from_fn(5, |u, v| (u + v) as f64);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edges().len(), 10);
+    }
+
+    #[test]
+    fn from_matrix_matches_entries() {
+        let m = DistanceMatrix::from_rows(&[
+            vec![0.0, 3.0, 4.0],
+            vec![3.0, 0.0, 5.0],
+            vec![4.0, 5.0, 0.0],
+        ])
+        .unwrap();
+        let g = WeightedGraph::from_matrix(&m);
+        assert_eq!(g.edges().len(), 3);
+        assert_eq!(g.total_weight(), 12.0);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge {
+            u: 2,
+            v: 7,
+            weight: 1.0,
+        };
+        assert_eq!(e.other(2), 7);
+        assert_eq!(e.other(7), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_stranger() {
+        Edge {
+            u: 0,
+            v: 1,
+            weight: 1.0,
+        }
+        .other(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        WeightedGraph::new(3).add_edge(1, 1, 1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: MST agreement, union-find vs a naive model, compact
+//! sets against their definition.
+
+use mutree_distmat::{gen, DistanceMatrix};
+use mutree_graph::{kruskal, prim, CompactSets, UnionFind, WeightedGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kruskal_equals_prim_on_complete_graphs(n in 2usize..14, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::uniform_metric(n, 1.0, 100.0, &mut rng);
+        let g = WeightedGraph::from_matrix(&m);
+        let k = kruskal(&g).unwrap();
+        let p = prim(&g).unwrap();
+        prop_assert!((k.weight() - p.weight()).abs() < 1e-9);
+        prop_assert_eq!(k.edges().len(), n - 1);
+    }
+
+    #[test]
+    fn union_find_matches_naive_model(ops in proptest::collection::vec((0usize..12, 0usize..12), 0..40)) {
+        let n = 12;
+        let mut uf = UnionFind::new(n);
+        // Naive model: component label per element.
+        let mut label: Vec<usize> = (0..n).collect();
+        for (a, b) in ops {
+            let (la, lb) = (label[a], label[b]);
+            let expect_merge = la != lb;
+            prop_assert_eq!(uf.union(a, b).is_some(), expect_merge);
+            if expect_merge {
+                for l in label.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(uf.same(a, b), label[a] == label[b]);
+            }
+        }
+        let labels: std::collections::HashSet<usize> = label.iter().copied().collect();
+        prop_assert_eq!(uf.components(), labels.len());
+    }
+
+    /// Brute-force definition check: a set is compact iff its internal max
+    /// is below its crossing min. Every set the algorithm reports must
+    /// satisfy it, and every 2-element compact set must be reported.
+    #[test]
+    fn compact_sets_match_definition(n in 3usize..10, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::perturbed_ultrametric(n, 40.0, 0.15, &mut rng);
+        let cs = CompactSets::find(&m);
+        let is_compact = |members: &[usize]| {
+            let mut max_in = 0.0f64;
+            let mut min_out = f64::INFINITY;
+            for &a in members {
+                for b in 0..n {
+                    if members.contains(&b) {
+                        if b > a {
+                            max_in = max_in.max(m.get(a, b));
+                        }
+                    } else {
+                        min_out = min_out.min(m.get(a, b));
+                    }
+                }
+            }
+            max_in < min_out
+        };
+        for s in cs.iter() {
+            prop_assert!(is_compact(s.members()), "{:?} reported but not compact", s.members());
+        }
+        // Completeness for pairs.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if is_compact(&[a, b]) {
+                    prop_assert!(
+                        cs.iter().any(|s| s.members() == [a, b]),
+                        "compact pair ({a}, {b}) missed"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_respects_threshold(n in 4usize..14, seed in any::<u64>(), threshold in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::perturbed_ultrametric(n, 40.0, 0.1, &mut rng);
+        let cs = CompactSets::find(&m);
+        let groups = cs.partition(threshold);
+        let mut all: Vec<usize> = groups.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        for g in &groups {
+            prop_assert!(g.len() <= threshold.max(1));
+        }
+    }
+
+    #[test]
+    fn mst_weight_lower_bounds_any_spanning_tree(n in 3usize..9, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::uniform_metric(n, 1.0, 100.0, &mut rng);
+        let g = WeightedGraph::from_matrix(&m);
+        let mst = kruskal(&g).unwrap();
+        // A star rooted at each vertex is a spanning tree; none may be
+        // lighter than the MST.
+        for center in 0..n {
+            let star: f64 = (0..n).filter(|&v| v != center).map(|v| m.get(center, v)).sum();
+            prop_assert!(mst.weight() <= star + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn compact_sets_on_perfect_clusters() {
+    // Two tight clusters far apart: both must be compact.
+    let m = DistanceMatrix::from_rows(&[
+        vec![0.0, 1.0, 1.2, 50.0, 50.0],
+        vec![1.0, 0.0, 1.1, 50.0, 50.0],
+        vec![1.2, 1.1, 0.0, 50.0, 50.0],
+        vec![50.0, 50.0, 50.0, 0.0, 2.0],
+        vec![50.0, 50.0, 50.0, 2.0, 0.0],
+    ])
+    .unwrap();
+    let cs = CompactSets::find(&m);
+    let members: Vec<Vec<usize>> = cs.iter().map(|s| s.members().to_vec()).collect();
+    assert!(members.contains(&vec![0, 1, 2]));
+    assert!(members.contains(&vec![3, 4]));
+}

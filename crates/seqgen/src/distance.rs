@@ -1,0 +1,160 @@
+use mutree_distmat::DistanceMatrix;
+
+use crate::DnaSeq;
+
+/// Which dissimilarity [`distance_matrix`] computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceKind {
+    /// Levenshtein edit distance — works on unaligned sequences of
+    /// different lengths; always a metric. This is the paper's distance.
+    Edit,
+    /// Proportion of mismatching sites × sequence length (Hamming).
+    /// Requires equal lengths.
+    PDistance,
+    /// Jukes–Cantor corrected distance × sequence length. Requires equal
+    /// lengths; saturated pairs (`p ≥ 3/4`) are clamped to a large finite
+    /// value.
+    JukesCantor,
+}
+
+/// Levenshtein edit distance between two sequences: the minimum number of
+/// single-base insertions, deletions and substitutions transforming one
+/// into the other. Full `O(|a|·|b|)` dynamic program with two rolling rows.
+pub fn edit_distance(a: &DnaSeq, b: &DnaSeq) -> usize {
+    let (a, b) = (a.codes(), b.codes());
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Keep the inner loop over the shorter sequence.
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut prev: Vec<usize> = (0..=inner.len()).collect();
+    let mut cur = vec![0usize; inner.len() + 1];
+    for (i, &oa) in outer.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &ib) in inner.iter().enumerate() {
+            let sub = prev[j] + usize::from(oa != ib);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[inner.len()]
+}
+
+/// Hamming mismatch proportion between equal-length sequences.
+///
+/// # Panics
+///
+/// Panics when the lengths differ or are zero.
+pub fn p_distance(a: &DnaSeq, b: &DnaSeq) -> f64 {
+    assert_eq!(a.len(), b.len(), "p-distance needs aligned sequences");
+    assert!(!a.is_empty(), "p-distance needs non-empty sequences");
+    let mismatches = a
+        .codes()
+        .iter()
+        .zip(b.codes())
+        .filter(|(x, y)| x != y)
+        .count();
+    mismatches as f64 / a.len() as f64
+}
+
+/// Jukes–Cantor corrected evolutionary distance (expected substitutions per
+/// site): `−(3/4) ln(1 − 4p/3)`. Saturated pairs clamp to `10.0`.
+///
+/// # Panics
+///
+/// Panics when the lengths differ or are zero.
+pub fn jc_distance(a: &DnaSeq, b: &DnaSeq) -> f64 {
+    let p = p_distance(a, b);
+    if p >= 0.75 {
+        10.0
+    } else {
+        -0.75 * (1.0 - 4.0 * p / 3.0).ln()
+    }
+}
+
+/// Computes the full pairwise distance matrix of a set of sequences.
+///
+/// # Panics
+///
+/// Panics when fewer than two sequences are given, or when `kind` requires
+/// aligned sequences and lengths differ.
+pub fn distance_matrix(seqs: &[DnaSeq], kind: DistanceKind) -> DistanceMatrix {
+    assert!(seqs.len() >= 2, "need at least two sequences");
+    let n = seqs.len();
+    let mut m = DistanceMatrix::zeros(n).expect("n >= 2");
+    for i in 1..n {
+        for j in 0..i {
+            let d = match kind {
+                DistanceKind::Edit => edit_distance(&seqs[i], &seqs[j]) as f64,
+                DistanceKind::PDistance => p_distance(&seqs[i], &seqs[j]) * seqs[i].len() as f64,
+                DistanceKind::JukesCantor => jc_distance(&seqs[i], &seqs[j]) * seqs[i].len() as f64,
+            };
+            m.set(i, j, d);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(text: &str) -> DnaSeq {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance(&s("ACGT"), &s("ACGT")), 0);
+        assert_eq!(edit_distance(&s("ACGT"), &s("AGGT")), 1);
+        assert_eq!(edit_distance(&s("ACGT"), &s("CGT")), 1);
+        assert_eq!(edit_distance(&s("ACGT"), &s("ACGTA")), 1);
+        assert_eq!(edit_distance(&s("AAAA"), &s("TTTT")), 4);
+        assert_eq!(edit_distance(&DnaSeq::new(), &s("ACG")), 3);
+        assert_eq!(edit_distance(&s("ACG"), &DnaSeq::new()), 3);
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric() {
+        let a = s("ACGTACGTAC");
+        let b = s("TACGTTACG");
+        assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn edit_distance_classic_example() {
+        // kitten -> sitting analogue in DNA letters:
+        // GATTACA -> GCATGCA is distance 3.
+        assert_eq!(edit_distance(&s("GATTACA"), &s("GCATGCA")), 3);
+    }
+
+    #[test]
+    fn p_distance_and_jc() {
+        let a = s("AAAA");
+        let b = s("AAAT");
+        assert_eq!(p_distance(&a, &b), 0.25);
+        let jc = jc_distance(&a, &b);
+        assert!(jc > 0.25); // correction inflates the raw proportion
+        assert_eq!(jc_distance(&a, &a), 0.0);
+        // Saturation clamps.
+        assert_eq!(jc_distance(&s("AAAA"), &s("TTTT")), 10.0);
+    }
+
+    #[test]
+    fn matrix_from_edit_distances_is_metric() {
+        let seqs = vec![s("ACGTACGT"), s("ACGTACGA"), s("TTGTACGT"), s("ACG")];
+        let m = distance_matrix(&seqs, DistanceKind::Edit);
+        assert!(m.is_metric(1e-9));
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(0, 3), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn p_distance_rejects_ragged() {
+        p_distance(&s("ACGT"), &s("ACG"));
+    }
+}

@@ -1,0 +1,318 @@
+use mutree_tree::{NodeKind, UltrametricTree};
+use rand::Rng;
+
+use crate::DnaSeq;
+
+/// A nucleotide substitution model applied per site per unit branch length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubstitutionModel {
+    /// Jukes–Cantor: every base mutates to each of the three others at the
+    /// same `rate`.
+    JukesCantor {
+        /// Per-site, per-unit-time rate toward each other base.
+        rate: f64,
+    },
+    /// Kimura 2-parameter: transitions (`A↔G`, `C↔T`) and transversions
+    /// have different rates, as observed in real mitochondrial DNA.
+    Kimura {
+        /// Per-site, per-unit-time transition rate.
+        transition_rate: f64,
+        /// Per-site, per-unit-time rate toward each transversion target.
+        transversion_rate: f64,
+    },
+}
+
+impl SubstitutionModel {
+    /// Mutates `base` across a branch of length `t`, returning the new
+    /// base. Uses the exact two-state/three-state transition probabilities
+    /// per target class (independent-event approximation across the
+    /// branch: `p = 1 − exp(−rate · t)` per target).
+    fn step<R: Rng + ?Sized>(self, base: u8, t: f64, rng: &mut R) -> u8 {
+        // transition partner under A=0, C=1, G=2, T=3: A<->G, C<->T.
+        let transition_of = [2u8, 3, 0, 1];
+        match self {
+            SubstitutionModel::JukesCantor { rate } => {
+                let p_any = -(-3.0 * rate * t).exp_m1(); // 1 - e^{-3rt}
+                if rng.gen_bool(p_any.clamp(0.0, 1.0)) {
+                    // uniform over the other three bases
+                    let mut other = rng.gen_range(0..3u8);
+                    if other >= base {
+                        other += 1;
+                    }
+                    other
+                } else {
+                    base
+                }
+            }
+            SubstitutionModel::Kimura {
+                transition_rate,
+                transversion_rate,
+            } => {
+                let total = transition_rate + 2.0 * transversion_rate;
+                let p_any = -(-total * t).exp_m1();
+                if rng.gen_bool(p_any.clamp(0.0, 1.0)) {
+                    let r = rng.gen_range(0.0..total);
+                    if r < transition_rate {
+                        transition_of[base as usize]
+                    } else {
+                        // one of the two transversion targets
+                        let targets: [u8; 2] = match base {
+                            0 | 2 => [1, 3], // purine -> pyrimidines
+                            _ => [0, 2],     // pyrimidine -> purines
+                        };
+                        targets[usize::from(r - transition_rate >= transversion_rate)]
+                    }
+                } else {
+                    base
+                }
+            }
+        }
+    }
+}
+
+/// Parameters for sequence evolution along a tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolutionParams {
+    /// The substitution model.
+    pub model: SubstitutionModel,
+    /// Per-site, per-unit-time probability-rate of an indel event; each
+    /// event deletes the site or inserts a random base after it with equal
+    /// probability. Indels are what make *edit* distance (rather than
+    /// Hamming distance) the right dissimilarity.
+    pub indel_rate: f64,
+    /// Lineage rate heterogeneity: each edge's effective length is
+    /// multiplied by an independent factor uniform in
+    /// `[1 − rate_variation, 1 + rate_variation]`. Zero gives a strict
+    /// molecular clock; real mitochondrial lineages evolve at visibly
+    /// different speeds, which is what makes their distance matrices only
+    /// *near*-ultrametric. Must be in `[0, 1)`.
+    pub rate_variation: f64,
+}
+
+/// Draws a random clock-like genealogy over taxa `0..n` with the Kingman
+/// coalescent: starting from `n` lineages, repeatedly merge a uniform pair;
+/// the `k`-lineage stage lasts `Exp(rate · k(k−1)/2)` time. The result is an
+/// ultrametric tree (all leaves at height 0).
+///
+/// # Panics
+///
+/// Panics when `n < 2` or `rate <= 0`.
+pub fn random_coalescent<R: Rng + ?Sized>(n: usize, rate: f64, rng: &mut R) -> UltrametricTree {
+    assert!(n >= 2, "need at least two taxa");
+    assert!(rate > 0.0, "rate must be positive");
+    let mut lineages: Vec<UltrametricTree> = (0..n).map(UltrametricTree::leaf).collect();
+    let mut time = 0.0f64;
+    while lineages.len() > 1 {
+        let k = lineages.len() as f64;
+        let lambda = rate * k * (k - 1.0) / 2.0;
+        // Exponential waiting time via inverse CDF.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        time += -u.ln() / lambda;
+        let a = rng.gen_range(0..lineages.len());
+        let mut b = rng.gen_range(0..lineages.len() - 1);
+        if b >= a {
+            b += 1;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let right = lineages.swap_remove(b);
+        let left = lineages.swap_remove(a);
+        lineages.push(UltrametricTree::join(left, right, time));
+    }
+    lineages.pop().expect("one lineage remains")
+}
+
+/// Draws a uniform random root sequence of the given length.
+///
+/// # Panics
+///
+/// Panics when `len == 0`.
+pub fn random_root_sequence<R: Rng + ?Sized>(len: usize, rng: &mut R) -> DnaSeq {
+    assert!(len > 0, "root sequence must be non-empty");
+    DnaSeq::from_codes((0..len).map(|_| rng.gen_range(0..4u8)).collect())
+}
+
+/// Evolves `root` down `tree`, applying substitutions and indels along each
+/// edge in proportion to its length. Returns one sequence per taxon,
+/// indexed by taxon id (taxa must be `0..leaf_count`).
+///
+/// # Panics
+///
+/// Panics when the tree's taxa are not exactly `0..leaf_count`.
+pub fn evolve<R: Rng + ?Sized>(
+    tree: &UltrametricTree,
+    root: &DnaSeq,
+    params: &EvolutionParams,
+    rng: &mut R,
+) -> Vec<DnaSeq> {
+    let n = tree.leaf_count();
+    assert!(
+        tree.taxa().eq(0..n),
+        "evolve requires taxa 0..{n} at the leaves"
+    );
+    assert!(
+        (0.0..1.0).contains(&params.rate_variation),
+        "rate_variation must be in [0, 1)"
+    );
+    let mut out: Vec<DnaSeq> = vec![DnaSeq::new(); n];
+    // Depth-first from the root, carrying the evolving sequence.
+    let mut stack = vec![(tree.root(), root.clone())];
+    while let Some((id, seq)) = stack.pop() {
+        match tree.kind(id) {
+            NodeKind::Leaf(t) => out[t] = seq,
+            NodeKind::Internal(a, b) => {
+                for child in [a, b] {
+                    let mut t = tree.height_of(id) - tree.height_of(child);
+                    if params.rate_variation > 0.0 {
+                        t *= rng.gen_range(
+                            (1.0 - params.rate_variation)..(1.0 + params.rate_variation),
+                        );
+                    }
+                    let mut s = seq.clone();
+                    mutate(&mut s, t, params, rng);
+                    stack.push((child, s));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn mutate<R: Rng + ?Sized>(seq: &mut DnaSeq, t: f64, params: &EvolutionParams, rng: &mut R) {
+    if t <= 0.0 {
+        return;
+    }
+    // Substitutions, in place.
+    let codes = seq.codes_mut();
+    for base in codes.iter_mut() {
+        *base = params.model.step(*base, t, rng);
+    }
+    // Indels: per-site event probability across the branch.
+    if params.indel_rate > 0.0 {
+        let p = -(-params.indel_rate * t).exp_m1();
+        let mut i = 0;
+        while i < codes.len() {
+            if codes.len() > 1 && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                if rng.gen_bool(0.5) {
+                    codes.remove(i);
+                    continue; // the next base shifted into position i
+                } else {
+                    codes.insert(i + 1, rng.gen_range(0..4u8));
+                    i += 1; // skip the inserted base
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn coalescent_is_valid_ultrametric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [2, 3, 7, 20] {
+            let t = random_coalescent(n, 1.0, &mut rng);
+            assert_eq!(t.leaf_count(), n);
+            assert!(t.validate().is_ok());
+            assert!(t.height() > 0.0);
+            let m = t.distance_matrix();
+            assert!(m.is_ultrametric(1e-9));
+        }
+    }
+
+    #[test]
+    fn zero_length_branch_preserves_sequence() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s: DnaSeq = "ACGTACGT".parse().unwrap();
+        let params = EvolutionParams {
+            model: SubstitutionModel::JukesCantor { rate: 10.0 },
+            indel_rate: 10.0,
+            rate_variation: 0.0,
+        };
+        let before = s.clone();
+        mutate(&mut s, 0.0, &params, &mut rng);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn long_branch_scrambles_sequence() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = random_root_sequence(500, &mut rng);
+        let before = s.clone();
+        let params = EvolutionParams {
+            model: SubstitutionModel::JukesCantor { rate: 1.0 },
+            indel_rate: 0.0,
+            rate_variation: 0.0,
+        };
+        mutate(&mut s, 10.0, &params, &mut rng);
+        let diffs = s
+            .codes()
+            .iter()
+            .zip(before.codes())
+            .filter(|(a, b)| a != b)
+            .count();
+        // At saturation ~3/4 of sites differ.
+        assert!(diffs > 300, "only {diffs} substitutions");
+    }
+
+    #[test]
+    fn evolve_returns_one_sequence_per_taxon() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let tree = random_coalescent(6, 1.0, &mut rng);
+        let root = random_root_sequence(100, &mut rng);
+        let params = EvolutionParams {
+            model: SubstitutionModel::Kimura {
+                transition_rate: 0.05,
+                transversion_rate: 0.01,
+            },
+            indel_rate: 0.001,
+            rate_variation: 0.0,
+        };
+        let seqs = evolve(&tree, &root, &params, &mut rng);
+        assert_eq!(seqs.len(), 6);
+        assert!(seqs.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn close_relatives_are_more_similar() {
+        // Two taxa merged near the leaves should be closer to each other
+        // than to a taxon that split at the root. Build the tree by hand.
+        let mut rng = StdRng::seed_from_u64(9);
+        let tree = UltrametricTree::join(
+            UltrametricTree::join(UltrametricTree::leaf(0), UltrametricTree::leaf(1), 0.05),
+            UltrametricTree::leaf(2),
+            3.0,
+        );
+        let root = random_root_sequence(800, &mut rng);
+        let params = EvolutionParams {
+            model: SubstitutionModel::JukesCantor { rate: 0.1 },
+            indel_rate: 0.0,
+            rate_variation: 0.0,
+        };
+        let seqs = evolve(&tree, &root, &params, &mut rng);
+        let d01 = crate::edit_distance(&seqs[0], &seqs[1]);
+        let d02 = crate::edit_distance(&seqs[0], &seqs[2]);
+        assert!(d01 < d02, "d01 = {d01}, d02 = {d02}");
+    }
+
+    #[test]
+    fn indels_change_length_eventually() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let tree = random_coalescent(4, 1.0, &mut rng);
+        let root = random_root_sequence(300, &mut rng);
+        let params = EvolutionParams {
+            model: SubstitutionModel::JukesCantor { rate: 0.01 },
+            indel_rate: 0.05,
+            rate_variation: 0.0,
+        };
+        let seqs = evolve(&tree, &root, &params, &mut rng);
+        assert!(
+            seqs.iter().any(|s| s.len() != root.len()),
+            "expected at least one indel across the tree"
+        );
+    }
+}

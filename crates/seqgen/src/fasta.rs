@@ -1,0 +1,122 @@
+//! Minimal FASTA reading and writing.
+
+use crate::{DnaSeq, SeqError};
+
+/// One FASTA record: a header name and its sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// The text after `>` on the header line (up to the first whitespace).
+    pub name: String,
+    /// The sequence.
+    pub seq: DnaSeq,
+}
+
+/// Formats records as FASTA with 70-column wrapping.
+pub fn to_fasta(records: &[FastaRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push('>');
+        out.push_str(&r.name);
+        out.push('\n');
+        let text = r.seq.to_string();
+        for chunk in text.as_bytes().chunks(70) {
+            out.push_str(std::str::from_utf8(chunk).expect("ASCII"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses FASTA text. Sequence lines may wrap; blank lines are skipped.
+///
+/// # Errors
+///
+/// [`SeqError::InvalidBase`] for non-`ACGT` sequence characters. Input with
+/// sequence data before any header is reported as an invalid base at
+/// offset 0.
+pub fn parse_fasta(input: &str) -> Result<Vec<FastaRecord>, SeqError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    let mut current: Option<(String, String)> = None;
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('>') {
+            if let Some((name, text)) = current.take() {
+                records.push(FastaRecord {
+                    name,
+                    seq: DnaSeq::parse(&text)?,
+                });
+            }
+            let name = name.split_whitespace().next().unwrap_or("").to_string();
+            current = Some((name, String::new()));
+        } else {
+            match &mut current {
+                Some((_, text)) => text.push_str(line),
+                None => {
+                    return Err(SeqError::InvalidBase {
+                        at: 0,
+                        found: line.chars().next().unwrap_or(' '),
+                    })
+                }
+            }
+        }
+    }
+    if let Some((name, text)) = current {
+        records.push(FastaRecord {
+            name,
+            seq: DnaSeq::parse(&text)?,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![
+            FastaRecord {
+                name: "sp1".into(),
+                seq: "ACGTACGT".parse().unwrap(),
+            },
+            FastaRecord {
+                name: "sp2".into(),
+                seq: "TTTT".parse().unwrap(),
+            },
+        ];
+        let text = to_fasta(&records);
+        let parsed = parse_fasta(&text).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn wraps_long_sequences() {
+        let records = vec![FastaRecord {
+            name: "long".into(),
+            seq: DnaSeq::from_codes(vec![0; 200]),
+        }];
+        let text = to_fasta(&records);
+        assert!(text.lines().all(|l| l.len() <= 70));
+        assert_eq!(parse_fasta(&text).unwrap()[0].seq.len(), 200);
+    }
+
+    #[test]
+    fn header_keeps_first_word() {
+        let parsed = parse_fasta(">sp1 Homo sapiens\nACGT\n").unwrap();
+        assert_eq!(parsed[0].name, "sp1");
+    }
+
+    #[test]
+    fn rejects_headerless_sequence() {
+        assert!(parse_fasta("ACGT\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(parse_fasta("").unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,139 @@
+use std::fmt;
+
+/// Errors from sequence parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A character outside `ACGTacgt` was encountered.
+    InvalidBase {
+        /// Byte offset of the bad character.
+        at: usize,
+        /// The offending character.
+        found: char,
+    },
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::InvalidBase { at, found } => {
+                write!(f, "invalid base {found:?} at position {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+/// A DNA sequence over the alphabet `{A, C, G, T}`, stored as base codes
+/// `0..4` (`A=0, C=1, G=2, T=3`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DnaSeq {
+    bases: Vec<u8>,
+}
+
+impl DnaSeq {
+    const LETTERS: [char; 4] = ['A', 'C', 'G', 'T'];
+
+    /// An empty sequence.
+    pub fn new() -> Self {
+        DnaSeq::default()
+    }
+
+    /// Builds a sequence from raw base codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a code is not in `0..4`.
+    pub fn from_codes(bases: Vec<u8>) -> Self {
+        assert!(bases.iter().all(|&b| b < 4), "base codes must be 0..4");
+        DnaSeq { bases }
+    }
+
+    /// Parses `ACGT` text (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// [`SeqError::InvalidBase`] on any other character.
+    pub fn parse(text: &str) -> Result<Self, SeqError> {
+        let mut bases = Vec::with_capacity(text.len());
+        for (at, ch) in text.chars().enumerate() {
+            let code = match ch.to_ascii_uppercase() {
+                'A' => 0,
+                'C' => 1,
+                'G' => 2,
+                'T' => 3,
+                found => return Err(SeqError::InvalidBase { at, found }),
+            };
+            bases.push(code);
+        }
+        Ok(DnaSeq { bases })
+    }
+
+    /// Sequence length in bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether the sequence has no bases.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The raw base codes (`0..4`).
+    pub fn codes(&self) -> &[u8] {
+        &self.bases
+    }
+
+    /// Mutable access to the base codes for in-place evolution.
+    pub(crate) fn codes_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.bases
+    }
+}
+
+impl fmt::Display for DnaSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bases {
+            write!(f, "{}", DnaSeq::LETTERS[b as usize])?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for DnaSeq {
+    type Err = SeqError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DnaSeq::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s: DnaSeq = "ACGTacgt".parse().unwrap();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.to_string(), "ACGTACGT");
+    }
+
+    #[test]
+    fn rejects_invalid_bases() {
+        let err = DnaSeq::parse("ACGX").unwrap_err();
+        assert_eq!(err, SeqError::InvalidBase { at: 3, found: 'X' });
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = DnaSeq::new();
+        assert!(s.is_empty());
+        assert_eq!(s.to_string(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "base codes")]
+    fn from_codes_validates() {
+        DnaSeq::from_codes(vec![0, 4]);
+    }
+}

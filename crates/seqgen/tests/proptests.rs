@@ -1,0 +1,95 @@
+//! Property tests: the edit-distance dynamic program against a reference
+//! implementation, and evolution-model sanity.
+
+use mutree_seqgen::{
+    edit_distance, evolve, p_distance, random_coalescent, random_root_sequence, DnaSeq,
+    EvolutionParams, SubstitutionModel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Reference Levenshtein: full quadratic table, no tricks.
+fn reference_edit(a: &DnaSeq, b: &DnaSeq) -> usize {
+    let (a, b) = (a.codes(), b.codes());
+    let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+    for (i, row) in dp.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for (j, cell) in dp[0].iter_mut().enumerate() {
+        *cell = j;
+    }
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            let sub = dp[i - 1][j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            dp[i][j] = sub.min(dp[i - 1][j] + 1).min(dp[i][j - 1] + 1);
+        }
+    }
+    dp[a.len()][b.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn edit_distance_matches_reference(a in "[ACGT]{0,25}", b in "[ACGT]{0,25}") {
+        let (a, b): (DnaSeq, DnaSeq) = (a.parse().unwrap(), b.parse().unwrap());
+        prop_assert_eq!(edit_distance(&a, &b), reference_edit(&a, &b));
+    }
+
+    #[test]
+    fn p_distance_bounds_edit_distance(a in "[ACGT]{1,30}") {
+        let a: DnaSeq = a.parse().unwrap();
+        // Mutate a copy by substitutions only: edit distance equals the
+        // Hamming count then.
+        let mut codes = a.codes().to_vec();
+        for c in codes.iter_mut().step_by(3) {
+            *c = (*c + 1) % 4;
+        }
+        let b = DnaSeq::from_codes(codes);
+        let hamming = (p_distance(&a, &b) * a.len() as f64).round() as usize;
+        prop_assert!(edit_distance(&a, &b) <= hamming);
+    }
+
+    #[test]
+    fn coalescent_tree_is_binary_over_all_taxa(n in 2usize..25, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_coalescent(n, 1.0, &mut rng);
+        prop_assert_eq!(t.leaf_count(), n);
+        prop_assert_eq!(t.node_count(), 2 * n - 1);
+        prop_assert!(t.validate().is_ok());
+        prop_assert!(t.taxa().eq(0..n));
+    }
+
+    #[test]
+    fn evolution_without_indels_preserves_length(n in 2usize..8, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_coalescent(n, 1.0, &mut rng);
+        let root = random_root_sequence(60, &mut rng);
+        let params = EvolutionParams {
+            model: SubstitutionModel::JukesCantor { rate: 0.1 },
+            indel_rate: 0.0,
+            rate_variation: 0.2,
+        };
+        let seqs = evolve(&tree, &root, &params, &mut rng);
+        for s in &seqs {
+            prop_assert_eq!(s.len(), 60);
+        }
+    }
+
+    #[test]
+    fn mutation_rate_zero_is_identity(n in 2usize..6, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_coalescent(n, 1.0, &mut rng);
+        let root = random_root_sequence(40, &mut rng);
+        let params = EvolutionParams {
+            model: SubstitutionModel::JukesCantor { rate: 0.0 },
+            indel_rate: 0.0,
+            rate_variation: 0.0,
+        };
+        let seqs = evolve(&tree, &root, &params, &mut rng);
+        for s in &seqs {
+            prop_assert_eq!(s, &root);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+use mutree_distmat::DistanceMatrix;
+
+use crate::UltrametricTree;
+
+/// The linkage rule of the agglomerative clustering in [`cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Complete linkage — **UPGMM** (Unweighted Pair Group Method with
+    /// Maximum), the variant Wu–Chao–Tang use for the initial upper bound:
+    /// merge heights are half the *largest* cross-cluster distance, so the
+    /// resulting tree distances dominate the matrix and the tree is a
+    /// feasible solution of the MUT problem.
+    Maximum,
+    /// Arithmetic-mean linkage — classic **UPGMA**. Not feasibility-
+    /// preserving, but the standard biologist's heuristic; used for
+    /// comparison.
+    Average,
+    /// Single linkage: merge heights follow the minimum spanning tree.
+    Minimum,
+}
+
+/// Builds an ultrametric tree by agglomerative clustering under the given
+/// linkage. Always merges the currently closest pair of clusters; the merge
+/// node's height is half the linkage value (clamped to stay monotone under
+/// floating-point noise). Ties break deterministically toward smaller
+/// cluster indices.
+///
+/// Runs in `O(n³)` time, `O(n²)` space — matrices where exact search is
+/// conceivable are far smaller than where this matters.
+///
+/// # Panics
+///
+/// Panics when the matrix has fewer than two taxa (impossible for a
+/// well-formed [`DistanceMatrix`]).
+pub fn cluster(m: &DistanceMatrix, linkage: Linkage) -> UltrametricTree {
+    let n = m.len();
+    // Active clusters: their pairwise linkage matrix and partial trees.
+    let mut link: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| m.get(i, j)).collect())
+        .collect();
+    let mut size: Vec<usize> = vec![1; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut trees: Vec<Option<UltrametricTree>> =
+        (0..n).map(|t| Some(UltrametricTree::leaf(t))).collect();
+
+    for _ in 1..n {
+        // Closest live pair.
+        let mut best: Option<(usize, usize)> = None;
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !alive[j] {
+                    continue;
+                }
+                match best {
+                    None => best = Some((i, j)),
+                    Some((bi, bj)) if link[i][j] < link[bi][bj] => best = Some((i, j)),
+                    _ => {}
+                }
+            }
+        }
+        let (i, j) = best.expect("at least two live clusters remain");
+        let d = link[i][j];
+        let left = trees[i].take().expect("live cluster has a tree");
+        let right = trees[j].take().expect("live cluster has a tree");
+        let height = (d / 2.0).max(left.height()).max(right.height());
+        trees[i] = Some(UltrametricTree::join(left, right, height));
+        alive[j] = false;
+        for k in 0..n {
+            if alive[k] && k != i {
+                let dik = link[i][k];
+                let djk = link[j][k];
+                let merged = match linkage {
+                    Linkage::Maximum => dik.max(djk),
+                    Linkage::Minimum => dik.min(djk),
+                    Linkage::Average => {
+                        (size[i] as f64 * dik + size[j] as f64 * djk) / (size[i] + size[j]) as f64
+                    }
+                };
+                link[i][k] = merged;
+                link[k][i] = merged;
+            }
+        }
+        size[i] += size[j];
+    }
+    trees
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("exactly one cluster remains")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um4() -> DistanceMatrix {
+        DistanceMatrix::from_rows(&[
+            vec![0.0, 2.0, 8.0, 8.0],
+            vec![2.0, 0.0, 8.0, 8.0],
+            vec![8.0, 8.0, 0.0, 4.0],
+            vec![8.0, 8.0, 4.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_on_ultrametric_input_all_linkages() {
+        let m = um4();
+        for linkage in [Linkage::Maximum, Linkage::Average, Linkage::Minimum] {
+            let t = cluster(&m, linkage);
+            assert!(t.validate().is_ok());
+            assert_eq!(t.distance_matrix(), m, "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn upgmm_is_feasible_on_non_ultrametric_input() {
+        let m = DistanceMatrix::from_rows(&[
+            vec![0.0, 3.0, 7.0, 10.0],
+            vec![3.0, 0.0, 6.0, 9.0],
+            vec![7.0, 6.0, 0.0, 5.0],
+            vec![10.0, 9.0, 5.0, 0.0],
+        ])
+        .unwrap();
+        let t = cluster(&m, Linkage::Maximum);
+        assert!(t.is_feasible_for(&m, 1e-9));
+        // UPGMA generally is not feasible here.
+        let a = cluster(&m, Linkage::Average);
+        assert!(!a.is_feasible_for(&m, 1e-9));
+    }
+
+    #[test]
+    fn single_linkage_height_matches_largest_mst_edge() {
+        let m = DistanceMatrix::from_rows(&[
+            vec![0.0, 1.0, 5.0],
+            vec![1.0, 0.0, 3.0],
+            vec![5.0, 3.0, 0.0],
+        ])
+        .unwrap();
+        let t = cluster(&m, Linkage::Minimum);
+        // MST edges: 1 and 3; root height = 3/2.
+        assert_eq!(t.height(), 1.5);
+    }
+
+    #[test]
+    fn upgmm_weight_upper_bounds_every_linkage_weight_feasibly() {
+        // On random-ish input the UPGMM tree is feasible; its weight is the
+        // classic initial upper bound.
+        let m = DistanceMatrix::from_rows(&[
+            vec![0.0, 4.0, 2.0, 9.0, 5.0],
+            vec![4.0, 0.0, 4.0, 9.0, 5.0],
+            vec![2.0, 4.0, 0.0, 9.0, 5.0],
+            vec![9.0, 9.0, 9.0, 0.0, 9.0],
+            vec![5.0, 5.0, 5.0, 9.0, 0.0],
+        ])
+        .unwrap();
+        let t = cluster(&m, Linkage::Maximum);
+        assert!(t.is_feasible_for(&m, 1e-9));
+        assert!(t.weight() > 0.0);
+        assert_eq!(t.leaf_count(), 5);
+    }
+
+    #[test]
+    fn two_taxa() {
+        let m = DistanceMatrix::from_rows(&[vec![0.0, 6.0], vec![6.0, 0.0]]).unwrap();
+        let t = cluster(&m, Linkage::Average);
+        assert_eq!(t.height(), 3.0);
+        assert_eq!(t.weight(), 6.0);
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors from tree construction and parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// The operation needs a leaf that is not in the tree.
+    UnknownTaxon {
+        /// The missing taxon.
+        taxon: usize,
+    },
+    /// A grafted subtree is taller than the edge it must hang from.
+    GraftTooTall {
+        /// Height of the subtree being grafted.
+        subtree_height: f64,
+        /// Height of the attachment point (the parent of the replaced
+        /// leaf); the graft must fit strictly below it.
+        attach_height: f64,
+    },
+    /// Newick parse failure.
+    Parse {
+        /// Byte offset where parsing failed.
+        at: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The parsed tree is not binary / not ultrametric.
+    NotUltrametric {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::UnknownTaxon { taxon } => write!(f, "taxon {taxon} is not in the tree"),
+            TreeError::GraftTooTall {
+                subtree_height,
+                attach_height,
+            } => write!(
+                f,
+                "cannot graft a subtree of height {subtree_height} under a node of height {attach_height}"
+            ),
+            TreeError::Parse { at, message } => write!(f, "newick parse error at byte {at}: {message}"),
+            TreeError::NotUltrametric { message } => write!(f, "not an ultrametric tree: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}

@@ -1,0 +1,51 @@
+//! Ultrametric evolutionary trees.
+//!
+//! An *ultrametric tree* (UT) is a rooted, leaf-labeled, edge-weighted
+//! binary tree in which every internal node lies at the same distance from
+//! all leaves of its subtree — the molecular-clock assumption. This crate
+//! provides:
+//!
+//! * [`UltrametricTree`] — the tree type, stored as internal-node *heights*
+//!   (the distance from a node down to any leaf below it), from which all
+//!   edge lengths, leaf-pair distances and the total weight `ω(T)` follow;
+//! * [`UltrametricTree::fit_heights`] — the minimal height assignment for a
+//!   fixed topology against a distance matrix (the inner objective of the
+//!   minimum ultrametric tree problem);
+//! * [`cluster`] — agglomerative construction under [`Linkage::Maximum`]
+//!   (**UPGMM**, whose trees are always feasible upper bounds for the MUT
+//!   problem), [`Linkage::Average`] (UPGMA) and [`Linkage::Minimum`]
+//!   (single linkage);
+//! * [`newick`] — Newick serialization and parsing;
+//! * [`triples`] — the 3-3 relationship between a matrix and a topology
+//!   (Definition 11 of the companion paper) and Fan's contradiction count.
+//!
+//! ```
+//! use mutree_distmat::DistanceMatrix;
+//! use mutree_tree::{cluster, Linkage};
+//!
+//! let m = DistanceMatrix::from_rows(&[
+//!     vec![0.0, 2.0, 8.0, 8.0],
+//!     vec![2.0, 0.0, 8.0, 8.0],
+//!     vec![8.0, 8.0, 0.0, 4.0],
+//!     vec![8.0, 8.0, 4.0, 0.0],
+//! ]).unwrap();
+//! let t = cluster(&m, Linkage::Maximum);
+//! assert!(t.is_feasible_for(&m, 1e-9));
+//! assert_eq!(t.weight(), 11.0); // this matrix is ultrametric: UPGMM is exact
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod error;
+mod tree;
+
+pub mod compare;
+pub mod newick;
+pub mod nj;
+pub mod triples;
+
+pub use cluster::{cluster, Linkage};
+pub use error::TreeError;
+pub use tree::{NodeId, NodeKind, UltrametricTree};

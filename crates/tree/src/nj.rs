@@ -1,0 +1,358 @@
+//! Neighbor joining (Saitou & Nei 1987) — the standard distance-based
+//! baseline the papers position themselves against.
+//!
+//! Unlike ultrametric construction, neighbor joining drops the
+//! molecular-clock assumption and produces an *unrooted additive* tree:
+//! leaf-pair path lengths approximate the matrix without the equal
+//! root-to-leaf constraint. On additive input (matrices satisfying the
+//! four-point condition) it recovers distances exactly.
+//!
+//! ```
+//! use mutree_distmat::DistanceMatrix;
+//! use mutree_tree::nj::neighbor_joining;
+//!
+//! let m = DistanceMatrix::from_rows(&[
+//!     vec![0.0, 5.0, 9.0, 9.0],
+//!     vec![5.0, 0.0, 10.0, 10.0],
+//!     vec![9.0, 10.0, 0.0, 8.0],
+//!     vec![9.0, 10.0, 8.0, 0.0],
+//! ]).unwrap();
+//! let t = neighbor_joining(&m);
+//! // This matrix is additive: NJ reproduces it exactly.
+//! assert!((t.leaf_distance(0, 2).unwrap() - 9.0).abs() < 1e-9);
+//! ```
+
+use mutree_distmat::DistanceMatrix;
+
+use crate::TreeError;
+
+/// An unrooted, edge-weighted tree with labeled leaves, as produced by
+/// [`neighbor_joining`]. Nodes `0..n` are the leaves (node id = taxon id);
+/// internal nodes follow.
+#[derive(Debug, Clone)]
+pub struct AdditiveTree {
+    n_leaves: usize,
+    /// Adjacency: `adj[v]` lists `(neighbor, edge length)`.
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl AdditiveTree {
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Sum of all edge lengths — the tree's total length (the analogue of
+    /// the ultrametric tree weight `ω`).
+    pub fn total_length(&self) -> f64 {
+        self.adj
+            .iter()
+            .flat_map(|nbrs| nbrs.iter().map(|&(_, w)| w))
+            .sum::<f64>()
+            / 2.0
+    }
+
+    /// Path length between two taxa.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownTaxon`] when a taxon is out of range.
+    pub fn leaf_distance(&self, a: usize, b: usize) -> Result<f64, TreeError> {
+        if a >= self.n_leaves {
+            return Err(TreeError::UnknownTaxon { taxon: a });
+        }
+        if b >= self.n_leaves {
+            return Err(TreeError::UnknownTaxon { taxon: b });
+        }
+        if a == b {
+            return Ok(0.0);
+        }
+        // DFS from a to b (trees are small; no need for anything fancy).
+        let mut stack = vec![(a, usize::MAX, 0.0)];
+        while let Some((v, parent, dist)) = stack.pop() {
+            if v == b {
+                return Ok(dist);
+            }
+            for &(u, w) in &self.adj[v] {
+                if u != parent {
+                    stack.push((u, v, dist + w));
+                }
+            }
+        }
+        unreachable!("additive trees are connected")
+    }
+
+    /// The full matrix of pairwise leaf path lengths.
+    pub fn distance_matrix(&self) -> DistanceMatrix {
+        let n = self.n_leaves;
+        let mut m = DistanceMatrix::zeros(n).expect("NJ needs >= 2 taxa");
+        for a in 0..n {
+            // One DFS per leaf fills a whole row.
+            let mut stack = vec![(a, usize::MAX, 0.0)];
+            while let Some((v, parent, dist)) = stack.pop() {
+                if v < n && v > a {
+                    m.set(a, v, dist);
+                }
+                for &(u, w) in &self.adj[v] {
+                    if u != parent {
+                        stack.push((u, v, dist + w));
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Mean relative distortion of the tree distances against a matrix:
+    /// `mean(|d_T(i,j) − M(i,j)| / M(i,j))` over pairs with `M > 0`.
+    /// Zero iff the tree realizes the matrix exactly.
+    pub fn mean_distortion(&self, m: &DistanceMatrix) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (i, j, d) in m.pairs() {
+            if d > 0.0 {
+                let t = self.leaf_distance(i, j).expect("matrix indices are leaves");
+                total += (t - d).abs() / d;
+                count += 1;
+            }
+        }
+        total / count.max(1) as f64
+    }
+
+    /// Newick serialization, rooted arbitrarily at the last internal node
+    /// (or the first leaf for 2-taxon trees). `name` maps taxa to labels.
+    pub fn to_newick_with<F: Fn(usize) -> String>(&self, name: F) -> String {
+        fn rec<F: Fn(usize) -> String>(
+            t: &AdditiveTree,
+            v: usize,
+            parent: usize,
+            name: &F,
+            out: &mut String,
+        ) {
+            let children: Vec<(usize, f64)> = t.adj[v]
+                .iter()
+                .copied()
+                .filter(|&(u, _)| u != parent)
+                .collect();
+            if children.is_empty() {
+                out.push_str(&name(v));
+                return;
+            }
+            out.push('(');
+            for (k, (u, w)) in children.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                rec(t, *u, v, name, out);
+                out.push_str(&format!(":{w}"));
+            }
+            out.push(')');
+            if v < t.n_leaves {
+                out.push_str(&name(v));
+            }
+        }
+        let root = if self.adj.len() > self.n_leaves {
+            self.adj.len() - 1
+        } else {
+            0
+        };
+        let mut out = String::new();
+        rec(self, root, usize::MAX, &name, &mut out);
+        out.push(';');
+        out
+    }
+}
+
+/// Builds the neighbor-joining tree of a distance matrix (`O(n³)`).
+///
+/// Negative branch lengths (possible on non-additive input) are clamped
+/// to zero, the common practice.
+pub fn neighbor_joining(m: &DistanceMatrix) -> AdditiveTree {
+    let n = m.len();
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    if n == 2 {
+        let d = m.get(0, 1);
+        adj[0].push((1, d));
+        adj[1].push((0, d));
+        return AdditiveTree { n_leaves: n, adj };
+    }
+
+    // Active nodes and their pairwise working distances.
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut dist: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| m.get(i, j)).collect())
+        .collect();
+
+    let connect = |adj: &mut Vec<Vec<(usize, f64)>>, a: usize, b: usize, w: f64| {
+        let w = w.max(0.0);
+        adj[a].push((b, w));
+        adj[b].push((a, w));
+    };
+
+    while active.len() > 3 {
+        let r = active.len() as f64;
+        // Row sums over active nodes.
+        let sums: Vec<f64> = active
+            .iter()
+            .map(|&i| active.iter().map(|&k| dist[i][k]).sum())
+            .collect();
+        // Q-criterion minimum.
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for ai in 0..active.len() {
+            for bi in (ai + 1)..active.len() {
+                let q = (r - 2.0) * dist[active[ai]][active[bi]] - sums[ai] - sums[bi];
+                if q < best.2 {
+                    best = (ai, bi, q);
+                }
+            }
+        }
+        let (ai, bi, _) = best;
+        let (i, j) = (active[ai], active[bi]);
+        let dij = dist[i][j];
+        // New internal node u; branch lengths to i and j.
+        let u = adj.len();
+        adj.push(Vec::new());
+        let li = dij / 2.0 + (sums[ai] - sums[bi]) / (2.0 * (r - 2.0));
+        let lj = dij - li;
+        connect(&mut adj, u, i, li);
+        connect(&mut adj, u, j, lj);
+        // Distances from u to every other active node.
+        for row in dist.iter_mut() {
+            row.push(0.0);
+        }
+        dist.push(vec![0.0; adj.len()]);
+        for &k in &active {
+            if k != i && k != j {
+                let duk = (dist[i][k] + dist[j][k] - dij) / 2.0;
+                dist[u][k] = duk;
+                dist[k][u] = duk;
+            }
+        }
+        // Replace i, j by u in the active set (preserve order for
+        // determinism).
+        active.remove(bi);
+        active.remove(ai);
+        active.push(u);
+    }
+
+    // Three nodes left: join them on a final internal node.
+    let (a, b, c) = (active[0], active[1], active[2]);
+    let u = adj.len();
+    adj.push(Vec::new());
+    let la = (dist[a][b] + dist[a][c] - dist[b][c]) / 2.0;
+    let lb = (dist[a][b] + dist[b][c] - dist[a][c]) / 2.0;
+    let lc = (dist[a][c] + dist[b][c] - dist[a][b]) / 2.0;
+    connect(&mut adj, u, a, la);
+    connect(&mut adj, u, b, lb);
+    connect(&mut adj, u, c, lc);
+
+    AdditiveTree { n_leaves: n, adj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic additive 4-taxon example.
+    fn additive4() -> DistanceMatrix {
+        DistanceMatrix::from_rows(&[
+            vec![0.0, 5.0, 9.0, 9.0],
+            vec![5.0, 0.0, 10.0, 10.0],
+            vec![9.0, 10.0, 0.0, 8.0],
+            vec![9.0, 10.0, 8.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_additive_distances_exactly() {
+        let m = additive4();
+        let t = neighbor_joining(&m);
+        assert!(t.distance_matrix().max_relative_deviation(&m) < 1e-9);
+        assert!(t.mean_distortion(&m) < 1e-12);
+    }
+
+    #[test]
+    fn structure_of_additive4() {
+        let t = neighbor_joining(&additive4());
+        // 4 leaves, 2 internal nodes, total length = sum of 5 edges:
+        // a=2, b=3, c=4, d=4, internal=3 → 16.
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.node_count(), 6);
+        assert!((t.total_length() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_and_three_taxa() {
+        let m2 = DistanceMatrix::from_rows(&[vec![0.0, 7.0], vec![7.0, 0.0]]).unwrap();
+        let t2 = neighbor_joining(&m2);
+        assert_eq!(t2.leaf_distance(0, 1).unwrap(), 7.0);
+        assert!((t2.total_length() - 7.0).abs() < 1e-12);
+
+        let m3 = DistanceMatrix::from_rows(&[
+            vec![0.0, 4.0, 6.0],
+            vec![4.0, 0.0, 8.0],
+            vec![6.0, 8.0, 0.0],
+        ])
+        .unwrap();
+        let t3 = neighbor_joining(&m3);
+        // Any 3-point metric is realizable exactly.
+        assert!(t3.distance_matrix().max_relative_deviation(&m3) < 1e-9);
+    }
+
+    #[test]
+    fn ultrametric_matrices_are_additive() {
+        // Ultrametric ⊂ additive: NJ must recover them too.
+        let m = DistanceMatrix::from_rows(&[
+            vec![0.0, 2.0, 8.0, 8.0],
+            vec![2.0, 0.0, 8.0, 8.0],
+            vec![8.0, 8.0, 0.0, 4.0],
+            vec![8.0, 8.0, 4.0, 0.0],
+        ])
+        .unwrap();
+        let t = neighbor_joining(&m);
+        assert!(t.distance_matrix().max_relative_deviation(&m) < 1e-9);
+    }
+
+    #[test]
+    fn newick_output_is_well_formed() {
+        let t = neighbor_joining(&additive4());
+        let s = t.to_newick_with(|t| format!("L{t}"));
+        assert!(s.ends_with(';'));
+        for l in ["L0", "L1", "L2", "L3"] {
+            assert!(s.contains(l), "{s}");
+        }
+        assert_eq!(s.matches('(').count(), s.matches(')').count());
+    }
+
+    #[test]
+    fn distortion_is_positive_on_non_additive_input() {
+        // A metric violating the four-point condition.
+        let m = DistanceMatrix::from_rows(&[
+            vec![0.0, 2.0, 2.0, 2.0],
+            vec![2.0, 0.0, 2.0, 2.0],
+            vec![2.0, 2.0, 0.0, 2.0],
+            vec![2.0, 2.0, 2.0, 0.0],
+        ])
+        .unwrap();
+        let t = neighbor_joining(&m);
+        // Equidistant 4 points are actually realizable? A star with
+        // length-1 edges realizes all distances as 2 — additive after all.
+        assert!(t.mean_distortion(&m) < 0.26);
+        assert!(t.leaf_distance(0, 3).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unknown_taxon_is_an_error() {
+        let t = neighbor_joining(&additive4());
+        assert!(matches!(
+            t.leaf_distance(0, 9),
+            Err(TreeError::UnknownTaxon { taxon: 9 })
+        ));
+    }
+}

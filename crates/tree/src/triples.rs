@@ -1,0 +1,184 @@
+//! The 3-3 relationship between distance matrices and tree topologies.
+//!
+//! For any three species `i, j, k`, a binary rooted topology resolves
+//! exactly one of them as the *close pair* — the pair whose lowest common
+//! ancestor lies strictly below the (shared) LCA with the third. A distance
+//! matrix nominates a close pair when one pairwise distance is strictly
+//! smaller than both others. Definition 11 of the companion paper calls a
+//! matrix and a topology *consistent* on a triple when the two nominations
+//! agree, *contradictory* otherwise; Fan's evaluation measure counts the
+//! contradictory triples of a constructed tree.
+//!
+//! The branch-and-bound search uses this relation as the *3-3 rule*: when a
+//! matrix nominates a close pair for a triple, topologies resolving that
+//! triple differently can be pruned (applied to the third inserted species
+//! in the companion paper's Step 4, or to every insertion in the extended
+//! mode this crate's consumers implement).
+
+use mutree_distmat::DistanceMatrix;
+
+use crate::UltrametricTree;
+
+/// The pair of `{i, j, k}` resolved as closest by the tree topology: the
+/// pair with the strictly lowest LCA. Returns `None` when a taxon is
+/// missing from the tree or the triple is unresolved (impossible in a
+/// binary tree with distinct taxa).
+pub fn close_pair_in_tree(
+    tree: &UltrametricTree,
+    i: usize,
+    j: usize,
+    k: usize,
+) -> Option<(usize, usize)> {
+    let lij = tree.lca(i, j).ok()?;
+    let lik = tree.lca(i, k).ok()?;
+    let ljk = tree.lca(j, k).ok()?;
+    // In a binary tree exactly two of the three LCAs coincide and the third
+    // is a strict descendant of them.
+    if lik == ljk && lij != lik {
+        Some((i, j))
+    } else if lij == ljk && lik != lij {
+        Some((i, k))
+    } else if lij == lik && ljk != lij {
+        Some((j, k))
+    } else {
+        None
+    }
+}
+
+/// The pair of `{i, j, k}` nominated as closest by the matrix: the pair
+/// whose distance is strictly smaller than both other pairwise distances.
+/// Returns `None` on ties (the matrix then does not constrain the triple).
+pub fn close_pair_in_matrix(
+    m: &DistanceMatrix,
+    i: usize,
+    j: usize,
+    k: usize,
+) -> Option<(usize, usize)> {
+    let dij = m.get(i, j);
+    let dik = m.get(i, k);
+    let djk = m.get(j, k);
+    if dij < dik && dij < djk {
+        Some((i, j))
+    } else if dik < dij && dik < djk {
+        Some((i, k))
+    } else if djk < dij && djk < dik {
+        Some((j, k))
+    } else {
+        None
+    }
+}
+
+/// Whether the tree resolves the triple the way the matrix nominates.
+/// Triples the matrix leaves unconstrained (ties) are vacuously consistent.
+pub fn is_consistent(
+    tree: &UltrametricTree,
+    m: &DistanceMatrix,
+    i: usize,
+    j: usize,
+    k: usize,
+) -> bool {
+    match close_pair_in_matrix(m, i, j, k) {
+        None => true,
+        Some(want) => match close_pair_in_tree(tree, i, j, k) {
+            None => false,
+            Some(got) => {
+                (got.0 == want.0 && got.1 == want.1) || (got.0 == want.1 && got.1 == want.0)
+            }
+        },
+    }
+}
+
+/// Fan's contradiction count: the number of taxon triples on which the
+/// tree and the matrix disagree. Lower is a more faithful tree; zero means
+/// the topology fully respects the matrix's strict triple relations.
+pub fn contradictions(tree: &UltrametricTree, m: &DistanceMatrix) -> usize {
+    let taxa: Vec<usize> = tree.taxa().collect();
+    let mut count = 0;
+    for a in 0..taxa.len() {
+        for b in (a + 1)..taxa.len() {
+            for c in (b + 1)..taxa.len() {
+                if !is_consistent(tree, m, taxa[a], taxa[b], taxa[c]) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cluster, Linkage};
+
+    fn um4() -> DistanceMatrix {
+        DistanceMatrix::from_rows(&[
+            vec![0.0, 2.0, 8.0, 8.0],
+            vec![2.0, 0.0, 8.0, 8.0],
+            vec![8.0, 8.0, 0.0, 4.0],
+            vec![8.0, 8.0, 4.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn tree_close_pair_matches_topology() {
+        let t = cluster(&um4(), Linkage::Maximum); // ((0,1),(2,3))
+        assert_eq!(close_pair_in_tree(&t, 0, 1, 2), Some((0, 1)));
+        assert_eq!(close_pair_in_tree(&t, 0, 2, 3), Some((2, 3)));
+        assert_eq!(close_pair_in_tree(&t, 1, 2, 3), Some((2, 3)));
+    }
+
+    #[test]
+    fn matrix_close_pair_strictness() {
+        let m = um4();
+        assert_eq!(close_pair_in_matrix(&m, 0, 1, 2), Some((0, 1)));
+        // 0-2 and 1-2 tie at 8 with 0-1 = 2: close pair is still (0,1).
+        assert_eq!(close_pair_in_matrix(&m, 0, 2, 3), Some((2, 3)));
+        // A fully tied triple nominates nobody.
+        let tied = DistanceMatrix::from_rows(&[
+            vec![0.0, 5.0, 5.0],
+            vec![5.0, 0.0, 5.0],
+            vec![5.0, 5.0, 0.0],
+        ])
+        .unwrap();
+        assert_eq!(close_pair_in_matrix(&tied, 0, 1, 2), None);
+    }
+
+    #[test]
+    fn faithful_tree_has_zero_contradictions() {
+        let m = um4();
+        let t = cluster(&m, Linkage::Maximum);
+        assert_eq!(contradictions(&t, &m), 0);
+    }
+
+    #[test]
+    fn wrong_topology_contradicts() {
+        let m = um4();
+        // Force the wrong pairing ((0,2),(1,3)).
+        let t = UltrametricTree::join(
+            UltrametricTree::cherry(0, 2, 4.0),
+            UltrametricTree::cherry(1, 3, 4.0),
+            5.0,
+        );
+        assert!(contradictions(&t, &m) > 0);
+        assert!(!is_consistent(&t, &m, 0, 1, 2));
+    }
+
+    #[test]
+    fn consistency_is_orientation_insensitive() {
+        let m = um4();
+        let t = cluster(&m, Linkage::Maximum);
+        for (i, j, k) in [(0, 1, 2), (2, 1, 0), (1, 0, 3), (3, 2, 0)] {
+            assert!(is_consistent(&t, &m, i, j, k), "({i},{j},{k})");
+        }
+    }
+
+    #[test]
+    fn missing_taxon_is_inconsistent_when_constrained() {
+        let m = um4();
+        let t = UltrametricTree::cherry(0, 1, 1.0);
+        assert_eq!(close_pair_in_tree(&t, 0, 1, 9), None);
+        assert!(!is_consistent(&t, &m, 0, 1, 2));
+    }
+}

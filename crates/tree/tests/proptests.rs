@@ -1,0 +1,149 @@
+//! Property tests: height fitting is minimal and feasible, clustering
+//! invariants, Newick round-trips, grafting.
+
+use mutree_distmat::{gen, DistanceMatrix};
+use mutree_tree::{cluster, newick, triples, Linkage, UltrametricTree};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random topology over taxa `0..n`, built by random leaf insertions,
+/// fit against `m`.
+fn random_fitted(n: usize, m: &DistanceMatrix, rng: &mut StdRng) -> UltrametricTree {
+    let mut t = UltrametricTree::cherry(0, 1, 1.0);
+    for taxon in 2..n {
+        // Pick a random node (walk a random path from the root).
+        let mut node = t.root();
+        loop {
+            match t.kind(node) {
+                mutree_tree::NodeKind::Leaf(_) => break,
+                mutree_tree::NodeKind::Internal(a, b) => {
+                    if rng.gen_bool(0.3) {
+                        break;
+                    }
+                    node = if rng.gen_bool(0.5) { a } else { b };
+                }
+            }
+        }
+        t.insert_leaf(taxon, node);
+    }
+    t.fit_heights(m);
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fitted_trees_are_feasible_and_tight(n in 3usize..10, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::uniform_metric(n, 1.0, 100.0, &mut rng);
+        let t = random_fitted(n, &m, &mut rng);
+        prop_assert!(t.validate().is_ok());
+        prop_assert!(t.is_feasible_for(&m, 1e-9));
+        // Tightness: every internal height is achieved by some constraint
+        // (a pair at distance 2h, or a child of equal height) — lowering
+        // any height breaks feasibility or monotonicity. Verify the root:
+        // its height is exactly half the largest matrix distance split
+        // there.
+        let taxa: Vec<usize> = t.taxa().collect();
+        let mut best = 0.0f64;
+        for (i, &a) in taxa.iter().enumerate() {
+            for &b in &taxa[i + 1..] {
+                if t.lca(a, b).unwrap() == t.root() {
+                    best = best.max(m.get(a, b));
+                }
+            }
+        }
+        let root_h = t.height();
+        let child_max = match t.kind(t.root()) {
+            mutree_tree::NodeKind::Internal(x, y) => t.height_of(x).max(t.height_of(y)),
+            _ => 0.0,
+        };
+        prop_assert!((root_h - (best / 2.0).max(child_max)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newick_roundtrip_random_topologies(n in 2usize..10, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::uniform_metric(n.max(2), 1.0, 100.0, &mut rng);
+        let t = if n < 3 {
+            cluster(&m, Linkage::Maximum)
+        } else {
+            random_fitted(n, &m, &mut rng)
+        };
+        let text = newick::to_newick(&t);
+        let (parsed, names) = newick::parse_newick(&text).unwrap();
+        prop_assert_eq!(parsed.leaf_count(), t.leaf_count());
+        prop_assert!((parsed.weight() - t.weight()).abs() < 1e-6 * (1.0 + t.weight()));
+        prop_assert_eq!(names.len(), t.leaf_count());
+    }
+
+    #[test]
+    fn cluster_on_ultrametric_recovers_distances(n in 2usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::random_ultrametric(n, 50.0, &mut rng);
+        for linkage in [Linkage::Maximum, Linkage::Average, Linkage::Minimum] {
+            let t = cluster(&m, linkage);
+            // Equality up to ulps: averaging equal cross-distances can
+            // round in the last bit.
+            prop_assert!(t.distance_matrix().max_relative_deviation(&m) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upgmm_feasible_on_any_matrix(n in 2usize..10, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::uniform_metric(n, 1.0, 100.0, &mut rng);
+        let t = cluster(&m, Linkage::Maximum);
+        prop_assert!(t.is_feasible_for(&m, 1e-9));
+        prop_assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn graft_preserves_outside_distances(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::uniform_metric(5, 1.0, 60.0, &mut rng);
+        let mut host = random_fitted(5, &m, &mut rng);
+        let before = host.leaf_distance(0, 1).unwrap();
+        // Graft a short cherry onto leaf 4 (its parent height bounds 10.0
+        // rarely; skip if it does not fit).
+        let attach = host.parent(host.leaf_of(4).unwrap()).unwrap();
+        let h = host.height_of(attach) * 0.5;
+        if host.graft(4, UltrametricTree::cherry(10, 11, h)).is_ok() {
+            prop_assert!(host.validate().is_ok());
+            prop_assert_eq!(host.leaf_distance(0, 1).unwrap(), before);
+            prop_assert_eq!(host.leaf_distance(10, 11).unwrap(), 2.0 * h);
+            prop_assert!(host.leaf_of(4).is_none());
+        }
+    }
+
+    #[test]
+    fn tree_distance_matrices_are_ultrametric(n in 3usize..10, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::uniform_metric(n, 1.0, 100.0, &mut rng);
+        let t = random_fitted(n, &m, &mut rng);
+        prop_assert!(t.distance_matrix().is_ultrametric(1e-9));
+    }
+
+    #[test]
+    fn triple_relations_are_exhaustive_and_exclusive(n in 3usize..9, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::uniform_metric(n, 1.0, 100.0, &mut rng);
+        let t = random_fitted(n, &m, &mut rng);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for k in (j + 1)..n {
+                    // A binary tree always resolves exactly one close pair.
+                    let cp = triples::close_pair_in_tree(&t, i, j, k);
+                    prop_assert!(cp.is_some());
+                    let (a, b) = cp.unwrap();
+                    prop_assert!(a != b);
+                    for x in [a, b] {
+                        prop_assert!(x == i || x == j || x == k);
+                    }
+                }
+            }
+        }
+    }
+}

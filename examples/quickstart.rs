@@ -1,0 +1,43 @@
+//! Quickstart: exact minimum ultrametric tree from a small matrix.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mutree::core::{solution_newick, MutSolver, SearchBackend, SearchMode};
+use mutree::distmat::DistanceMatrix;
+
+fn main() {
+    // Pairwise distances between five (imaginary) species.
+    let mut m = DistanceMatrix::from_rows(&[
+        vec![0.0, 9.0, 4.0, 6.0, 5.0],
+        vec![9.0, 0.0, 7.0, 8.0, 6.0],
+        vec![4.0, 7.0, 0.0, 3.0, 5.0],
+        vec![6.0, 8.0, 3.0, 0.0, 5.0],
+        vec![5.0, 6.0, 5.0, 5.0, 0.0],
+    ])
+    .expect("valid distance matrix");
+    m.set_labels(["ape", "bat", "cat", "dog", "emu"]);
+
+    // Exact search: enumerate every optimal ultrametric tree.
+    let solution = MutSolver::new()
+        .backend(SearchBackend::Parallel { workers: 2 })
+        .mode(SearchMode::AllOptimal)
+        .solve(&m)
+        .expect("solvable instance");
+
+    println!("minimum tree weight: {}", solution.weight);
+    println!(
+        "search effort: {} branched, {} pruned",
+        solution.stats.branched, solution.stats.pruned
+    );
+    println!("optimal trees:");
+    for tree in &solution.trees {
+        assert!(tree.is_feasible_for(&m, 1e-9));
+        println!(
+            "  {}",
+            mutree::tree::newick::to_newick_with(tree, |t| m.label(t))
+        );
+    }
+    println!("first tree again: {}", solution_newick(&solution, &m));
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration: the full paper pipeline from simulated
+//! sequences to a merged, serialized evolutionary tree.
+
+use mutree::core::{CompactPipeline, MutSolver, SearchBackend, SearchMode};
+use mutree::distmat::{io as mio, DistanceMatrix};
+use mutree::graph::CompactSets;
+use mutree::seqgen;
+use mutree::tree::{newick, triples};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hmdna(n: usize, seed: u64) -> DistanceMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    seqgen::hmdna_like_matrix(n, 150, &mut rng)
+}
+
+#[test]
+fn sequences_to_newick_and_back() {
+    let m = hmdna(14, 1);
+    assert!(m.is_metric(1e-9));
+
+    let sol = CompactPipeline::new().threshold(8).solve(&m).unwrap();
+    assert!(sol.tree.is_feasible_for(&m, 1e-9));
+    assert_eq!(sol.tree.leaf_count(), 14);
+
+    // Serialize with labels, parse back, verify distances survive.
+    let text = newick::to_newick_with(&sol.tree, |t| m.label(t));
+    let (parsed, names) = newick::parse_newick(&text).unwrap();
+    assert_eq!(parsed.leaf_count(), 14);
+    let index_of = |name: &str| {
+        (0..m.len())
+            .find(|&i| m.label(i) == name)
+            .expect("label round-trips")
+    };
+    for (a, na) in names.iter().enumerate() {
+        for (b, nb) in names.iter().enumerate().skip(a + 1) {
+            let want = sol.tree.leaf_distance(index_of(na), index_of(nb)).unwrap();
+            let got = parsed.leaf_distance(a, b).unwrap();
+            assert!((want - got).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn phylip_roundtrip_preserves_solutions() {
+    let m = hmdna(10, 2);
+    let text = mio::to_phylip(&m);
+    let parsed = mio::parse_phylip(&text).unwrap();
+    let a = MutSolver::new().solve(&m).unwrap();
+    let b = MutSolver::new().solve(&parsed).unwrap();
+    assert!((a.weight - b.weight).abs() < 1e-9);
+}
+
+#[test]
+fn exact_beats_or_matches_pipeline_and_upgmm() {
+    for seed in 0..4 {
+        let m = hmdna(12, 100 + seed);
+        let exact = MutSolver::new().solve(&m).unwrap();
+        let pipe = CompactPipeline::new().threshold(6).solve(&m).unwrap();
+        let mut upgmm = mutree::tree::cluster(&m, mutree::tree::Linkage::Maximum);
+        let upgmm_w = upgmm.fit_heights(&m);
+        assert!(exact.weight <= pipe.weight + 1e-9, "seed {seed}");
+        assert!(exact.weight <= upgmm_w + 1e-9, "seed {seed}");
+        assert!(pipe.tree.is_feasible_for(&m, 1e-9));
+    }
+}
+
+#[test]
+fn all_backends_enumerate_the_same_optimal_set() {
+    let m = hmdna(9, 3);
+    let canonical = |trees: &[mutree::tree::UltrametricTree]| {
+        let mut v: Vec<String> = trees.iter().map(newick::to_newick).collect();
+        v.sort();
+        v
+    };
+    let seq = MutSolver::new()
+        .mode(SearchMode::AllOptimal)
+        .solve(&m)
+        .unwrap();
+    let par = MutSolver::new()
+        .mode(SearchMode::AllOptimal)
+        .backend(SearchBackend::Parallel { workers: 3 })
+        .solve(&m)
+        .unwrap();
+    let sim = MutSolver::new()
+        .mode(SearchMode::AllOptimal)
+        .backend(SearchBackend::SimulatedCluster {
+            spec: mutree::clustersim::ClusterSpec::with_slaves(5),
+        })
+        .solve(&m)
+        .unwrap();
+    assert!((seq.weight - par.weight).abs() < 1e-9);
+    assert!((seq.weight - sim.weight).abs() < 1e-9);
+    assert_eq!(canonical(&seq.trees), canonical(&par.trees));
+    assert_eq!(canonical(&seq.trees), canonical(&sim.trees));
+}
+
+#[test]
+fn compact_sets_respect_the_pipeline_tree() {
+    // Lemma 1: species inside a compact set share an LCA below any
+    // outside species. The pipeline's merged tree guarantees this by
+    // construction (each group becomes one subtree), so every triple
+    // (i, j, out) with {i, j} inside a *group* and `out` outside must be
+    // consistent with the matrix's (strict) nomination.
+    let m = hmdna(13, 4);
+    let cs = CompactSets::find(&m);
+    let pipe = CompactPipeline::new().threshold(6).solve(&m).unwrap();
+    let mut checked = 0;
+    for group in pipe.groups.iter().filter(|g| g.len() >= 2) {
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                for out in 0..m.len() {
+                    if group.contains(&out) {
+                        continue;
+                    }
+                    // Groups come from compact sets, so the matrix
+                    // nominates (i, j) strictly (Lemma 2)…
+                    let din = m.get(group[i], group[j]);
+                    let dout = m.get(group[i], out).min(m.get(group[j], out));
+                    assert!(din < dout, "group is compact on the matrix");
+                    // …and the merged tree must resolve it the same way.
+                    assert!(
+                        triples::is_consistent(&pipe.tree, &m, group[i], group[j], out),
+                        "triple ({}, {}, {out}) contradicts the matrix",
+                        group[i],
+                        group[j]
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "instance had compact structure: {}", cs.len());
+}
+
+#[test]
+fn contradiction_counts_rank_methods_sensibly() {
+    let m = hmdna(15, 5);
+    let exact = MutSolver::new().solve(&m).unwrap();
+    let pipe = CompactPipeline::new().threshold(8).solve(&m).unwrap();
+    let exact_c = triples::contradictions(&exact.tree, &m);
+    let pipe_c = triples::contradictions(&pipe.tree, &m);
+    // Both should be far below the worst case (all constrained triples).
+    let total = 15 * 14 * 13 / 6;
+    assert!(exact_c < total / 4);
+    assert!(pipe_c < total / 4);
+}
