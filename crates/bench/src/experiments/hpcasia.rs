@@ -71,8 +71,9 @@ pub fn simulated_time(m: &DistanceMatrix, slaves: usize, rule: ThreeThree) -> (f
         .max_branches(SIM_BUDGET)
         .solve(m)
         .expect("simulated solve");
+    let complete = sol.is_complete();
     let report = sol.sim.expect("simulated backend yields a report");
-    (report.makespan, sol.complete)
+    (report.makespan, complete)
 }
 
 fn median(mut v: Vec<f64>) -> f64 {

@@ -70,7 +70,7 @@ pub fn compare(m: &mutree_distmat::DistanceMatrix, n: usize, seed: u64) -> Compa
         pipe_time,
         exact_cost: exact.weight,
         pipe_cost: pipe.weight,
-        exact_complete: exact.complete,
+        exact_complete: exact.is_complete(),
         compact_sets: pipe.compact_sets,
     }
 }

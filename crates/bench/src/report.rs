@@ -5,7 +5,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// A rectangular experiment result: header plus rows of cells.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// The experiment id (`fig08`, `pfig3`, …).
     pub id: String,
@@ -101,6 +101,54 @@ impl Table {
         out
     }
 
+    /// The table as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        };
+        let list = |items: &[String], indent: &str| {
+            items
+                .iter()
+                .map(|s| format!("{indent}{}", esc(s)))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"id\": {},", esc(&self.id));
+        let _ = writeln!(out, "  \"title\": {},", esc(&self.title));
+        let _ = writeln!(out, "  \"header\": [\n{}\n  ],", list(&self.header, "    "));
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| format!("    [\n{}\n    ]", list(r, "      ")))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        if self.rows.is_empty() {
+            let _ = writeln!(out, "  \"rows\": []");
+        } else {
+            let _ = writeln!(out, "  \"rows\": [\n{rows}\n  ]");
+        }
+        out.push('}');
+        out
+    }
+
     /// Prints the table and writes `results/<id>.csv` and
     /// `results/<id>.json` under the workspace root (or `dir` when given).
     pub fn emit(&self, dir: Option<&Path>) -> std::io::Result<()> {
@@ -108,8 +156,7 @@ impl Table {
         let dir: PathBuf = dir.map(Path::to_path_buf).unwrap_or_else(results_dir);
         fs::create_dir_all(&dir)?;
         fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
-        let json = serde_json::to_string_pretty(self).expect("table serializes");
-        fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        fs::write(dir.join(format!("{}.json", self.id)), self.to_json())?;
         println!("(written to {}/{}.csv)\n", dir.display(), self.id);
         Ok(())
     }

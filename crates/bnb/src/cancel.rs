@@ -1,0 +1,64 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shareable cancellation flag for cooperative search shutdown.
+///
+/// Clone the token, hand one copy to [`SearchOptions`](crate::SearchOptions)
+/// and keep the other; calling [`cancel`](CancelToken::cancel) from any
+/// thread (a signal handler, a supervising thread, a UI) makes the search
+/// stop at its next check and return the best incumbent found so far with
+/// [`StopReason::Cancelled`](crate::StopReason::Cancelled).
+///
+/// Cancellation is level-triggered and sticky: once cancelled, a token
+/// stays cancelled forever, so a token must not be reused across runs that
+/// should not share a fate.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        assert!(!b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled());
+        // Sticky and idempotent.
+        a.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_crosses_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || remote.cancel());
+        });
+        assert!(token.is_cancelled());
+    }
+}

@@ -1,0 +1,219 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! [`FaultyProblem`] wraps any [`Problem`] and injects failures the search
+//! drivers must survive: panics inside `branch`, NaN or `+∞` lower bounds,
+//! and artificially slow branch operations. Faults fire pseudo-randomly
+//! but *deterministically*: each callback invocation hashes a seeded
+//! counter, so a given `(seed, rates)` configuration always faults at the
+//! same call sequence numbers — a failing test reproduces exactly.
+//!
+//! This module is part of the public API (rather than test-only code) so
+//! downstream crates — the pipeline, the CLI, benches — can reuse the same
+//! harness for their own robustness tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::Problem;
+
+/// Which faults to inject, and how often.
+///
+/// Rates are probabilities in `[0, 1]` evaluated independently per
+/// callback invocation. All default to zero (no faults).
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Probability that a `branch` call panics.
+    pub panic_rate: f64,
+    /// Probability that a `lower_bound` call returns NaN.
+    pub nan_bound_rate: f64,
+    /// Probability that a `lower_bound` call returns `+∞` (which, taken at
+    /// face value, would wrongly prune a live subtree).
+    pub inf_bound_rate: f64,
+    /// Probability that a `branch` call sleeps for
+    /// [`slow_duration`](FaultSpec::slow_duration) first.
+    pub slow_branch_rate: f64,
+    /// How long a slow branch sleeps.
+    pub slow_duration: Duration,
+}
+
+impl FaultSpec {
+    /// A spec with the given seed and no faults enabled.
+    pub fn new(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            panic_rate: 0.0,
+            nan_bound_rate: 0.0,
+            inf_bound_rate: 0.0,
+            slow_branch_rate: 0.0,
+            slow_duration: Duration::from_millis(1),
+        }
+    }
+
+    /// Sets the branch-panic rate.
+    pub fn panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = rate;
+        self
+    }
+
+    /// Sets the NaN lower-bound rate.
+    pub fn nan_bound_rate(mut self, rate: f64) -> Self {
+        self.nan_bound_rate = rate;
+        self
+    }
+
+    /// Sets the infinite lower-bound rate.
+    pub fn inf_bound_rate(mut self, rate: f64) -> Self {
+        self.inf_bound_rate = rate;
+        self
+    }
+
+    /// Sets the slow-branch rate and sleep duration.
+    pub fn slow_branches(mut self, rate: f64, duration: Duration) -> Self {
+        self.slow_branch_rate = rate;
+        self.slow_duration = duration;
+        self
+    }
+}
+
+/// A [`Problem`] wrapper injecting the faults described by a [`FaultSpec`].
+///
+/// See the [module docs](self) for the determinism contract.
+pub struct FaultyProblem<P> {
+    inner: P,
+    spec: FaultSpec,
+    calls: AtomicU64,
+}
+
+impl<P> FaultyProblem<P> {
+    /// Wraps `inner` with the given fault configuration.
+    pub fn new(inner: P, spec: FaultSpec) -> Self {
+        FaultyProblem {
+            inner,
+            spec,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped problem.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// How many faultable callbacks have run so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Draws a uniform value in `[0, 1)` for the next call slot.
+    fn roll(&self) -> f64 {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        (splitmix(self.spec.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 11) as f64
+            * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// SplitMix64 finalizer: one well-mixed u64 per input.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<P: Problem> Problem for FaultyProblem<P> {
+    type Node = P::Node;
+    type Solution = P::Solution;
+
+    fn root(&self) -> P::Node {
+        self.inner.root()
+    }
+
+    fn lower_bound(&self, node: &P::Node) -> f64 {
+        let r = self.roll();
+        if r < self.spec.nan_bound_rate {
+            return f64::NAN;
+        }
+        if r < self.spec.nan_bound_rate + self.spec.inf_bound_rate {
+            return f64::INFINITY;
+        }
+        self.inner.lower_bound(node)
+    }
+
+    fn solution(&self, node: &P::Node) -> Option<(P::Solution, f64)> {
+        self.inner.solution(node)
+    }
+
+    fn branch(&self, node: &P::Node, out: &mut Vec<P::Node>) {
+        let r = self.roll();
+        if r < self.spec.panic_rate {
+            panic!("injected fault: branch panicked (call #{})", self.calls());
+        }
+        if r < self.spec.panic_rate + self.spec.slow_branch_rate {
+            std::thread::sleep(self.spec.slow_duration);
+        }
+        self.inner.branch(node, out);
+    }
+
+    fn initial_incumbent(&self) -> Option<(P::Solution, f64)> {
+        self.inner.initial_incumbent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountDown(u32);
+    impl Problem for CountDown {
+        type Node = u32;
+        type Solution = u32;
+        fn root(&self) -> u32 {
+            self.0
+        }
+        fn lower_bound(&self, _: &u32) -> f64 {
+            0.0
+        }
+        fn solution(&self, n: &u32) -> Option<(u32, f64)> {
+            (*n == 0).then_some((0, 0.0))
+        }
+        fn branch(&self, n: &u32, out: &mut Vec<u32>) {
+            out.push(n - 1);
+        }
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic() {
+        let spec = FaultSpec::new(42).nan_bound_rate(0.5);
+        let a = FaultyProblem::new(CountDown(5), spec.clone());
+        let b = FaultyProblem::new(CountDown(5), spec);
+        let bounds_a: Vec<f64> = (0..64).map(|_| a.lower_bound(&1)).collect();
+        let bounds_b: Vec<f64> = (0..64).map(|_| b.lower_bound(&1)).collect();
+        for (x, y) in bounds_a.iter().zip(&bounds_b) {
+            assert_eq!(x.is_nan(), y.is_nan());
+            if !x.is_nan() {
+                assert_eq!(x, y);
+            }
+        }
+        assert!(bounds_a.iter().any(|x| x.is_nan()));
+        assert!(bounds_a.iter().any(|x| !x.is_nan()));
+    }
+
+    #[test]
+    fn zero_rates_are_transparent() {
+        let p = FaultyProblem::new(CountDown(3), FaultSpec::new(7));
+        let out =
+            crate::solve_sequential(&p, &crate::SearchOptions::new(crate::SearchMode::BestOne));
+        assert_eq!(out.best_value, Some(0.0));
+        assert!(out.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn panic_rate_one_always_panics() {
+        let p = FaultyProblem::new(CountDown(3), FaultSpec::new(1).panic_rate(1.0));
+        let mut out = Vec::new();
+        p.branch(&2, &mut out);
+    }
+}

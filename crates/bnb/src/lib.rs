@@ -22,6 +22,19 @@
 //! the paper. [`SearchOutcome::stats`] exposes node counts so experiments
 //! can observe exactly that effect.
 //!
+//! # Anytime operation and fault isolation
+//!
+//! Both drivers are *anytime*: they can be stopped by a branch budget, a
+//! wall-clock deadline ([`SearchOptions::deadline`]) or a [`CancelToken`],
+//! and always return the best incumbent found with an accurate
+//! [`StopReason`] in [`SearchOutcome::stop`]. The parallel driver also
+//! isolates panics raised inside [`Problem`] callbacks: a panicking worker
+//! deregisters itself and wakes every waiter, so the run drains without
+//! deadlocking and reports [`StopReason::WorkerPanicked`] while keeping
+//! all previously published incumbents. The [`fault`] module provides a
+//! deterministic fault-injection wrapper used to test exactly these
+//! properties.
+//!
 //! # Example: subset-sum as branch-and-bound
 //!
 //! ```
@@ -66,12 +79,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
+pub mod fault;
 mod parallel;
 mod problem;
 mod sequential;
 mod shared_bound;
 
+pub use cancel::CancelToken;
 pub use parallel::solve_parallel;
-pub use problem::{Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, Strategy};
+pub use problem::{
+    Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason, Strategy,
+};
 pub use sequential::{solve_sequential, Incumbents};
 pub use shared_bound::SharedBound;

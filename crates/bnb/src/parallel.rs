@@ -1,30 +1,98 @@
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
-
+use crate::problem::{sanitize_lb, TIME_CHECK_INTERVAL};
 use crate::sequential::Incumbents;
-use crate::{Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, SharedBound};
+use crate::{
+    Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, SharedBound, StopReason,
+};
+
+/// How long a starved worker sleeps on the condvar before re-checking the
+/// stop flags. A missed wakeup (e.g. a peer that panicked before its
+/// `notify_all`) therefore delays termination by at most this much instead
+/// of hanging forever.
+const IDLE_WAIT: Duration = Duration::from_millis(25);
+
+/// Compact first-wins encoding of the early-stop reason; `0` = running.
+const STOP_NONE: u8 = 0;
+
+fn encode_stop(r: StopReason) -> u8 {
+    match r {
+        StopReason::Completed => STOP_NONE,
+        StopReason::BudgetExhausted => 1,
+        StopReason::DeadlineExpired => 2,
+        StopReason::Cancelled => 3,
+        StopReason::WorkerPanicked => 4,
+    }
+}
+
+fn decode_stop(v: u8) -> StopReason {
+    match v {
+        1 => StopReason::BudgetExhausted,
+        2 => StopReason::DeadlineExpired,
+        3 => StopReason::Cancelled,
+        4 => StopReason::WorkerPanicked,
+        _ => StopReason::Completed,
+    }
+}
 
 struct PoolState<N> {
     global: Vec<N>,
+    /// Workers currently blocked waiting for global work.
     idle: usize,
+    /// Workers still running (panicked workers deregister themselves so
+    /// the `idle == alive` termination test stays reachable).
+    alive: usize,
     done: bool,
 }
 
-struct Shared<N> {
+struct Shared<N, S> {
     state: Mutex<PoolState<N>>,
     cv: Condvar,
     bound: SharedBound,
     branches: AtomicU64,
-    aborted: AtomicBool,
-    workers: usize,
+    /// First early-stop reason to fire, `STOP_NONE` while running.
+    stop: AtomicU8,
+    /// Incumbents are published here the moment they are accepted, so a
+    /// worker that later panics loses none of its finds.
+    found: Mutex<Vec<(f64, S)>>,
 }
 
-impl<N> Shared<N> {
+impl<N, S> Shared<N, S> {
+    /// Locks the pool state, tolerating poison: a panicking worker runs
+    /// its unwind path while holding no invariant broken — the state is a
+    /// plain work list, safe to keep using.
+    fn lock_state(&self) -> MutexGuard<'_, PoolState<N>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records `reason` if no earlier stop fired, then wakes everyone.
+    fn request_stop(&self, reason: StopReason) {
+        let _ = self.stop.compare_exchange(
+            STOP_NONE,
+            encode_stop(reason),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        let mut st = self.lock_state();
+        st.done = true;
+        self.cv.notify_all();
+    }
+
+    fn stop_reason(&self) -> StopReason {
+        decode_stop(self.stop.load(Ordering::Acquire))
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire) != STOP_NONE
+    }
+
     /// Blocks until global work is available or the search has finished.
     fn fetch_global(&self) -> Option<N> {
-        let mut st = self.state.lock();
+        let mut st = self.lock_state();
         loop {
             if st.done {
                 return None;
@@ -33,13 +101,20 @@ impl<N> Shared<N> {
                 return Some(n);
             }
             st.idle += 1;
-            if st.idle == self.workers {
-                // Everyone is out of work: the search is over.
+            if st.idle >= st.alive {
+                // Everyone still alive is out of work: the search is over.
                 st.done = true;
                 self.cv.notify_all();
                 return None;
             }
-            self.cv.wait(&mut st);
+            // Bounded wait so a missed notification (worker panic between
+            // its last donation and its unwind) degrades to a short poll,
+            // never a hang.
+            let (g, _) = self
+                .cv
+                .wait_timeout(st, IDLE_WAIT)
+                .unwrap_or_else(|e| e.into_inner());
+            st = g;
             if st.done {
                 return None;
             }
@@ -47,12 +122,22 @@ impl<N> Shared<N> {
         }
     }
 
-    /// Ends the search early (branch budget exhausted).
-    fn abort(&self) {
-        self.aborted.store(true, Ordering::Release);
-        let mut st = self.state.lock();
-        st.done = true;
+    /// Deregisters a panicked worker and wakes all waiters so the idle
+    /// count converges without it.
+    fn abandon_worker(&self) {
+        let mut st = self.lock_state();
+        st.alive = st.alive.saturating_sub(1);
+        if st.idle >= st.alive {
+            st.done = true;
+        }
         self.cv.notify_all();
+    }
+
+    fn publish(&self, value: f64, solution: S) {
+        self.found
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((value, solution));
     }
 }
 
@@ -76,6 +161,22 @@ impl<N> Shared<N> {
 /// With `workers == 1` this degenerates to (slightly buffered) sequential
 /// search; results are always identical in optimum value to
 /// [`solve_sequential`](crate::solve_sequential).
+///
+/// # Robustness
+///
+/// The search is anytime and fault-isolated:
+///
+/// * deadline and cancellation (see [`SearchOptions`]) are checked
+///   cooperatively by every worker; the first to notice stops the whole
+///   search, and the outcome keeps the best incumbent published so far;
+/// * a panic in one worker (i.e. in the [`Problem`] implementation) is
+///   caught, the worker deregisters itself and wakes all waiters, and the
+///   run drains cleanly with [`StopReason::WorkerPanicked`] — never a
+///   deadlock, and never losing incumbents already published, because
+///   workers publish each accepted solution immediately;
+/// * NaN lower bounds never prune (they are treated as `-∞`) and NaN
+///   objective values are rejected, so a numerically degenerate problem
+///   degrades to extra work instead of wrong answers.
 pub fn solve_parallel<P: Problem>(
     problem: &P,
     opts: &SearchOptions,
@@ -86,71 +187,95 @@ pub fn solve_parallel<P: Problem>(
     let mut master_inc = Incumbents::new(opts);
     let bound = SharedBound::unbounded();
     if let Some((s, v)) = problem.initial_incumbent() {
-        master_inc.offer(v, s);
-        master_stats.incumbent_updates += 1;
-        bound.try_improve(v);
+        if master_inc.offer(v, s) {
+            master_stats.incumbent_updates += 1;
+            bound.try_improve(v);
+        }
     }
 
     // --- Master seeding phase: breadth-first until 2×workers open nodes.
-    let target = 2 * workers;
+    // The problem's callbacks run on this thread too, so the phase gets the
+    // same panic isolation as the workers: a panic mid-seeding yields
+    // whatever incumbent exists with `WorkerPanicked` instead of unwinding
+    // through the caller.
     let mut frontier: VecDeque<P::Node> = VecDeque::new();
-    frontier.push_back(problem.root());
-    let mut kids = Vec::new();
-    while frontier.len() < target {
-        let Some(node) = frontier.pop_front() else {
-            break;
-        };
-        let ub = bound.get();
-        let lb = problem.lower_bound(&node);
-        if Incumbents::<P::Solution>::prunable(lb, ub, opts) {
-            master_stats.pruned += 1;
-            continue;
-        }
-        if let Some((s, v)) = problem.solution(&node) {
-            master_stats.solutions_seen += 1;
-            if master_inc.offer(v, s) {
-                master_stats.incumbent_updates += 1;
-                bound.try_improve(v);
+    let mut early_stop: Option<StopReason> = None;
+    let seeding = catch_unwind(AssertUnwindSafe(|| {
+        let target = 2 * workers;
+        frontier.push_back(problem.root());
+        let mut kids = Vec::new();
+        let mut ticks = 0u64;
+        while frontier.len() < target {
+            if opts.cancelled() {
+                early_stop = Some(StopReason::Cancelled);
+                break;
             }
-            continue;
-        }
-        master_stats.branched += 1;
-        kids.clear();
-        problem.branch(&node, &mut kids);
-        let ub = bound.get();
-        for k in kids.drain(..) {
-            if Incumbents::<P::Solution>::prunable(problem.lower_bound(&k), ub, opts) {
+            if ticks.is_multiple_of(TIME_CHECK_INTERVAL) && opts.deadline_expired() {
+                early_stop = Some(StopReason::DeadlineExpired);
+                break;
+            }
+            ticks += 1;
+            let Some(node) = frontier.pop_front() else {
+                break;
+            };
+            let ub = bound.get();
+            let lb = sanitize_lb(problem.lower_bound(&node));
+            if Incumbents::<P::Solution>::prunable(lb, ub, opts) {
                 master_stats.pruned += 1;
-            } else {
-                frontier.push_back(k);
+                continue;
             }
+            if let Some((s, v)) = problem.solution(&node) {
+                master_stats.solutions_seen += 1;
+                if master_inc.offer(v, s) {
+                    master_stats.incumbent_updates += 1;
+                    bound.try_improve(v);
+                }
+                continue;
+            }
+            if master_stats.branched >= opts.max_branches {
+                early_stop = Some(StopReason::BudgetExhausted);
+                break;
+            }
+            master_stats.branched += 1;
+            kids.clear();
+            problem.branch(&node, &mut kids);
+            let ub = bound.get();
+            for k in kids.drain(..) {
+                if Incumbents::<P::Solution>::prunable(
+                    sanitize_lb(problem.lower_bound(&k)),
+                    ub,
+                    opts,
+                ) {
+                    master_stats.pruned += 1;
+                } else {
+                    frontier.push_back(k);
+                }
+            }
+            master_stats.peak_pool = master_stats.peak_pool.max(frontier.len() as u64);
         }
-        master_stats.peak_pool = master_stats.peak_pool.max(frontier.len() as u64);
+    }));
+    if seeding.is_err() {
+        early_stop = Some(StopReason::WorkerPanicked);
+        frontier.clear();
     }
 
-    if frontier.is_empty() {
-        // The whole tree collapsed during seeding.
-        let best = master_inc
-            .solutions
-            .iter()
-            .map(|(v, _)| *v)
-            .fold(None, |acc: Option<f64>, v| {
-                Some(acc.map_or(v, |a| a.min(v)))
-            });
-        return SearchOutcome {
-            best_value: best,
-            solutions: best.map(|b| master_inc.finish(b)).unwrap_or_default(),
-            stats: master_stats,
-            complete: true,
-        };
+    if frontier.is_empty() || early_stop.is_some() {
+        // The whole tree collapsed during seeding, or seeding was stopped
+        // early — either way there is nothing to hand to workers.
+        return gather(
+            opts,
+            master_stats,
+            master_inc.solutions,
+            early_stop.unwrap_or(StopReason::Completed),
+        );
     }
 
     // --- Sort by lower bound, deal cyclically (Step 6).
     let mut seeds: Vec<(f64, P::Node)> = frontier
         .into_iter()
-        .map(|n| (problem.lower_bound(&n), n))
+        .map(|n| (sanitize_lb(problem.lower_bound(&n)), n))
         .collect();
-    seeds.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are finite"));
+    seeds.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut locals: Vec<Vec<P::Node>> = (0..workers).map(|_| Vec::new()).collect();
     for (i, (_, node)) in seeds.into_iter().enumerate() {
         locals[i % workers].push(node);
@@ -160,54 +285,74 @@ pub fn solve_parallel<P: Problem>(
         lp.reverse();
     }
 
-    let shared = Shared {
+    let shared: Shared<P::Node, P::Solution> = Shared {
         state: Mutex::new(PoolState {
             global: Vec::new(),
             idle: 0,
+            alive: workers,
             done: false,
         }),
         cv: Condvar::new(),
         bound,
         branches: AtomicU64::new(master_stats.branched),
-        aborted: AtomicBool::new(false),
-        workers,
+        stop: AtomicU8::new(STOP_NONE),
+        found: Mutex::new(Vec::new()),
     };
 
     // --- Worker phase.
-    type WorkerHarvest<S> = Vec<(Vec<(f64, S)>, SearchStats)>;
-    let results: WorkerHarvest<P::Solution> = crossbeam::thread::scope(|scope| {
+    let worker_stats: Vec<Option<SearchStats>> = std::thread::scope(|scope| {
         let handles: Vec<_> = locals
             .into_iter()
             .map(|lp| {
                 let shared = &shared;
-                scope.spawn(move |_| run_worker(problem, opts, shared, lp))
+                scope.spawn(move || {
+                    match catch_unwind(AssertUnwindSafe(|| run_worker(problem, opts, shared, lp))) {
+                        Ok(stats) => Some(stats),
+                        Err(_) => {
+                            // The panic payload is intentionally dropped:
+                            // isolation means the search result reports the
+                            // fault, it does not re-raise it.
+                            shared.request_stop(StopReason::WorkerPanicked);
+                            shared.abandon_worker();
+                            None
+                        }
+                    }
+                })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| h.join().unwrap_or(None))
             .collect()
-    })
-    .expect("scope panicked");
+    });
 
     // --- Gather (Step 8).
     let mut stats = master_stats;
-    let mut all: Vec<(f64, P::Solution)> = master_inc.solutions;
-    for (found, wstats) in results {
+    for wstats in worker_stats.into_iter().flatten() {
         stats.merge(&wstats);
-        all.extend(found);
     }
+    let mut all = master_inc.solutions;
+    all.append(&mut shared.found.lock().unwrap_or_else(|e| e.into_inner()));
+    gather(opts, stats, all, shared.stop_reason())
+}
+
+/// Reduces collected `(value, solution)` pairs to the final outcome.
+fn gather<S>(
+    opts: &SearchOptions,
+    stats: SearchStats,
+    all: Vec<(f64, S)>,
+    stop: StopReason,
+) -> SearchOutcome<S> {
     let best = all
         .iter()
         .map(|(v, _)| *v)
         .fold(None, |acc: Option<f64>, v| {
             Some(acc.map_or(v, |a| a.min(v)))
         });
-    let complete = !shared.aborted.load(Ordering::Acquire);
     match best {
         Some(bv) => {
             let eps = opts.eps(bv);
-            let mut solutions: Vec<P::Solution> = all
+            let mut solutions: Vec<S> = all
                 .into_iter()
                 .filter(|(v, _)| *v <= bv + eps)
                 .map(|(_, s)| s)
@@ -219,14 +364,14 @@ pub fn solve_parallel<P: Problem>(
                 best_value: Some(bv),
                 solutions,
                 stats,
-                complete,
+                stop,
             }
         }
         None => SearchOutcome {
             best_value: None,
             solutions: Vec::new(),
             stats,
-            complete,
+            stop,
         },
     }
 }
@@ -234,13 +379,25 @@ pub fn solve_parallel<P: Problem>(
 fn run_worker<P: Problem>(
     problem: &P,
     opts: &SearchOptions,
-    shared: &Shared<P::Node>,
+    shared: &Shared<P::Node, P::Solution>,
     mut lp: Vec<P::Node>,
-) -> (Vec<(f64, P::Solution)>, SearchStats) {
+) -> SearchStats {
     let mut stats = SearchStats::default();
-    let mut found: Vec<(f64, P::Solution)> = Vec::new();
     let mut kids = Vec::new();
+    let mut ticks = 0u64;
     loop {
+        if shared.stopping() {
+            break;
+        }
+        if opts.cancelled() {
+            shared.request_stop(StopReason::Cancelled);
+            break;
+        }
+        if ticks.is_multiple_of(TIME_CHECK_INTERVAL) && opts.deadline_expired() {
+            shared.request_stop(StopReason::DeadlineExpired);
+            break;
+        }
+        ticks += 1;
         let node = match lp.pop() {
             Some(n) => n,
             None => match shared.fetch_global() {
@@ -249,23 +406,28 @@ fn run_worker<P: Problem>(
             },
         };
         let ub = shared.bound.get();
-        let lb = problem.lower_bound(&node);
+        let lb = sanitize_lb(problem.lower_bound(&node));
         if Incumbents::<P::Solution>::prunable(lb, ub, opts) {
             stats.pruned += 1;
             continue;
         }
         if let Some((s, v)) = problem.solution(&node) {
+            if v.is_nan() {
+                // Unorderable objective: drop it rather than poison the
+                // bound (mirrors `Incumbents::offer`).
+                continue;
+            }
             stats.solutions_seen += 1;
             match opts.mode {
                 SearchMode::BestOne => {
                     if shared.bound.try_improve(v) {
                         stats.incumbent_updates += 1;
-                        found.push((v, s));
+                        shared.publish(v, s);
                     }
                 }
                 SearchMode::AllOptimal => {
                     if v <= ub + opts.eps(ub) {
-                        found.push((v, s));
+                        shared.publish(v, s);
                         if shared.bound.try_improve(v) {
                             stats.incumbent_updates += 1;
                         }
@@ -275,16 +437,15 @@ fn run_worker<P: Problem>(
             continue;
         }
         if shared.branches.fetch_add(1, Ordering::Relaxed) >= opts.max_branches {
-            shared.abort();
-            lp.clear();
-            continue;
+            shared.request_stop(StopReason::BudgetExhausted);
+            break;
         }
         stats.branched += 1;
         kids.clear();
         problem.branch(&node, &mut kids);
         let ub = shared.bound.get();
         for k in kids.drain(..).rev() {
-            if Incumbents::<P::Solution>::prunable(problem.lower_bound(&k), ub, opts) {
+            if Incumbents::<P::Solution>::prunable(sanitize_lb(problem.lower_bound(&k)), ub, opts) {
                 stats.pruned += 1;
             } else {
                 lp.push(k);
@@ -295,7 +456,7 @@ fn run_worker<P: Problem>(
         // Load balancing: keep the global pool stocked while we have spare
         // work (the paper's "send the last UT in sorted LP to GP").
         if lp.len() > 1 {
-            let mut st = shared.state.lock();
+            let mut st = shared.lock_state();
             if st.global.is_empty() && !st.done && st.idle > 0 {
                 let donated = lp.remove(0);
                 st.global.push(donated);
@@ -303,13 +464,14 @@ fn run_worker<P: Problem>(
             }
         }
     }
-    (found, stats)
+    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solve_sequential;
+    use crate::{solve_sequential, CancelToken};
+    use std::time::Instant;
 
     /// Minimize the weighted ones-count over binary strings, with values
     /// crafted so the tree is big enough to exercise the pools.
@@ -357,7 +519,7 @@ mod tests {
             let par = solve_parallel(&p, &opts, workers);
             assert_eq!(seq.best_value, par.best_value, "workers = {workers}");
             assert_eq!(par.solutions.len(), 1);
-            assert!(par.complete);
+            assert!(par.is_complete());
         }
     }
 
@@ -404,7 +566,26 @@ mod tests {
         let p = problem(18);
         let opts = SearchOptions::new(SearchMode::BestOne).max_branches(10);
         let par = solve_parallel(&p, &opts, 4);
-        assert!(!par.complete);
+        assert_eq!(par.stop, StopReason::BudgetExhausted);
+        assert!(!par.is_complete());
+    }
+
+    #[test]
+    fn expired_deadline_returns_quickly() {
+        let p = problem(20);
+        let opts = SearchOptions::new(SearchMode::BestOne).deadline(Instant::now());
+        let par = solve_parallel(&p, &opts, 4);
+        assert_eq!(par.stop, StopReason::DeadlineExpired);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_immediately() {
+        let p = problem(20);
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = SearchOptions::new(SearchMode::BestOne).cancel_token(token);
+        let par = solve_parallel(&p, &opts, 4);
+        assert_eq!(par.stop, StopReason::Cancelled);
     }
 
     #[test]
@@ -433,7 +614,7 @@ mod tests {
         let out = solve_parallel(&p, &SearchOptions::new(SearchMode::BestOne), 4);
         assert_eq!(out.best_value, Some(0.0));
         assert_eq!(out.solutions.len(), 1);
-        assert!(out.complete);
+        assert!(out.is_complete());
     }
 
     #[test]
@@ -443,5 +624,39 @@ mod tests {
             let out = solve_parallel(&p, &SearchOptions::new(SearchMode::BestOne), 4);
             assert_eq!(out.best_value, Some(0.0));
         }
+    }
+
+    #[test]
+    fn nan_lower_bounds_do_not_break_the_search() {
+        /// Wraps `WeightedBits` but reports NaN bounds for half the nodes;
+        /// the optimum must still be found (NaN = "no information").
+        struct NanBounds(WeightedBits);
+        impl Problem for NanBounds {
+            type Node = Vec<bool>;
+            type Solution = Vec<bool>;
+            fn root(&self) -> Vec<bool> {
+                Vec::new()
+            }
+            fn lower_bound(&self, n: &Vec<bool>) -> f64 {
+                if n.len() % 2 == 1 {
+                    f64::NAN
+                } else {
+                    self.0.lower_bound(n)
+                }
+            }
+            fn solution(&self, n: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
+                self.0.solution(n)
+            }
+            fn branch(&self, n: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+                self.0.branch(n, out)
+            }
+        }
+        let p = NanBounds(problem(8));
+        let opts = SearchOptions::new(SearchMode::BestOne);
+        let seq = solve_sequential(&p, &opts);
+        let par = solve_parallel(&p, &opts, 4);
+        assert_eq!(seq.best_value, Some(0.0));
+        assert_eq!(par.best_value, Some(0.0));
+        assert!(par.is_complete());
     }
 }

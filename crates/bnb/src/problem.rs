@@ -1,3 +1,7 @@
+use std::time::{Duration, Instant};
+
+use crate::CancelToken;
+
 /// A minimization problem searchable by branch-and-bound.
 ///
 /// Nodes are partial solutions; [`branch`](Problem::branch) refines a node
@@ -58,8 +62,68 @@ pub enum Strategy {
     BestFirst,
 }
 
+/// Why a search run stopped.
+///
+/// Every stop mode is *anytime*: the outcome still carries the best
+/// incumbent found so far, only [`StopReason::Completed`] certifies it as a
+/// proven optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The search space was exhausted; the incumbent is a proven optimum.
+    Completed,
+    /// [`SearchOptions::max_branches`] branch operations were spent.
+    BudgetExhausted,
+    /// The wall-clock [`SearchOptions::deadline`] passed.
+    DeadlineExpired,
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+    /// A parallel worker panicked; the search drained cleanly and kept
+    /// every incumbent published before the panic.
+    WorkerPanicked,
+}
+
+impl StopReason {
+    /// Whether the incumbent is a proven optimum.
+    pub fn is_complete(self) -> bool {
+        matches!(self, StopReason::Completed)
+    }
+
+    /// Of two stop reasons from merged sub-searches, the more severe one
+    /// (anything beats `Completed`; panics dominate everything).
+    pub fn worst(self, other: StopReason) -> StopReason {
+        fn rank(r: StopReason) -> u8 {
+            match r {
+                StopReason::Completed => 0,
+                StopReason::BudgetExhausted => 1,
+                StopReason::DeadlineExpired => 2,
+                StopReason::Cancelled => 3,
+                StopReason::WorkerPanicked => 4,
+            }
+        }
+        if rank(other) > rank(self) {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopReason::Completed => "completed",
+            StopReason::BudgetExhausted => "branch budget exhausted",
+            StopReason::DeadlineExpired => "deadline expired",
+            StopReason::Cancelled => "cancelled",
+            StopReason::WorkerPanicked => "worker panicked",
+        })
+    }
+}
+
 /// Search configuration.
-#[derive(Debug, Clone, Copy)]
+///
+/// No longer `Copy` (the cancel token is reference-counted); clone freely.
+#[derive(Debug, Clone)]
 pub struct SearchOptions {
     /// Whether to find one optimum or all of them.
     pub mode: SearchMode,
@@ -70,20 +134,30 @@ pub struct SearchOptions {
     pub tol: f64,
     /// Stop after this many branch operations (safety valve for
     /// experiments; `u64::MAX` means unlimited). When the search stops
-    /// early [`SearchOutcome::complete`] is `false` and the incumbent is
-    /// only an upper bound.
+    /// early the outcome reports [`StopReason::BudgetExhausted`] and the
+    /// incumbent is only an upper bound.
     pub max_branches: u64,
+    /// Wall-clock instant after which the search stops with
+    /// [`StopReason::DeadlineExpired`]. Checked cooperatively every few
+    /// hundred nodes, so overshoot is bounded by a handful of branch
+    /// operations. `None` means no deadline.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag, checked on every node. `None` means
+    /// the search cannot be cancelled externally.
+    pub cancel: Option<CancelToken>,
 }
 
 impl SearchOptions {
     /// Options with the given mode, depth-first strategy, default
-    /// tolerance `1e-9`, no branch limit.
+    /// tolerance `1e-9`, no branch limit, no deadline, no cancel token.
     pub fn new(mode: SearchMode) -> Self {
         SearchOptions {
             mode,
             strategy: Strategy::DepthFirst,
             tol: 1e-9,
             max_branches: u64::MAX,
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -99,6 +173,35 @@ impl SearchOptions {
         self
     }
 
+    /// Sets an absolute wall-clock deadline.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline to `timeout` from now.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Attaches a cancellation token (keep a clone to trigger it).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether the deadline (if any) has passed. Public so custom drivers
+    /// (e.g. the simulated-cluster backend) can share the stop policy.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether the cancel token (if any) has fired.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
     pub(crate) fn eps(&self, ub: f64) -> f64 {
         if ub.is_finite() {
             self.tol * 1f64.max(ub.abs())
@@ -107,6 +210,21 @@ impl SearchOptions {
             // keeps `ub - eps` well-defined (∞ − ∞ would be NaN).
             0.0
         }
+    }
+}
+
+/// How often (in processed nodes) the drivers look at the wall clock for
+/// deadline checks. Cancel flags are atomics and are checked every node.
+pub(crate) const TIME_CHECK_INTERVAL: u64 = 128;
+
+/// Normalizes a lower bound coming from [`Problem::lower_bound`] so a
+/// buggy or degenerate bound can never prune a live subtree: NaN (which
+/// would poison every comparison) becomes `-∞`, i.e. "no information".
+pub(crate) fn sanitize_lb(lb: f64) -> f64 {
+    if lb.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        lb
     }
 }
 
@@ -140,14 +258,24 @@ impl SearchStats {
 /// The result of a branch-and-bound run.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome<S> {
-    /// The optimal objective value, when any solution exists.
+    /// The best objective value found, when any solution exists. A proven
+    /// optimum only when [`SearchOutcome::stop`] is
+    /// [`StopReason::Completed`]; otherwise the best incumbent at the time
+    /// the search stopped.
     pub best_value: Option<f64>,
-    /// The optimal solutions: one in [`SearchMode::BestOne`], all of them
-    /// in [`SearchMode::AllOptimal`].
+    /// The best solutions found: one in [`SearchMode::BestOne`], all known
+    /// co-optima in [`SearchMode::AllOptimal`].
     pub solutions: Vec<S>,
     /// Search counters.
     pub stats: SearchStats,
-    /// `false` when the search hit [`SearchOptions::max_branches`] and the
-    /// result is only an incumbent, not a proven optimum.
-    pub complete: bool,
+    /// Why the search stopped.
+    pub stop: StopReason,
+}
+
+impl<S> SearchOutcome<S> {
+    /// Whether the search space was exhausted, certifying the incumbent as
+    /// a proven optimum.
+    pub fn is_complete(&self) -> bool {
+        self.stop.is_complete()
+    }
 }

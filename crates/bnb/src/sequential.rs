@@ -1,7 +1,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::{Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, Strategy};
+use crate::problem::{sanitize_lb, TIME_CHECK_INTERVAL};
+use crate::{Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason, Strategy};
 
 /// Tracks the incumbent value and the solutions worth keeping under the
 /// current [`SearchMode`]. The sequential, thread-parallel and simulated
@@ -37,7 +38,13 @@ impl<S: Clone> Incumbents<S> {
     }
 
     /// Offers a complete solution; returns whether it improved the bound.
+    ///
+    /// A NaN value is rejected outright: it cannot be ordered against the
+    /// incumbent and accepting it would poison every later comparison.
     pub fn offer(&mut self, value: f64, solution: S) -> bool {
+        if value.is_nan() {
+            return false;
+        }
         let eps = if self.ub.is_finite() {
             self.tol * 1f64.max(self.ub.abs())
         } else {
@@ -98,12 +105,10 @@ impl<N> Eq for HeapEntry<N> {}
 impl<N> Ord for HeapEntry<N> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse both: BinaryHeap is a max-heap, we want the smallest
-        // bound, then the earliest insertion.
-        other
-            .lb
-            .partial_cmp(&self.lb)
-            .expect("bounds are finite")
-            .then(other.seq.cmp(&self.seq))
+        // bound, then the earliest insertion. `total_cmp` keeps the order
+        // total even if a buggy bound produces NaN (sorted past +∞, i.e.
+        // least promising — it is never used for pruning).
+        other.lb.total_cmp(&self.lb).then(other.seq.cmp(&self.seq))
     }
 }
 impl<N> PartialOrd for HeapEntry<N> {
@@ -153,6 +158,12 @@ impl<N> Pool<N> {
 /// pool of open nodes (a stack under [`Strategy::DepthFirst`], a bound-
 /// ordered heap under [`Strategy::BestFirst`]), prune against the
 /// incumbent, and record complete solutions.
+///
+/// The search is *anytime*: the cancel token is checked on every node and
+/// the deadline every 128 nodes (including before the first, so an
+/// already-expired deadline returns the initial incumbent untouched), and
+/// stopping early always returns the best incumbent so far with the
+/// accurate [`StopReason`].
 pub fn solve_sequential<P: Problem>(
     problem: &P,
     opts: &SearchOptions,
@@ -160,17 +171,28 @@ pub fn solve_sequential<P: Problem>(
     let mut stats = SearchStats::default();
     let mut inc = Incumbents::new(opts);
     if let Some((s, v)) = problem.initial_incumbent() {
-        inc.offer(v, s);
-        stats.incumbent_updates += 1;
+        if inc.offer(v, s) {
+            stats.incumbent_updates += 1;
+        }
     }
     let mut pool = Pool::new(opts.strategy);
     let root = problem.root();
-    let root_lb = problem.lower_bound(&root);
+    let root_lb = sanitize_lb(problem.lower_bound(&root));
     pool.push(root, root_lb);
     let mut kids = Vec::new();
-    let mut complete = true;
+    let mut stop = StopReason::Completed;
+    let mut ticks = 0u64;
     while let Some(node) = pool.pop() {
-        let lb = problem.lower_bound(&node);
+        if opts.cancelled() {
+            stop = StopReason::Cancelled;
+            break;
+        }
+        if ticks.is_multiple_of(TIME_CHECK_INTERVAL) && opts.deadline_expired() {
+            stop = StopReason::DeadlineExpired;
+            break;
+        }
+        ticks += 1;
+        let lb = sanitize_lb(problem.lower_bound(&node));
         if Incumbents::<P::Solution>::prunable(lb, inc.ub, opts) {
             stats.pruned += 1;
             continue;
@@ -183,7 +205,7 @@ pub fn solve_sequential<P: Problem>(
             continue;
         }
         if stats.branched >= opts.max_branches {
-            complete = false;
+            stop = StopReason::BudgetExhausted;
             break;
         }
         stats.branched += 1;
@@ -193,7 +215,7 @@ pub fn solve_sequential<P: Problem>(
         // matches the branching order, which problems tune for good
         // early incumbents).
         for k in kids.drain(..).rev() {
-            let klb = problem.lower_bound(&k);
+            let klb = sanitize_lb(problem.lower_bound(&k));
             if Incumbents::<P::Solution>::prunable(klb, inc.ub, opts) {
                 stats.pruned += 1;
             } else {
@@ -214,13 +236,13 @@ pub fn solve_sequential<P: Problem>(
             best_value: Some(bv),
             solutions: inc.finish(bv),
             stats,
-            complete,
+            stop,
         },
         None => SearchOutcome {
             best_value: None,
             solutions: Vec::new(),
             stats,
-            complete,
+            stop,
         },
     }
 }
@@ -277,7 +299,7 @@ mod tests {
         let out = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne));
         assert_eq!(out.best_value, Some(2.0));
         assert_eq!(out.solutions, vec![vec![false; 6]]);
-        assert!(out.complete);
+        assert!(out.is_complete());
     }
 
     #[test]
@@ -397,7 +419,7 @@ mod tests {
             twist: false,
         };
         let out = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne).max_branches(3));
-        assert!(!out.complete);
+        assert_eq!(out.stop, StopReason::BudgetExhausted);
         assert!(out.stats.branched <= 3);
     }
 

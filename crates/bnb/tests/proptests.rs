@@ -1,7 +1,11 @@
 //! Property tests of the branch-and-bound engine on randomized problem
 //! instances: all drivers must agree with exhaustive enumeration.
 
-use mutree_bnb::{solve_parallel, solve_sequential, Problem, SearchMode, SearchOptions};
+use std::time::{Duration, Instant};
+
+use mutree_bnb::{
+    solve_parallel, solve_sequential, CancelToken, Problem, SearchMode, SearchOptions, StopReason,
+};
 use proptest::prelude::*;
 
 /// Minimize `Σ chosen weights` over all binary strings of length `n`,
@@ -62,7 +66,7 @@ proptest! {
         let p = SubsetCost { weights: weights.clone() };
         let out = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne));
         prop_assert!((out.best_value.unwrap() - exhaustive_min(&weights)).abs() < 1e-9);
-        prop_assert!(out.complete);
+        prop_assert!(out.is_complete());
     }
 
     #[test]
@@ -75,7 +79,7 @@ proptest! {
         let seq = solve_sequential(&p, &opts);
         let par = solve_parallel(&p, &opts, workers);
         prop_assert_eq!(seq.best_value, par.best_value);
-        prop_assert!(par.complete);
+        prop_assert!(par.is_complete());
     }
 
     #[test]
@@ -100,5 +104,76 @@ proptest! {
         let p = SubsetCost { weights };
         let out = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne).max_branches(cap));
         prop_assert!(out.stats.branched <= cap);
+        prop_assert!(!out.is_complete());
+        prop_assert_eq!(out.stop, StopReason::BudgetExhausted);
+    }
+
+    // --- Anytime properties: cancellation and deadlines. -----------------
+
+    #[test]
+    fn cancel_mid_search_never_hangs_and_reports_accurately(
+        weights in proptest::collection::vec(0.0f64..10.0, 10..14),
+        workers in 1usize..5,
+        delay_us in 0u64..500,
+    ) {
+        // Cancel from another thread at a random point during the search;
+        // the solve must return (the test harness itself is the hang
+        // detector), the incumbent must be a real solution value, and the
+        // stop reason must be either Cancelled or — when the search beat
+        // the cancel to the finish line — Completed. Nothing else.
+        let p = SubsetCost { weights };
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let opts = SearchOptions::new(SearchMode::BestOne).cancel_token(token);
+        let out = std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_micros(delay_us));
+                canceller.cancel();
+            });
+            solve_parallel(&p, &opts, workers)
+        });
+        prop_assert!(matches!(out.stop, StopReason::Cancelled | StopReason::Completed));
+        if let Some(v) = out.best_value {
+            // Any reported incumbent must be feasible: a finite sum of
+            // non-negative weights.
+            prop_assert!(v.is_finite() && v >= 0.0);
+            prop_assert!(!out.solutions.is_empty());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_initial_incumbent(
+        weights in proptest::collection::vec(0.0f64..10.0, 8..12),
+        workers in 1usize..4,
+    ) {
+        /// The wrapped problem, plus a deliberately bad (but feasible)
+        /// initial incumbent: all bits set.
+        struct Hinted(SubsetCost);
+        impl Problem for Hinted {
+            type Node = Vec<bool>;
+            type Solution = Vec<bool>;
+            fn root(&self) -> Vec<bool> { self.0.root() }
+            fn lower_bound(&self, n: &Vec<bool>) -> f64 { self.0.lower_bound(n) }
+            fn solution(&self, n: &Vec<bool>) -> Option<(Vec<bool>, f64)> { self.0.solution(n) }
+            fn branch(&self, n: &Vec<bool>, out: &mut Vec<Vec<bool>>) { self.0.branch(n, out) }
+            fn initial_incumbent(&self) -> Option<(Vec<bool>, f64)> {
+                let all = vec![true; self.0.weights.len()];
+                let v = self.0.weights.iter().sum();
+                Some((all, v))
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        let p = Hinted(SubsetCost { weights });
+        // Deadline already in the past: with zero time budget the search
+        // must hand back exactly the initial incumbent, untouched.
+        let opts = SearchOptions::new(SearchMode::BestOne)
+            .deadline(Instant::now() - Duration::from_millis(1));
+        let seq = solve_sequential(&p, &opts);
+        prop_assert_eq!(seq.stop, StopReason::DeadlineExpired);
+        prop_assert_eq!(seq.best_value, Some(total));
+        prop_assert_eq!(seq.stats.branched, 0);
+        let par = solve_parallel(&p, &opts, workers);
+        prop_assert_eq!(par.stop, StopReason::DeadlineExpired);
+        prop_assert_eq!(par.best_value, Some(total));
     }
 }

@@ -13,22 +13,69 @@
 //!
 //! Matrices are PHYLIP square format; `-` reads standard input. Trees are
 //! printed as Newick with branch lengths.
+//!
+//! # Exit codes
+//!
+//! | code | meaning                                                        |
+//! |------|----------------------------------------------------------------|
+//! | 0    | success (search ran to proven optimality where applicable)     |
+//! | 2    | usage error (bad subcommand, flag, or argument)                |
+//! | 3    | input error (unreadable file, malformed matrix or tree)        |
+//! | 4    | solver error (no feasible output could be produced)            |
+//! | 5    | interrupted but usable: a `--timeout` (or budget) stopped the  |
+//! |      | search early; a feasible tree was still printed                |
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use mutree_core::{CompactPipeline, MutSolver, SearchBackend, SearchMode, ThreeThree};
 use mutree_distmat::{io as mio, DistanceMatrix};
 use mutree_graph::CompactSets;
 use mutree_tree::{cluster, newick, Linkage};
 
+/// A classified CLI failure; the variant decides the exit code.
+enum CliError {
+    /// Bad invocation: unknown subcommand, flag or malformed argument (2).
+    Usage(String),
+    /// Unreadable or malformed input data (3).
+    Input(String),
+    /// The solver could not produce any feasible output (4).
+    Solver(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Input(_) => ExitCode::from(3),
+            CliError::Solver(_) => ExitCode::from(4),
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Input(m) | CliError::Solver(m) => m,
+        }
+    }
+}
+
+/// Exit code for a search that was interrupted (deadline, budget, …) but
+/// still produced a feasible tree.
+const EXIT_INCOMPLETE: u8 = 5;
+
+fn usage<S: Into<String>>(msg: S) -> CliError {
+    CliError::Usage(msg.into())
+}
+
 const USAGE: &str = "\
 mutree — minimum ultrametric evolutionary trees (PaCT 2005 reproduction)
 
 USAGE:
   mutree solve <matrix.phy> [--backend seq|par:N|sim:N] [--all] [--33 off|initial|full]
+               [--timeout SECS]
         Exact minimum ultrametric tree via branch-and-bound.
-  mutree fast <matrix.phy> [--threshold K] [--linkage max|min|avg]
+  mutree fast <matrix.phy> [--threshold K] [--linkage max|min|avg] [--timeout SECS]
         Near-optimal tree via compact-set decomposition (the fast technique).
   mutree sets <matrix.phy>
         List the compact sets of the distance graph.
@@ -42,24 +89,35 @@ USAGE:
         Print a synthetic PHYLIP matrix of either workload family.
 
   <matrix.phy> is PHYLIP square format; use '-' for standard input.
+
+  --timeout stops the search at a wall-clock deadline; the best tree found
+  so far is still printed and the exit code becomes 5.
+
+EXIT CODES:
+  0  success            2  usage error       3  bad input
+  4  solver failed      5  interrupted, but a feasible tree was printed
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Ok(code) => code,
+        Err(e) => {
+            // One line on stderr, machine-scrapeable; the full usage text
+            // only for invocation mistakes, not data or solver failures.
+            eprintln!("mutree: error: {}", e.message());
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            e.exit_code()
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
     let Some(cmd) = args.first() else {
-        return Err("missing subcommand".into());
+        return Err(usage("missing subcommand"));
     };
     match cmd.as_str() {
         "solve" => solve(&args[1..]),
@@ -71,23 +129,45 @@ fn run(args: &[String]) -> Result<(), String> {
         "gen" => gen(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
-fn read_matrix(path: &str) -> Result<DistanceMatrix, String> {
+fn read_matrix(path: &str) -> Result<DistanceMatrix, CliError> {
     let text = if path == "-" {
         let mut buf = String::new();
         std::io::stdin()
             .read_to_string(&mut buf)
-            .map_err(|e| format!("reading stdin: {e}"))?;
+            .map_err(|e| CliError::Input(format!("reading stdin: {e}")))?;
         buf
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Input(format!("reading {path}: {e}")))?
     };
-    mio::parse_phylip(&text).map_err(|e| format!("parsing {path}: {e}"))
+    mio::parse_phylip(&text).map_err(|e| CliError::Input(format!("parsing {path}: {e}")))
+}
+
+/// Parses an optional `--timeout <seconds>` flag into a wall-clock budget.
+fn parse_timeout(args: &[String]) -> Result<Option<Duration>, CliError> {
+    let Some(spec) = flag_value(args, "--timeout") else {
+        // A trailing `--timeout` with nothing after it must not be
+        // silently ignored — the user asked for a deadline.
+        if args.iter().any(|a| a == "--timeout") {
+            return Err(usage("--timeout requires a value in seconds"));
+        }
+        return Ok(None);
+    };
+    let secs: f64 = spec
+        .parse()
+        .map_err(|_| usage(format!("bad timeout {spec:?} (seconds)")))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(usage(format!(
+            "timeout must be a non-negative number of seconds, got {spec:?}"
+        )));
+    }
+    Ok(Some(Duration::from_secs_f64(secs)))
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -97,8 +177,10 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn solve(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("solve needs a matrix file")?;
+fn solve(args: &[String]) -> Result<ExitCode, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| usage("solve needs a matrix file"))?;
     let m = read_matrix(path)?;
     let mut solver = MutSolver::new();
     if let Some(backend) = flag_value(args, "--backend") {
@@ -112,10 +194,15 @@ fn solve(args: &[String]) -> Result<(), String> {
             "off" => ThreeThree::Off,
             "initial" => ThreeThree::InitialOnly,
             "full" => ThreeThree::Full,
-            other => return Err(format!("unknown 3-3 mode {other:?}")),
+            other => return Err(usage(format!("unknown 3-3 mode {other:?}"))),
         });
     }
-    let sol = solver.solve(&m).map_err(|e| e.to_string())?;
+    if let Some(timeout) = parse_timeout(args)? {
+        solver = solver.timeout(timeout);
+    }
+    let sol = solver
+        .solve(&m)
+        .map_err(|e| CliError::Solver(e.to_string()))?;
     println!("weight: {}", sol.weight);
     println!(
         "branched: {}  pruned: {}",
@@ -131,26 +218,43 @@ fn solve(args: &[String]) -> Result<(), String> {
     for tree in &sol.trees {
         println!("{}", newick::to_newick_with(tree, |t| m.label(t)));
     }
-    Ok(())
+    if sol.is_complete() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        // The tree above is feasible but only an upper bound; tell both
+        // the human (stderr) and the script (exit code).
+        eprintln!(
+            "mutree: warning: search stopped early ({}); weight is an upper bound",
+            sol.stop
+        );
+        Ok(ExitCode::from(EXIT_INCOMPLETE))
+    }
 }
 
-fn fast(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("fast needs a matrix file")?;
+fn fast(args: &[String]) -> Result<ExitCode, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| usage("fast needs a matrix file"))?;
     let m = read_matrix(path)?;
     let mut pipeline = CompactPipeline::new();
     if let Some(threshold) = flag_value(args, "--threshold") {
         let k: usize = threshold
             .parse()
-            .map_err(|_| format!("bad threshold {threshold:?}"))?;
+            .map_err(|_| usage(format!("bad threshold {threshold:?}")))?;
         if k < 2 {
-            return Err("threshold must be at least 2".into());
+            return Err(usage("threshold must be at least 2"));
         }
         pipeline = pipeline.threshold(k);
     }
     if let Some(linkage) = flag_value(args, "--linkage") {
         pipeline = pipeline.linkage(parse_linkage(linkage)?);
     }
-    let sol = pipeline.solve(&m).map_err(|e| e.to_string())?;
+    if let Some(timeout) = parse_timeout(args)? {
+        pipeline = pipeline.solver(MutSolver::new().timeout(timeout));
+    }
+    let sol = pipeline
+        .solve(&m)
+        .map_err(|e| CliError::Solver(e.to_string()))?;
     println!("weight: {}", sol.weight);
     println!("compact sets: {}", sol.compact_sets);
     let groups: Vec<String> = sol
@@ -163,16 +267,28 @@ fn fast(args: &[String]) -> Result<(), String> {
         .collect();
     println!("groups: {}", groups.join(" "));
     println!("{}", newick::to_newick_with(&sol.tree, |t| m.label(t)));
-    Ok(())
+    if sol.is_complete() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "mutree: warning: pipeline degraded ({}; {} stage{} fell back); tree is feasible but heuristic",
+            sol.stop,
+            sol.degraded.len(),
+            if sol.degraded.len() == 1 { "" } else { "s" }
+        );
+        Ok(ExitCode::from(EXIT_INCOMPLETE))
+    }
 }
 
-fn sets(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("sets needs a matrix file")?;
+fn sets(args: &[String]) -> Result<ExitCode, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| usage("sets needs a matrix file"))?;
     let m = read_matrix(path)?;
     let cs = CompactSets::find(&m);
     if cs.is_empty() {
         println!("no proper compact sets");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     for s in cs.iter() {
         let names: Vec<String> = s.members().iter().map(|&t| m.label(t)).collect();
@@ -183,11 +299,13 @@ fn sets(args: &[String]) -> Result<(), String> {
             s.min_crossing()
         );
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn heur(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("heur needs a matrix file")?;
+fn heur(args: &[String]) -> Result<ExitCode, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| usage("heur needs a matrix file"))?;
     let m = read_matrix(path)?;
     let linkage = match flag_value(args, "--linkage") {
         None => Linkage::Maximum,
@@ -198,27 +316,30 @@ fn heur(args: &[String]) -> Result<(), String> {
     println!("weight: {weight}");
     println!("feasible: {}", tree.is_feasible_for(&m, 1e-9));
     println!("{}", newick::to_newick_with(&tree, |t| m.label(t)));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn nj(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("nj needs a matrix file")?;
+fn nj(args: &[String]) -> Result<ExitCode, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| usage("nj needs a matrix file"))?;
     let m = read_matrix(path)?;
     let tree = mutree_tree::nj::neighbor_joining(&m);
     println!("total length: {}", tree.total_length());
     println!("mean distortion: {:.6}", tree.mean_distortion(&m));
     println!("{}", tree.to_newick_with(|t| m.label(t)));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn rf(args: &[String]) -> Result<(), String> {
+fn rf(args: &[String]) -> Result<ExitCode, CliError> {
     let (pa, pb) = match args {
         [a, b, ..] => (a, b),
-        _ => return Err("rf needs two Newick files".into()),
+        _ => return Err(usage("rf needs two Newick files")),
     };
-    let read_tree = |path: &str| -> Result<(mutree_tree::UltrametricTree, Vec<String>), String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        newick::parse_newick(&text).map_err(|e| format!("parsing {path}: {e}"))
+    let read_tree = |path: &str| -> Result<(mutree_tree::UltrametricTree, Vec<String>), CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Input(format!("reading {path}: {e}")))?;
+        newick::parse_newick(&text).map_err(|e| CliError::Input(format!("parsing {path}: {e}")))
     };
     let (ta, names_a) = read_tree(pa)?;
     let (mut tb, names_b) = read_tree(pb)?;
@@ -228,30 +349,35 @@ fn rf(args: &[String]) -> Result<(), String> {
         name_to_a.insert(name.clone(), taxon);
     }
     if names_b.len() != names_a.len() || !names_b.iter().all(|n| name_to_a.contains_key(n)) {
-        return Err("the two trees must share the same leaf names".into());
+        return Err(CliError::Input(
+            "the two trees must share the same leaf names".into(),
+        ));
     }
     tb.map_taxa(|t| name_to_a[&names_b[t]]);
-    let rf = mutree_tree::compare::robinson_foulds(&ta, &tb).map_err(|e| e.to_string())?;
-    let nrf =
-        mutree_tree::compare::robinson_foulds_normalized(&ta, &tb).map_err(|e| e.to_string())?;
+    let rf = mutree_tree::compare::robinson_foulds(&ta, &tb)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    let nrf = mutree_tree::compare::robinson_foulds_normalized(&ta, &tb)
+        .map_err(|e| CliError::Input(e.to_string()))?;
     println!("robinson-foulds: {rf}");
     println!("normalized: {nrf:.4}");
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn gen(args: &[String]) -> Result<(), String> {
-    let family = args.first().ok_or("gen needs a family (random|hmdna)")?;
+fn gen(args: &[String]) -> Result<ExitCode, CliError> {
+    let family = args
+        .first()
+        .ok_or_else(|| usage("gen needs a family (random|hmdna)"))?;
     let n: usize = args
         .get(1)
-        .ok_or("gen needs a species count")?
+        .ok_or_else(|| usage("gen needs a species count"))?
         .parse()
-        .map_err(|_| "species count must be a number".to_string())?;
+        .map_err(|_| usage("species count must be a number"))?;
     if n < 2 {
-        return Err("need at least 2 species".into());
+        return Err(usage("need at least 2 species"));
     }
     let seed: u64 = match flag_value(args, "--seed") {
         None => 0,
-        Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}"))?,
+        Some(s) => s.parse().map_err(|_| usage(format!("bad seed {s:?}")))?,
     };
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -262,44 +388,48 @@ fn gen(args: &[String]) -> Result<(), String> {
             m
         }
         "hmdna" => mutree_seqgen::hmdna_like_matrix(n, 200, &mut rng),
-        other => return Err(format!("unknown family {other:?}")),
+        other => return Err(usage(format!("unknown family {other:?}"))),
     };
     print!("{}", mio::to_phylip(&m));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn parse_backend(spec: &str) -> Result<SearchBackend, String> {
+fn parse_backend(spec: &str) -> Result<SearchBackend, CliError> {
     if spec == "seq" {
         return Ok(SearchBackend::Sequential);
     }
     if let Some(workers) = spec.strip_prefix("par:") {
         let w: usize = workers
             .parse()
-            .map_err(|_| format!("bad worker count {workers:?}"))?;
+            .map_err(|_| usage(format!("bad worker count {workers:?}")))?;
         if w == 0 {
-            return Err("need at least one worker".into());
+            return Err(usage("need at least one worker"));
         }
         return Ok(SearchBackend::Parallel { workers: w });
     }
     if let Some(slaves) = spec.strip_prefix("sim:") {
         let s: usize = slaves
             .parse()
-            .map_err(|_| format!("bad slave count {slaves:?}"))?;
+            .map_err(|_| usage(format!("bad slave count {slaves:?}")))?;
         if s == 0 {
-            return Err("need at least one slave".into());
+            return Err(usage("need at least one slave"));
         }
         return Ok(SearchBackend::SimulatedCluster {
             spec: mutree_clustersim::ClusterSpec::with_slaves(s),
         });
     }
-    Err(format!("unknown backend {spec:?} (seq | par:N | sim:N)"))
+    Err(usage(format!(
+        "unknown backend {spec:?} (seq | par:N | sim:N)"
+    )))
 }
 
-fn parse_linkage(spec: &str) -> Result<Linkage, String> {
+fn parse_linkage(spec: &str) -> Result<Linkage, CliError> {
     match spec {
         "max" => Ok(Linkage::Maximum),
         "min" => Ok(Linkage::Minimum),
         "avg" => Ok(Linkage::Average),
-        other => Err(format!("unknown linkage {other:?} (max | min | avg)")),
+        other => Err(usage(format!(
+            "unknown linkage {other:?} (max | min | avg)"
+        ))),
     }
 }

@@ -130,7 +130,9 @@ fn gen_random_family_works_too() {
     let (stdout, _, ok) = run(&["gen", "random", "5"]);
     assert!(ok);
     let m = mutree_distmat::io::parse_phylip(&stdout).unwrap();
-    assert!(m.is_metric(1e-9));
+    // PHYLIP output carries 6 decimals, so a triangle the metric closure
+    // left exactly tight can be off by ~1e-6 after rounding.
+    assert!(m.is_metric(1e-5));
 }
 
 #[test]
@@ -181,22 +183,84 @@ fn unknown_subcommand_fails() {
     assert!(stderr.contains("unknown subcommand"));
 }
 
-#[test]
-fn bad_matrix_reports_parse_error() {
+/// Like [`run_with_stdin`] but returns the raw exit code and stderr too.
+fn run_full(args: &[&str], input: &str) -> (String, String, Option<i32>) {
     let mut child = mutree()
-        .args(["solve", "-"])
+        .args(args)
         .stdin(Stdio::piped())
-        .stdout(Stdio::null())
+        .stdout(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
-        .unwrap();
+        .expect("spawn mutree");
     child
         .stdin
         .as_mut()
-        .unwrap()
-        .write_all(b"not a matrix")
-        .unwrap();
-    let out = child.wait_with_output().unwrap();
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("parsing"));
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn bad_matrix_reports_parse_error() {
+    let (_, stderr, code) = run_full(&["solve", "-"], "not a matrix");
+    assert_eq!(code, Some(3), "input errors exit 3");
+    assert!(stderr.contains("parsing"));
+    // Data errors get a one-line diagnostic, not the whole usage screed.
+    assert!(!stderr.contains("USAGE"));
+}
+
+#[test]
+fn usage_errors_exit_2_with_usage_text() {
+    let (_, stderr, code) = run_full(&["solve", "-", "--backend", "bogus"], MATRIX);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown backend"));
+    assert!(stderr.contains("USAGE"));
+
+    let out = mutree().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "missing subcommand exits 2");
+}
+
+#[test]
+fn timeout_zero_still_prints_a_feasible_tree_and_exits_5() {
+    let (stdout, stderr, code) = run_full(&["solve", "-", "--timeout", "0"], MATRIX);
+    assert_eq!(code, Some(5), "interrupted-but-usable exits 5\n{stderr}");
+    assert!(stdout.contains("weight:"), "{stdout}");
+    assert!(stdout.contains(";"), "a tree must still be printed");
+    assert!(stderr.contains("deadline expired"), "{stderr}");
+}
+
+#[test]
+fn fast_with_zero_timeout_degrades_and_exits_5() {
+    let (stdout, stderr, code) = run_full(&["fast", "-", "--timeout", "0"], MATRIX);
+    assert_eq!(code, Some(5), "{stderr}");
+    assert!(stdout.contains("weight:"), "{stdout}");
+    assert!(stdout.contains(";"));
+    assert!(stderr.contains("degraded"), "{stderr}");
+}
+
+#[test]
+fn bad_timeout_is_a_usage_error() {
+    let (_, stderr, code) = run_full(&["solve", "-", "--timeout", "never"], MATRIX);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("bad timeout"));
+}
+
+#[test]
+fn trailing_timeout_without_value_is_a_usage_error() {
+    let (_, stderr, code) = run_full(&["solve", "-", "--timeout"], MATRIX);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("requires a value"), "{stderr}");
+}
+
+#[test]
+fn generous_timeout_still_completes_with_exit_0() {
+    let (stdout, _, code) = run_full(&["solve", "-", "--timeout", "60"], MATRIX);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("weight: 11"));
 }

@@ -32,7 +32,9 @@
 
 use std::collections::VecDeque;
 
-use mutree_bnb::{Incumbents, Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats};
+use mutree_bnb::{
+    Incumbents, Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason,
+};
 use mutree_clustersim::{ClusterSpec, EventQueue, NodeMetrics, SimReport};
 
 use crate::MutProblem;
@@ -79,6 +81,19 @@ const TOUCH_OPS: f64 = 1.0;
 const DONATE_EVERY: u64 = 4;
 /// …as long as it keeps at least this many nodes for itself.
 const MIN_KEEP: usize = 3;
+/// Wall-clock deadline polling interval, in simulation events. Cancel
+/// flags are cheap atomics and are checked on every event.
+const TIME_CHECK_EVENTS: u64 = 128;
+
+/// NaN bounds carry no information and must never prune (mirrors the real
+/// drivers' normalization).
+fn sane_lb(lb: f64) -> f64 {
+    if lb.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        lb
+    }
+}
 
 enum Ev<N> {
     /// Slave `i` is ready to process its next pool node.
@@ -130,16 +145,29 @@ pub fn solve_simulated<P: SimCost>(
     }
 
     // --- Master seeding (the paper's Steps 1–5), charged to the master.
+    // Under strong pruning this loop can drain the whole search, so it
+    // honors (real-world) cancellation and deadlines like the event loop.
     let mut seed_ops = 0.0;
     let target = 2 * p;
     let mut frontier = VecDeque::new();
     frontier.push_back(problem.root());
     let mut kids = Vec::new();
+    let mut seed_stop: Option<StopReason> = None;
+    let mut seed_ticks = 0u64;
     while frontier.len() < target {
+        if opts.cancelled() {
+            seed_stop = Some(StopReason::Cancelled);
+            break;
+        }
+        if seed_ticks.is_multiple_of(TIME_CHECK_EVENTS) && opts.deadline_expired() {
+            seed_stop = Some(StopReason::DeadlineExpired);
+            break;
+        }
+        seed_ticks += 1;
         let Some(node) = frontier.pop_front() else {
             break;
         };
-        let lb = problem.lower_bound(&node);
+        let lb = sane_lb(problem.lower_bound(&node));
         if Incumbents::<P::Solution>::prunable(lb, seed_ub, opts) {
             master_stats.pruned += 1;
             seed_ops += TOUCH_OPS;
@@ -159,7 +187,8 @@ pub fn solve_simulated<P: SimCost>(
         kids.clear();
         problem.branch(&node, &mut kids);
         for k in kids.drain(..) {
-            if Incumbents::<P::Solution>::prunable(problem.lower_bound(&k), seed_ub, opts) {
+            if Incumbents::<P::Solution>::prunable(sane_lb(problem.lower_bound(&k)), seed_ub, opts)
+            {
                 master_stats.pruned += 1;
             } else {
                 frontier.push_back(k);
@@ -168,11 +197,23 @@ pub fn solve_simulated<P: SimCost>(
     }
 
     let t0 = seed_ops / spec.master_ops_per_sec();
+    if let Some(reason) = seed_stop {
+        return gather(
+            master_inc,
+            master_stats,
+            reason,
+            SimReport {
+                makespan: t0,
+                per_node: vec![NodeMetrics::default(); p],
+            },
+            Vec::new(),
+        );
+    }
     if frontier.is_empty() {
         return gather(
             master_inc,
             master_stats,
-            true,
+            StopReason::Completed,
             SimReport {
                 makespan: t0,
                 per_node: vec![NodeMetrics::default(); p],
@@ -184,9 +225,9 @@ pub fn solve_simulated<P: SimCost>(
     // --- Sort seeds by lower bound and deal cyclically (Step 6).
     let mut seeds: Vec<(f64, P::Node)> = frontier
         .into_iter()
-        .map(|n| (problem.lower_bound(&n), n))
+        .map(|n| (sane_lb(problem.lower_bound(&n)), n))
         .collect();
-    seeds.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are finite"));
+    seeds.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut deals: Vec<Vec<P::Node>> = (0..p).map(|_| Vec::new()).collect();
     for (i, (_, node)) in seeds.into_iter().enumerate() {
         deals[i % p].push(node);
@@ -224,14 +265,27 @@ pub fn solve_simulated<P: SimCost>(
     let mut gp: Vec<P::Node> = Vec::new();
     let mut pending_requests: VecDeque<usize> = VecDeque::new();
     let mut total_branches = master_stats.branched;
-    let mut aborted = false;
+    let mut stop = StopReason::Completed;
     let mut makespan = t0;
+    let mut events = 0u64;
 
     while let Some((now, ev)) = q.pop() {
         makespan = makespan.max(now);
-        if aborted {
+        if !stop.is_complete() {
             continue; // drain remaining events
         }
+        // The simulation advances virtual time, but the *host* running it
+        // still honors real-world deadlines and cancellation: a simulated
+        // experiment that explodes combinatorially must stay interruptible.
+        if opts.cancelled() {
+            stop = StopReason::Cancelled;
+            continue;
+        }
+        if events.is_multiple_of(TIME_CHECK_EVENTS) && opts.deadline_expired() {
+            stop = StopReason::DeadlineExpired;
+            continue;
+        }
+        events += 1;
         match ev {
             Ev::AtSlave(i, SlaveMsg::Ub(v)) => {
                 let s = &mut slaves[i];
@@ -289,7 +343,7 @@ pub fn solve_simulated<P: SimCost>(
                     continue;
                 };
                 let ub = slaves[i].ub;
-                let lb = problem.lower_bound(&node);
+                let lb = sane_lb(problem.lower_bound(&node));
                 if Incumbents::<P::Solution>::prunable(lb, ub, opts) {
                     let s = &mut slaves[i];
                     s.stats.pruned += 1;
@@ -340,7 +394,7 @@ pub fn solve_simulated<P: SimCost>(
                     continue;
                 }
                 if total_branches >= opts.max_branches {
-                    aborted = true;
+                    stop = StopReason::BudgetExhausted;
                     continue;
                 }
                 total_branches += 1;
@@ -352,7 +406,11 @@ pub fn solve_simulated<P: SimCost>(
                 s.stats.branched += 1;
                 s.metrics.record_busy(dt, ops as u64);
                 for k in kids.drain(..).rev() {
-                    if Incumbents::<P::Solution>::prunable(problem.lower_bound(&k), s.ub, opts) {
+                    if Incumbents::<P::Solution>::prunable(
+                        sane_lb(problem.lower_bound(&k)),
+                        s.ub,
+                        opts,
+                    ) {
                         s.stats.pruned += 1;
                     } else {
                         s.lp.push(k);
@@ -386,7 +444,7 @@ pub fn solve_simulated<P: SimCost>(
         stats.merge(&s.stats);
         found.extend(s.found);
     }
-    gather(master_inc, stats, !aborted, report, found)
+    gather(master_inc, stats, stop, report, found)
 }
 
 fn serve_requests<N>(
@@ -421,7 +479,7 @@ fn eps(opts: &SearchOptions, ub: f64) -> f64 {
 fn gather<S: Clone>(
     mut inc: Incumbents<S>,
     stats: SearchStats,
-    complete: bool,
+    stop: StopReason,
     report: SimReport,
     found: Vec<(f64, S)>,
 ) -> SimulatedOutcome<S> {
@@ -440,13 +498,13 @@ fn gather<S: Clone>(
             best_value: Some(bv),
             solutions: inc.finish(bv),
             stats,
-            complete,
+            stop,
         },
         None => SearchOutcome {
             best_value: None,
             solutions: Vec::new(),
             stats,
-            complete,
+            stop,
         },
     };
     SimulatedOutcome { outcome, report }
@@ -476,7 +534,7 @@ mod tests {
         for slaves in [1, 2, 4, 16] {
             let sim = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(slaves));
             assert_eq!(seq.best_value, sim.outcome.best_value, "slaves = {slaves}");
-            assert!(sim.outcome.complete);
+            assert!(sim.outcome.is_complete());
             assert!(sim.report.makespan > 0.0);
         }
     }
@@ -550,7 +608,22 @@ mod tests {
         let p = MutProblem::new(&pm, ThreeThree::Off, false);
         let opts = SearchOptions::new(SearchMode::BestOne).max_branches(20);
         let sim = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(4));
-        assert!(!sim.outcome.complete);
+        assert_eq!(sim.outcome.stop, StopReason::BudgetExhausted);
+        assert!(!sim.outcome.is_complete());
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_simulation() {
+        let m = m6();
+        let pm = m.maxmin_permutation().apply(&m);
+        let p = MutProblem::new(&pm, ThreeThree::Off, true);
+        let token = mutree_bnb::CancelToken::new();
+        token.cancel();
+        let opts = SearchOptions::new(SearchMode::BestOne).cancel_token(token);
+        let sim = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(4));
+        assert_eq!(sim.outcome.stop, StopReason::Cancelled);
+        // The UPGMM incumbent survives the interruption.
+        assert!(sim.outcome.best_value.is_some());
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub enum MutError {
         /// The exact-search limit the groups must fit within.
         max: usize,
     },
+    /// The search was stopped (deadline, cancellation, …) before *any*
+    /// feasible tree existed — possible only when the UPGMM initial
+    /// incumbent is disabled; with it on, an interrupted solve still
+    /// returns that incumbent.
+    Interrupted {
+        /// Why the search stopped.
+        reason: mutree_bnb::StopReason,
+    },
     /// An underlying matrix error.
     Matrix(MatrixError),
     /// An underlying tree error.
@@ -39,6 +47,12 @@ impl fmt::Display for MutError {
                 f,
                 "compact-set decomposition still leaves {groups} groups (limit {max})"
             ),
+            MutError::Interrupted { reason } => {
+                write!(
+                    f,
+                    "search stopped ({reason}) before any feasible tree was found"
+                )
+            }
             MutError::Matrix(e) => write!(f, "matrix error: {e}"),
             MutError::Tree(e) => write!(f, "tree error: {e}"),
         }

@@ -53,9 +53,9 @@ mod solver;
 pub use cluster::{solve_simulated, SimCost, SimulatedOutcome};
 pub use error::MutError;
 pub use node::PartialTree;
-pub use pipeline::{CompactPipeline, PipelineSolution};
+pub use pipeline::{CompactPipeline, DegradeReason, DegradedGroup, PipelineSolution};
 pub use problem::{MutProblem, ThreeThree};
 pub use solver::{solution_newick, MutSolution, MutSolver, SearchBackend};
 
-pub use mutree_bnb::{SearchMode, SearchStats, Strategy};
+pub use mutree_bnb::{CancelToken, SearchMode, SearchStats, StopReason, Strategy};
 pub use mutree_tree::Linkage;

@@ -23,11 +23,54 @@
 //! grouped together really do share a lowest common ancestor below any
 //! outside species, so the phylogenetic relations are preserved.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mutree_bnb::StopReason;
 use mutree_distmat::DistanceMatrix;
 use mutree_graph::CompactSets;
-use mutree_tree::{Linkage, UltrametricTree};
+use mutree_tree::{cluster, Linkage, UltrametricTree};
 
 use crate::{MutError, MutSolver, SearchStats};
+
+/// Why a pipeline stage fell short of a proven-optimal exact solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradeReason {
+    /// The exact solve stopped early (budget, deadline, cancellation or a
+    /// worker panic) and its best incumbent — still a feasible subtree —
+    /// was used.
+    Stopped(StopReason),
+    /// The exact solve returned an error; the max-linkage agglomerative
+    /// fallback tree was used instead.
+    Error(String),
+    /// The exact solve panicked; the max-linkage agglomerative fallback
+    /// tree was used instead.
+    Panicked,
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::Stopped(r) => write!(f, "search stopped early: {r}"),
+            DegradeReason::Error(e) => write!(f, "solver error: {e}"),
+            DegradeReason::Panicked => f.write_str("solver panicked"),
+        }
+    }
+}
+
+/// A pipeline stage that did not run to proven optimality.
+///
+/// The merged tree is still feasible — Lemma 2 guarantees any feasible
+/// subtree over a compact group merges under the max-linkage attachment —
+/// but the affected piece is a heuristic, not an optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedGroup {
+    /// Index into [`PipelineSolution::groups`], or `None` when the
+    /// condensed meta-matrix solve (or an undecomposable whole-matrix
+    /// solve) was the degraded stage.
+    pub group: Option<usize>,
+    /// What happened.
+    pub reason: DegradeReason,
+}
 
 /// A solved pipeline instance.
 #[derive(Debug, Clone)]
@@ -43,8 +86,22 @@ pub struct PipelineSolution {
     pub stats: SearchStats,
     /// Number of proper compact sets the matrix had.
     pub compact_sets: usize,
-    /// `false` when any sub-solve hit its branch budget.
-    pub complete: bool,
+    /// The most severe stop reason any sub-search reported
+    /// ([`StopReason::Completed`] when every search exhausted its space).
+    pub stop: StopReason,
+    /// Stages that fell back from a proven-optimal exact solve — truncated
+    /// incumbents and agglomerative stand-ins — in pipeline order. Empty
+    /// on a fully exact run.
+    pub degraded: Vec<DegradedGroup>,
+}
+
+impl PipelineSolution {
+    /// Whether every sub-solve ran to proven optimality with no fallback
+    /// (the weight is then the pipeline's true optimum for this
+    /// decomposition).
+    pub fn is_complete(&self) -> bool {
+        self.stop.is_complete() && self.degraded.is_empty()
+    }
 }
 
 /// Configuration for the compact-set decomposition pipeline.
@@ -142,23 +199,30 @@ impl CompactPipeline {
                     max: 64,
                 });
             }
-            let sol = self.solver.solve(m)?;
+            let mut stats = SearchStats::default();
+            let mut stop = StopReason::Completed;
+            let mut degraded = Vec::new();
+            let mut tree = self.stage_tree(m, None, &mut stats, &mut stop, &mut degraded);
+            let weight = tree.fit_heights(m);
             return Ok(PipelineSolution {
-                tree: sol.tree,
-                weight: sol.weight,
+                tree,
+                weight,
                 groups,
-                stats: sol.stats,
+                stats,
                 compact_sets: cs.len(),
-                complete: sol.complete,
+                stop,
+                degraded,
             });
         }
 
         let mut stats = SearchStats::default();
-        let mut complete = true;
+        let mut stop = StopReason::Completed;
+        let mut degraded: Vec<DegradedGroup> = Vec::new();
 
-        // --- Solve each group exactly.
+        // --- Solve each group exactly (degrading per group, not per run:
+        // one stuck or broken group must not take the whole tree down).
         let mut subtrees: Vec<UltrametricTree> = Vec::with_capacity(groups.len());
-        for group in &groups {
+        for (gi, group) in groups.iter().enumerate() {
             match group.len() {
                 1 => subtrees.push(UltrametricTree::leaf(group[0])),
                 2 => {
@@ -167,11 +231,9 @@ impl CompactPipeline {
                 }
                 _ => {
                     let sub = m.submatrix(group)?;
-                    let sol = self.solver.solve(&sub)?;
-                    stats.merge(&sol.stats);
-                    complete &= sol.complete;
+                    let mut tree =
+                        self.stage_tree(&sub, Some(gi), &mut stats, &mut stop, &mut degraded);
                     // Solver taxa are submatrix-relative; map back.
-                    let mut tree = sol.tree;
                     tree.map_taxa(|local| group[local]);
                     subtrees.push(tree);
                 }
@@ -190,13 +252,16 @@ impl CompactPipeline {
         if g > 64 || (g > self.threshold && depth < self.max_depth) {
             let rec = self.solve_at_depth(&condensed, depth + 1)?;
             stats.merge(&rec.stats);
-            complete &= rec.complete;
+            stop = stop.worst(rec.stop);
+            // The recursive run's group indices refer to *its* groups, not
+            // ours; report its degradations as meta-solve degradations.
+            degraded.extend(rec.degraded.into_iter().map(|d| DegradedGroup {
+                group: None,
+                reason: d.reason,
+            }));
             meta_tree = rec.tree;
         } else {
-            let meta_sol = self.solver.solve(&condensed)?;
-            stats.merge(&meta_sol.stats);
-            complete &= meta_sol.complete;
-            meta_tree = meta_sol.tree;
+            meta_tree = self.stage_tree(&condensed, None, &mut stats, &mut stop, &mut degraded);
         }
 
         // --- Merge: graft each group subtree onto its meta leaf.
@@ -225,8 +290,68 @@ impl CompactPipeline {
             groups,
             stats,
             compact_sets: cs.len(),
-            complete,
+            stop,
+            degraded,
         })
+    }
+
+    /// Produces a feasible ultrametric tree for one pipeline stage,
+    /// degrading instead of failing:
+    ///
+    /// 1. exact solve, when nothing has gone wrong;
+    /// 2. the exact search's best incumbent, when it stopped early
+    ///    (budget, deadline, cancellation, worker panic) — an incumbent is
+    ///    always a feasible tree for its submatrix;
+    /// 3. the max-linkage agglomerative tree (UPGMM), when the deadline or
+    ///    cancel already fired before the solve, the solver errored, or it
+    ///    panicked — panics are contained with `catch_unwind` so one bad
+    ///    stage cannot poison the rest of the pipeline.
+    ///
+    /// Every non-exact outcome is recorded in `degraded` (with `gi` as
+    /// the group index, `None` for meta/whole-matrix stages) and folded
+    /// into the merged `stop` reason.
+    fn stage_tree(
+        &self,
+        sub: &DistanceMatrix,
+        gi: Option<usize>,
+        stats: &mut SearchStats,
+        stop: &mut StopReason,
+        degraded: &mut Vec<DegradedGroup>,
+    ) -> UltrametricTree {
+        if let Some(reason) = self.solver.stop_requested() {
+            *stop = stop.worst(reason);
+            degraded.push(DegradedGroup {
+                group: gi,
+                reason: DegradeReason::Stopped(reason),
+            });
+            return cluster(sub, Linkage::Maximum);
+        }
+        let reason = match catch_unwind(AssertUnwindSafe(|| self.solver.solve(sub))) {
+            Ok(Ok(sol)) => {
+                stats.merge(&sol.stats);
+                if !sol.stop.is_complete() {
+                    *stop = stop.worst(sol.stop);
+                    degraded.push(DegradedGroup {
+                        group: gi,
+                        reason: DegradeReason::Stopped(sol.stop),
+                    });
+                }
+                return sol.tree;
+            }
+            // Stopped before any incumbent existed (UPGMM disabled):
+            // same deal as an early stop, minus a usable incumbent.
+            Ok(Err(MutError::Interrupted { reason })) => {
+                *stop = stop.worst(reason);
+                DegradeReason::Stopped(reason)
+            }
+            Ok(Err(e)) => DegradeReason::Error(e.to_string()),
+            Err(_) => {
+                *stop = stop.worst(StopReason::WorkerPanicked);
+                DegradeReason::Panicked
+            }
+        };
+        degraded.push(DegradedGroup { group: gi, reason });
+        cluster(sub, Linkage::Maximum)
     }
 }
 
@@ -316,7 +441,7 @@ mod tests {
             exact.weight
         );
         assert_eq!(pipe.compact_sets, 4);
-        assert!(pipe.complete);
+        assert!(pipe.is_complete());
     }
 
     #[test]
@@ -381,6 +506,78 @@ mod tests {
         // An ultrametric matrix is its own optimal tree; the pipeline must
         // recover it exactly (compact sets match the tree's clusters).
         assert_eq!(pipe.tree.distance_matrix().max_relative_deviation(&m), 0.0);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_feasible_agglomerative_tree() {
+        use std::time::{Duration, Instant};
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = gen::perturbed_ultrametric(16, 70.0, 0.06, &mut rng);
+        let solver = MutSolver::new().deadline(Instant::now() - Duration::from_millis(1));
+        let pipe = CompactPipeline::new()
+            .threshold(6)
+            .solver(solver)
+            .solve(&m)
+            .unwrap();
+        // Degraded, not dead: the merged tree is still a feasible
+        // ultrametric tree over every species.
+        assert!(pipe.tree.is_feasible_for(&m, 1e-9));
+        assert_eq!(pipe.tree.leaf_count(), 16);
+        assert_eq!(pipe.stop, mutree_bnb::StopReason::DeadlineExpired);
+        assert!(!pipe.is_complete());
+        assert!(
+            !pipe.degraded.is_empty(),
+            "expired deadline must report the degraded stages"
+        );
+        for d in &pipe.degraded {
+            assert_eq!(
+                d.reason,
+                DegradeReason::Stopped(mutree_bnb::StopReason::DeadlineExpired)
+            );
+            if let Some(gi) = d.group {
+                assert!(gi < pipe.groups.len());
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_pipeline_reports_cancellation_per_group() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let m = gen::perturbed_ultrametric(14, 60.0, 0.05, &mut rng);
+        let token = mutree_bnb::CancelToken::new();
+        token.cancel();
+        let pipe = CompactPipeline::new()
+            .threshold(5)
+            .solver(MutSolver::new().cancel_token(token))
+            .solve(&m)
+            .unwrap();
+        assert!(pipe.tree.is_feasible_for(&m, 1e-9));
+        assert_eq!(pipe.stop, mutree_bnb::StopReason::Cancelled);
+        assert!(!pipe.degraded.is_empty());
+    }
+
+    #[test]
+    fn budget_exhausted_stages_fall_back_and_are_reported() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let m = gen::perturbed_ultrametric(16, 70.0, 0.08, &mut rng);
+        // Zero branch budget *and* no UPGMM incumbent: every nontrivial
+        // exact solve stops with nothing, forcing the agglomerative
+        // fallback for each degraded stage.
+        let pipe = CompactPipeline::new()
+            .threshold(6)
+            .solver(MutSolver::new().without_upgmm().max_branches(0))
+            .solve(&m)
+            .unwrap();
+        assert!(pipe.tree.is_feasible_for(&m, 1e-9));
+        assert_eq!(pipe.tree.leaf_count(), 16);
+        assert!(pipe.weight.is_finite());
+        assert_eq!(pipe.stop, mutree_bnb::StopReason::BudgetExhausted);
+        assert!(!pipe.is_complete());
+        assert!(!pipe.degraded.is_empty());
+        assert!(pipe
+            .degraded
+            .iter()
+            .all(|d| d.reason == DegradeReason::Stopped(mutree_bnb::StopReason::BudgetExhausted)));
     }
 
     #[test]

@@ -1,5 +1,8 @@
+use std::time::{Duration, Instant};
+
 use mutree_bnb::{
-    solve_parallel, solve_sequential, SearchMode, SearchOptions, SearchStats, Strategy,
+    solve_parallel, solve_sequential, CancelToken, SearchMode, SearchOptions, SearchStats,
+    StopReason, Strategy,
 };
 use mutree_clustersim::{ClusterSpec, SimReport};
 use mutree_distmat::DistanceMatrix;
@@ -37,11 +40,19 @@ pub struct MutSolution {
     pub trees: Vec<UltrametricTree>,
     /// Search counters (branched, pruned, incumbent updates, …).
     pub stats: SearchStats,
-    /// `false` when a branch budget stopped the search early, making
-    /// `weight` only an upper bound.
-    pub complete: bool,
+    /// Why the search stopped. Anything other than
+    /// [`StopReason::Completed`] means `weight` is only an upper bound.
+    pub stop: StopReason,
     /// Virtual-time measurements when the simulated-cluster backend ran.
     pub sim: Option<SimReport>,
+}
+
+impl MutSolution {
+    /// Whether the search space was exhausted, making `weight` the proven
+    /// minimum.
+    pub fn is_complete(&self) -> bool {
+        self.stop.is_complete()
+    }
 }
 
 /// Builder-style front end for exact minimum ultrametric tree search.
@@ -69,6 +80,8 @@ pub struct MutSolver {
     strategy: Strategy,
     three_three: ThreeThree,
     max_branches: u64,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
     use_maxmin: bool,
     use_upgmm: bool,
 }
@@ -90,6 +103,8 @@ impl MutSolver {
             strategy: Strategy::DepthFirst,
             three_three: ThreeThree::Off,
             max_branches: u64::MAX,
+            deadline: None,
+            cancel: None,
             use_maxmin: true,
             use_upgmm: true,
         }
@@ -122,10 +137,48 @@ impl MutSolver {
     }
 
     /// Caps the number of branch operations; an exceeded cap is reported
-    /// via [`MutSolution::complete`].
+    /// via [`MutSolution::stop`].
     pub fn max_branches(mut self, limit: u64) -> Self {
         self.max_branches = limit;
         self
+    }
+
+    /// Sets an absolute wall-clock deadline; a search past it stops with
+    /// [`StopReason::DeadlineExpired`] and returns its best incumbent.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline to `timeout` from now.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Attaches a cancellation token (keep a clone to trigger it from
+    /// another thread).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline_instant(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether an attached deadline or cancel token already demands a
+    /// stop. The pipeline uses this to skip doomed exact solves and jump
+    /// straight to the agglomerative fallback.
+    pub(crate) fn stop_requested(&self) -> Option<StopReason> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            Some(StopReason::Cancelled)
+        } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            Some(StopReason::DeadlineExpired)
+        } else {
+            None
+        }
     }
 
     /// Disables the maxmin relabeling (ablation; hurts the lower bound).
@@ -162,9 +215,11 @@ impl MutSolver {
         };
 
         let problem = MutProblem::new(&pm, self.three_three, self.use_upgmm);
-        let opts = SearchOptions::new(self.mode)
+        let mut opts = SearchOptions::new(self.mode)
             .max_branches(self.max_branches)
             .strategy(self.strategy);
+        opts.deadline = self.deadline;
+        opts.cancel = self.cancel.clone();
 
         let (outcome, sim) = match &self.backend {
             SearchBackend::Sequential => (solve_sequential(&problem, &opts), None),
@@ -177,9 +232,17 @@ impl MutSolver {
             }
         };
 
-        let weight = outcome
-            .best_value
-            .expect("a feasible UT always exists (UPGMM or exhaustive leaf)");
+        // With UPGMM on, an incumbent exists from the start, so a missing
+        // value can only mean the search was stopped before finding any
+        // leaf with the initial bound disabled.
+        let weight = match outcome.best_value {
+            Some(w) => w,
+            None => {
+                return Err(MutError::Interrupted {
+                    reason: outcome.stop,
+                })
+            }
+        };
 
         // Map taxa back to the original indexing and deduplicate by
         // topology (the UPGMM incumbent can coincide with a search tree).
@@ -199,7 +262,7 @@ impl MutSolver {
             weight,
             trees,
             stats: outcome.stats,
-            complete: outcome.complete,
+            stop: outcome.stop,
             sim,
         })
     }

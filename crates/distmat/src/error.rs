@@ -33,13 +33,26 @@ pub enum MatrixError {
         /// Column index of the offending pair.
         j: usize,
     },
-    /// An off-diagonal entry is negative or not finite.
+    /// An off-diagonal entry is negative.
     InvalidDistance {
         /// Row index of the entry.
         i: usize,
         /// Column index of the entry.
         j: usize,
         /// The invalid value found.
+        value: f64,
+    },
+    /// An off-diagonal entry is NaN or infinite. Reported separately from
+    /// [`MatrixError::InvalidDistance`] because non-finite values usually
+    /// point at an upstream computation bug (0/0 alignment scores, overflow)
+    /// rather than bad data, and they would poison every downstream
+    /// comparison the solvers make.
+    NotFinite {
+        /// Row index of the entry.
+        i: usize,
+        /// Column index of the entry.
+        j: usize,
+        /// The non-finite value found.
         value: f64,
     },
     /// Failure while parsing a PHYLIP-style matrix.
@@ -72,7 +85,10 @@ impl fmt::Display for MatrixError {
                 write!(f, "entries ({i}, {j}) and ({j}, {i}) disagree")
             }
             MatrixError::InvalidDistance { i, j, value } => {
-                write!(f, "entry ({i}, {j}) = {value} is negative or not finite")
+                write!(f, "entry ({i}, {j}) = {value} is negative")
+            }
+            MatrixError::NotFinite { i, j, value } => {
+                write!(f, "entry ({i}, {j}) = {value} is not finite")
             }
             MatrixError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")

@@ -10,7 +10,6 @@ use crate::MatrixError;
 /// attached with [`DistanceMatrix::set_labels`] and survive permutation and
 /// submatrix extraction.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DistanceMatrix {
     n: usize,
     /// Strict lower triangle, row-major: entry `(i, j)` with `j < i` lives at
@@ -47,7 +46,9 @@ impl DistanceMatrix {
     /// # Errors
     ///
     /// Returns an error when the rows are ragged, the diagonal is non-zero,
-    /// the matrix is asymmetric, or any entry is negative or non-finite.
+    /// the matrix is asymmetric, any entry is negative
+    /// ([`MatrixError::InvalidDistance`]) or NaN/infinite
+    /// ([`MatrixError::NotFinite`]).
     pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, MatrixError> {
         let n = rows.len();
         let mut m = DistanceMatrix::zeros(n)?;
@@ -66,7 +67,10 @@ impl DistanceMatrix {
                 });
             }
             for (j, &v) in row.iter().enumerate().take(i) {
-                if !v.is_finite() || v < 0.0 {
+                if !v.is_finite() {
+                    return Err(MatrixError::NotFinite { i, j, value: v });
+                }
+                if v < 0.0 {
                     return Err(MatrixError::InvalidDistance { i, j, value: v });
                 }
                 if (v - rows[j][i]).abs() > 1e-12 * (1.0 + v.abs()) {
@@ -84,8 +88,9 @@ impl DistanceMatrix {
     /// # Errors
     ///
     /// Returns [`MatrixError::TooSmall`] when `n < 2`,
-    /// [`MatrixError::RaggedRow`] when `condensed.len() != n(n-1)/2`, and
-    /// [`MatrixError::InvalidDistance`] for negative or non-finite entries.
+    /// [`MatrixError::RaggedRow`] when `condensed.len() != n(n-1)/2`,
+    /// [`MatrixError::InvalidDistance`] for negative entries and
+    /// [`MatrixError::NotFinite`] for NaN/infinite entries.
     pub fn from_condensed(n: usize, condensed: Vec<f64>) -> Result<Self, MatrixError> {
         if n < 2 {
             return Err(MatrixError::TooSmall { n });
@@ -106,7 +111,11 @@ impl DistanceMatrix {
                     i += 1;
                 }
                 let j = k - tri_index(i, 0);
-                return Err(MatrixError::InvalidDistance { i, j, value: v });
+                return Err(if v.is_finite() {
+                    MatrixError::InvalidDistance { i, j, value: v }
+                } else {
+                    MatrixError::NotFinite { i, j, value: v }
+                });
             }
         }
         Ok(DistanceMatrix {
@@ -436,6 +445,28 @@ mod tests {
 
         let err = DistanceMatrix::from_rows(&[vec![0.0, -1.0], vec![-1.0, 0.0]]).unwrap_err();
         assert!(matches!(err, MatrixError::InvalidDistance { .. }));
+    }
+
+    #[test]
+    fn non_finite_entries_are_rejected_with_their_own_error() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = DistanceMatrix::from_rows(&[vec![0.0, bad], vec![bad, 0.0]]).unwrap_err();
+            assert!(
+                matches!(err, MatrixError::NotFinite { i: 1, j: 0, .. }),
+                "{bad}: {err:?}"
+            );
+            let err = DistanceMatrix::from_condensed(3, vec![1.0, bad, 2.0]).unwrap_err();
+            assert!(
+                matches!(err, MatrixError::NotFinite { i: 2, j: 0, .. }),
+                "{bad}: {err:?}"
+            );
+        }
+        // Negative stays a plain invalid distance, not NotFinite.
+        let err = DistanceMatrix::from_condensed(3, vec![1.0, -2.0, 2.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            MatrixError::InvalidDistance { i: 2, j: 0, .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of the criterion API the workspace's benches compile against:
+//! [`Criterion`], [`Criterion::benchmark_group`] with the builder knobs,
+//! `bench_function`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — run the closure for roughly the
+//! configured measurement time and print mean wall-clock per iteration.
+//! It is a smoke harness, not a statistics engine; the repo's serious
+//! measurements live in `crates/bench`'s own binaries.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Measurement strategies (only wall-clock here).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_bench(id.as_ref(), self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// Called by [`criterion_main!`]; a no-op in this shim.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _parent: std::marker::PhantomData<(&'a mut Criterion, M)>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the target sample count (accepted for API compatibility; this
+    /// shim times for a fixed duration instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_bench(id.as_ref(), self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, warm_up: Duration, measure: Duration, mut f: F) {
+    // Warm up and estimate per-iteration cost with a growing batch.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_secs(1);
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed > Duration::ZERO {
+            per_iter = b.elapsed / iters.max(1) as u32;
+        }
+        if warm_start.elapsed() >= warm_up || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    // One measurement batch sized to fill the measurement window.
+    let target = (measure.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
+    let mut b = Bencher {
+        iters: target,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed / target.max(1) as u32;
+    println!("  {id}: {mean:?}/iter ({target} iters in {:?})", b.elapsed);
+}
+
+/// Declares a benchmark group as a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut g = c.benchmark_group("tiny");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.finish();
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
