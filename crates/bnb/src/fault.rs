@@ -14,6 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::kernel::ChildBuf;
 use crate::Problem;
 
 /// Which faults to inject, and how often.
@@ -145,7 +146,7 @@ impl<P: Problem> Problem for FaultyProblem<P> {
         self.inner.solution(node)
     }
 
-    fn branch(&self, node: &P::Node, out: &mut Vec<P::Node>) {
+    fn branch(&self, node: &P::Node, out: &mut ChildBuf<P::Node>) {
         let r = self.roll();
         if r < self.spec.panic_rate {
             panic!("injected fault: branch panicked (call #{})", self.calls());
@@ -178,7 +179,7 @@ mod tests {
         fn solution(&self, n: &u32) -> Option<(u32, f64)> {
             (*n == 0).then_some((0, 0.0))
         }
-        fn branch(&self, n: &u32, out: &mut Vec<u32>) {
+        fn branch(&self, n: &u32, out: &mut ChildBuf<u32>) {
             out.push(n - 1);
         }
     }
@@ -213,7 +214,7 @@ mod tests {
     #[should_panic(expected = "injected fault")]
     fn panic_rate_one_always_panics() {
         let p = FaultyProblem::new(CountDown(3), FaultSpec::new(1).panic_rate(1.0));
-        let mut out = Vec::new();
+        let mut out = ChildBuf::new();
         p.branch(&2, &mut out);
     }
 }

@@ -6,6 +6,10 @@
 //! This crate separates the search machinery from the problem:
 //!
 //! * implement [`Problem`] for your optimization problem;
+//! * every driver runs the same audited per-node expansion sequence,
+//!   owned once by the [`kernel`] module ([`kernel::Expander`]) and
+//!   parameterized by a frontier (node-selection order), an incumbent
+//!   sink and a branch budget — drivers are thin schedulers around it;
 //! * run [`solve_sequential`] for the classic depth-first search, or
 //!   [`solve_parallel`] for the master/slave scheme of the PaCT 2005 /
 //!   HPC Asia 2005 papers — a shared atomic upper bound every worker sees
@@ -38,7 +42,7 @@
 //! # Example: subset-sum as branch-and-bound
 //!
 //! ```
-//! use mutree_bnb::{Problem, SearchMode, SearchOptions, solve_sequential};
+//! use mutree_bnb::{ChildBuf, Problem, SearchMode, SearchOptions, solve_sequential};
 //!
 //! /// Choose a subset of `items` minimizing |sum - target|.
 //! struct Closest { items: Vec<f64>, target: f64 }
@@ -60,7 +64,7 @@
 //!         (n.taken.len() == self.items.len())
 //!             .then(|| (n.taken.clone(), (n.sum - self.target).abs()))
 //!     }
-//!     fn branch(&self, n: &Pick, out: &mut Vec<Pick>) {
+//!     fn branch(&self, n: &Pick, out: &mut ChildBuf<Pick>) {
 //!         let i = n.taken.len();
 //!         for take in [false, true] {
 //!             let mut c = n.clone();
@@ -81,15 +85,17 @@
 
 mod cancel;
 pub mod fault;
+pub mod kernel;
 mod parallel;
 mod problem;
 mod sequential;
 mod shared_bound;
 
 pub use cancel::CancelToken;
+pub use kernel::{sanitize_lb, ChildBuf, Incumbents, SearchEvent, SearchObserver};
 pub use parallel::solve_parallel;
 pub use problem::{
     Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason, Strategy,
 };
-pub use sequential::{solve_sequential, Incumbents};
+pub use sequential::{solve_sequential, solve_sequential_observed};
 pub use shared_bound::SharedBound;

@@ -1,11 +1,12 @@
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
-use crate::problem::{sanitize_lb, TIME_CHECK_INTERVAL};
-use crate::sequential::Incumbents;
+use crate::kernel::{
+    sanitize_lb, AtomicBudget, BreadthFirstFrontier, DepthFirstFrontier, Expander, Frontier,
+    IncumbentSink, Incumbents, Step,
+};
 use crate::{
     Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, SharedBound, StopReason,
 };
@@ -141,6 +142,62 @@ impl<N, S> Shared<N, S> {
     }
 }
 
+/// The master's seeding-phase sink: a local [`Incumbents`] plus the shared
+/// atomic bound that workers will later prune against.
+struct SeedSink<'a, S> {
+    inc: &'a mut Incumbents<S>,
+    bound: &'a SharedBound,
+}
+
+impl<S: Clone> IncumbentSink<S> for SeedSink<'_, S> {
+    fn current_ub(&self) -> f64 {
+        self.bound.get()
+    }
+
+    fn accept(&mut self, value: f64, solution: S) -> bool {
+        let improved = self.inc.offer(value, solution);
+        if improved {
+            self.bound.try_improve(value);
+        }
+        improved
+    }
+}
+
+/// A worker's sink: prunes against the shared atomic bound and publishes
+/// accepted solutions immediately, so a later panic loses nothing.
+struct WorkerSink<'a, N, S> {
+    shared: &'a Shared<N, S>,
+    opts: &'a SearchOptions,
+}
+
+impl<N, S> IncumbentSink<S> for WorkerSink<'_, N, S> {
+    fn current_ub(&self) -> f64 {
+        self.shared.bound.get()
+    }
+
+    fn accept(&mut self, value: f64, solution: S) -> bool {
+        match self.opts.mode {
+            SearchMode::BestOne => {
+                if self.shared.bound.try_improve(value) {
+                    self.shared.publish(value, solution);
+                    true
+                } else {
+                    false
+                }
+            }
+            SearchMode::AllOptimal => {
+                let ub = self.shared.bound.get();
+                if value <= ub + self.opts.eps(ub) {
+                    self.shared.publish(value, solution);
+                    self.shared.bound.try_improve(value)
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
 /// Master/slave parallel branch-and-bound (the paper's Table 1 algorithm,
 /// with threads standing in for cluster nodes):
 ///
@@ -157,6 +214,10 @@ impl<N, S> Shared<N, S> {
 ///    pending node, so nobody idles while work remains;
 /// 5. when all workers are idle and the global pool is empty the search
 ///    terminates and the master gathers solutions (Step 8).
+///
+/// Both the seeding phase and the workers run the shared
+/// [expansion kernel](crate::kernel); only the scheduling around it (the
+/// pools, the shared bound, the stop flags) lives here.
 ///
 /// With `workers == 1` this degenerates to (slightly buffered) sequential
 /// search; results are always identical in optimum value to
@@ -183,14 +244,18 @@ pub fn solve_parallel<P: Problem>(
     workers: usize,
 ) -> SearchOutcome<P::Solution> {
     assert!(workers >= 1, "need at least one worker");
-    let mut master_stats = SearchStats::default();
     let mut master_inc = Incumbents::new(opts);
     let bound = SharedBound::unbounded();
-    if let Some((s, v)) = problem.initial_incumbent() {
-        if master_inc.offer(v, s) {
-            master_stats.incumbent_updates += 1;
-            bound.try_improve(v);
-        }
+    // One budget counter spans seeding and the worker phase, so the global
+    // branch limit holds across both.
+    let branches = AtomicU64::new(0);
+    let mut exp = Expander::new(problem, opts);
+    {
+        let mut sink = SeedSink {
+            inc: &mut master_inc,
+            bound: &bound,
+        };
+        exp.offer_initial(&mut sink);
     }
 
     // --- Master seeding phase: breadth-first until 2×workers open nodes.
@@ -198,66 +263,38 @@ pub fn solve_parallel<P: Problem>(
     // same panic isolation as the workers: a panic mid-seeding yields
     // whatever incumbent exists with `WorkerPanicked` instead of unwinding
     // through the caller.
-    let mut frontier: VecDeque<P::Node> = VecDeque::new();
+    let mut frontier = BreadthFirstFrontier::new();
     let mut early_stop: Option<StopReason> = None;
     let seeding = catch_unwind(AssertUnwindSafe(|| {
         let target = 2 * workers;
-        frontier.push_back(problem.root());
-        let mut kids = Vec::new();
-        let mut ticks = 0u64;
+        exp.push_root(&mut frontier);
         while frontier.len() < target {
-            if opts.cancelled() {
-                early_stop = Some(StopReason::Cancelled);
+            if let Some(reason) = exp.poll_stop(&mut ()) {
+                early_stop = Some(reason);
                 break;
             }
-            if ticks.is_multiple_of(TIME_CHECK_INTERVAL) && opts.deadline_expired() {
-                early_stop = Some(StopReason::DeadlineExpired);
-                break;
-            }
-            ticks += 1;
-            let Some(node) = frontier.pop_front() else {
+            let Some(node) = frontier.pop() else {
                 break;
             };
-            let ub = bound.get();
-            let lb = sanitize_lb(problem.lower_bound(&node));
-            if Incumbents::<P::Solution>::prunable(lb, ub, opts) {
-                master_stats.pruned += 1;
-                continue;
-            }
-            if let Some((s, v)) = problem.solution(&node) {
-                master_stats.solutions_seen += 1;
-                if master_inc.offer(v, s) {
-                    master_stats.incumbent_updates += 1;
-                    bound.try_improve(v);
+            let mut sink = SeedSink {
+                inc: &mut master_inc,
+                bound: &bound,
+            };
+            let mut budget = AtomicBudget::new(&branches, opts.max_branches);
+            match exp.expand(&node, &mut sink, &mut budget, &mut frontier, &mut ()) {
+                Step::Stopped(reason) => {
+                    early_stop = Some(reason);
+                    break;
                 }
-                continue;
+                _ => exp.recycle(node),
             }
-            if master_stats.branched >= opts.max_branches {
-                early_stop = Some(StopReason::BudgetExhausted);
-                break;
-            }
-            master_stats.branched += 1;
-            kids.clear();
-            problem.branch(&node, &mut kids);
-            let ub = bound.get();
-            for k in kids.drain(..) {
-                if Incumbents::<P::Solution>::prunable(
-                    sanitize_lb(problem.lower_bound(&k)),
-                    ub,
-                    opts,
-                ) {
-                    master_stats.pruned += 1;
-                } else {
-                    frontier.push_back(k);
-                }
-            }
-            master_stats.peak_pool = master_stats.peak_pool.max(frontier.len() as u64);
         }
     }));
     if seeding.is_err() {
         early_stop = Some(StopReason::WorkerPanicked);
-        frontier.clear();
+        frontier = BreadthFirstFrontier::new();
     }
+    let master_stats = exp.stats();
 
     if frontier.is_empty() || early_stop.is_some() {
         // The whole tree collapsed during seeding, or seeding was stopped
@@ -272,6 +309,7 @@ pub fn solve_parallel<P: Problem>(
 
     // --- Sort by lower bound, deal cyclically (Step 6).
     let mut seeds: Vec<(f64, P::Node)> = frontier
+        .into_vec()
         .into_iter()
         .map(|n| (sanitize_lb(problem.lower_bound(&n)), n))
         .collect();
@@ -294,7 +332,7 @@ pub fn solve_parallel<P: Problem>(
         }),
         cv: Condvar::new(),
         bound,
-        branches: AtomicU64::new(master_stats.branched),
+        branches,
         stop: AtomicU8::new(STOP_NONE),
         found: Mutex::new(Vec::new()),
     };
@@ -380,96 +418,57 @@ fn run_worker<P: Problem>(
     problem: &P,
     opts: &SearchOptions,
     shared: &Shared<P::Node, P::Solution>,
-    mut lp: Vec<P::Node>,
+    lp: Vec<P::Node>,
 ) -> SearchStats {
-    let mut stats = SearchStats::default();
-    let mut kids = Vec::new();
-    let mut ticks = 0u64;
+    let mut exp = Expander::new(problem, opts);
+    let mut frontier = DepthFirstFrontier::from_vec(lp);
+    let mut budget = AtomicBudget::new(&shared.branches, opts.max_branches);
+    let mut sink = WorkerSink { shared, opts };
     loop {
         if shared.stopping() {
             break;
         }
-        if opts.cancelled() {
-            shared.request_stop(StopReason::Cancelled);
+        if let Some(reason) = exp.poll_stop(&mut ()) {
+            shared.request_stop(reason);
             break;
         }
-        if ticks.is_multiple_of(TIME_CHECK_INTERVAL) && opts.deadline_expired() {
-            shared.request_stop(StopReason::DeadlineExpired);
-            break;
-        }
-        ticks += 1;
-        let node = match lp.pop() {
+        let node = match frontier.pop() {
             Some(n) => n,
             None => match shared.fetch_global() {
                 Some(n) => n,
                 None => break,
             },
         };
-        let ub = shared.bound.get();
-        let lb = sanitize_lb(problem.lower_bound(&node));
-        if Incumbents::<P::Solution>::prunable(lb, ub, opts) {
-            stats.pruned += 1;
-            continue;
-        }
-        if let Some((s, v)) = problem.solution(&node) {
-            if v.is_nan() {
-                // Unorderable objective: drop it rather than poison the
-                // bound (mirrors `Incumbents::offer`).
-                continue;
+        match exp.expand(&node, &mut sink, &mut budget, &mut frontier, &mut ()) {
+            Step::Stopped(reason) => {
+                shared.request_stop(reason);
+                break;
             }
-            stats.solutions_seen += 1;
-            match opts.mode {
-                SearchMode::BestOne => {
-                    if shared.bound.try_improve(v) {
-                        stats.incumbent_updates += 1;
-                        shared.publish(v, s);
-                    }
-                }
-                SearchMode::AllOptimal => {
-                    if v <= ub + opts.eps(ub) {
-                        shared.publish(v, s);
-                        if shared.bound.try_improve(v) {
-                            stats.incumbent_updates += 1;
+            Step::Branched { .. } => {
+                exp.recycle(node);
+                // Load balancing: keep the global pool stocked while we
+                // have spare work (the paper's "send the last UT in sorted
+                // LP to GP").
+                if frontier.len() > 1 {
+                    let mut st = shared.lock_state();
+                    if st.global.is_empty() && !st.done && st.idle > 0 {
+                        if let Some(donated) = frontier.steal_oldest() {
+                            st.global.push(donated);
+                            shared.cv.notify_one();
                         }
                     }
                 }
             }
-            continue;
-        }
-        if shared.branches.fetch_add(1, Ordering::Relaxed) >= opts.max_branches {
-            shared.request_stop(StopReason::BudgetExhausted);
-            break;
-        }
-        stats.branched += 1;
-        kids.clear();
-        problem.branch(&node, &mut kids);
-        let ub = shared.bound.get();
-        for k in kids.drain(..).rev() {
-            if Incumbents::<P::Solution>::prunable(sanitize_lb(problem.lower_bound(&k)), ub, opts) {
-                stats.pruned += 1;
-            } else {
-                lp.push(k);
-            }
-        }
-        stats.peak_pool = stats.peak_pool.max(lp.len() as u64);
-
-        // Load balancing: keep the global pool stocked while we have spare
-        // work (the paper's "send the last UT in sorted LP to GP").
-        if lp.len() > 1 {
-            let mut st = shared.lock_state();
-            if st.global.is_empty() && !st.done && st.idle > 0 {
-                let donated = lp.remove(0);
-                st.global.push(donated);
-                shared.cv.notify_one();
-            }
+            _ => exp.recycle(node),
         }
     }
-    stats
+    exp.stats()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::ChildBuf;
     use crate::{solve_sequential, CancelToken};
     use std::time::Instant;
 
@@ -495,7 +494,7 @@ mod tests {
         fn solution(&self, node: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
             (node.len() == self.weights.len()).then(|| (node.clone(), self.lower_bound(node)))
         }
-        fn branch(&self, node: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+        fn branch(&self, node: &Vec<bool>, out: &mut ChildBuf<Vec<bool>>) {
             for b in [true, false] {
                 let mut c = node.clone();
                 c.push(b);
@@ -603,7 +602,7 @@ mod tests {
             fn solution(&self, n: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
                 self.0.solution(n)
             }
-            fn branch(&self, n: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+            fn branch(&self, n: &Vec<bool>, out: &mut ChildBuf<Vec<bool>>) {
                 self.0.branch(n, out)
             }
             fn initial_incumbent(&self) -> Option<(Vec<bool>, f64)> {
@@ -647,7 +646,7 @@ mod tests {
             fn solution(&self, n: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
                 self.0.solution(n)
             }
-            fn branch(&self, n: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+            fn branch(&self, n: &Vec<bool>, out: &mut ChildBuf<Vec<bool>>) {
                 self.0.branch(n, out)
             }
         }

@@ -1,5 +1,6 @@
 use std::time::{Duration, Instant};
 
+use crate::kernel::ChildBuf;
 use crate::CancelToken;
 
 /// A minimization problem searchable by branch-and-bound.
@@ -25,8 +26,13 @@ pub trait Problem: Sync {
     fn solution(&self, node: &Self::Node) -> Option<(Self::Solution, f64)>;
 
     /// Expands an incomplete node, pushing its children into `out`
-    /// (cleared by the caller).
-    fn branch(&self, node: &Self::Node, out: &mut Vec<Self::Node>);
+    /// (empty on entry).
+    ///
+    /// `out` also carries a spare pool of retired nodes: implementations
+    /// that can overwrite an old node in place should prefer
+    /// [`ChildBuf::recycle`] over allocating, which makes the hot path
+    /// allocation-free once the pool is warm.
+    fn branch(&self, node: &Self::Node, out: &mut ChildBuf<Self::Node>);
 
     /// An optional heuristic incumbent used as the initial upper bound
     /// (the paper's UPGMM step). Defaults to none.
@@ -202,7 +208,11 @@ impl SearchOptions {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
-    pub(crate) fn eps(&self, ub: f64) -> f64 {
+    /// The absolute comparison slack at upper bound `ub`:
+    /// `tol × max(1, |ub|)`, or `0` while the bound is still infinite
+    /// (`∞ − ∞` would be NaN). Public so custom drivers share the exact
+    /// pruning arithmetic of the built-in ones.
+    pub fn eps(&self, ub: f64) -> f64 {
         if ub.is_finite() {
             self.tol * 1f64.max(ub.abs())
         } else {
@@ -210,21 +220,6 @@ impl SearchOptions {
             // keeps `ub - eps` well-defined (∞ − ∞ would be NaN).
             0.0
         }
-    }
-}
-
-/// How often (in processed nodes) the drivers look at the wall clock for
-/// deadline checks. Cancel flags are atomics and are checked every node.
-pub(crate) const TIME_CHECK_INTERVAL: u64 = 128;
-
-/// Normalizes a lower bound coming from [`Problem::lower_bound`] so a
-/// buggy or degenerate bound can never prune a live subtree: NaN (which
-/// would poison every comparison) becomes `-∞`, i.e. "no information".
-pub(crate) fn sanitize_lb(lb: f64) -> f64 {
-    if lb.is_nan() {
-        f64::NEG_INFINITY
-    } else {
-        lb
     }
 }
 

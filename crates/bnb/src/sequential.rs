@@ -1,163 +1,14 @@
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use crate::problem::{sanitize_lb, TIME_CHECK_INTERVAL};
-use crate::{Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason, Strategy};
-
-/// Tracks the incumbent value and the solutions worth keeping under the
-/// current [`SearchMode`]. The sequential, thread-parallel and simulated
-/// drivers all build on it; custom drivers (e.g. simulations with their
-/// own scheduling) can too.
-pub struct Incumbents<S> {
-    /// The best objective value seen so far (`+∞` before any solution).
-    pub ub: f64,
-    /// Kept solutions with their values (pruned of dominated entries as
-    /// the bound improves).
-    pub solutions: Vec<(f64, S)>,
-    mode: SearchMode,
-    tol: f64,
-}
-
-impl<S: Clone> Incumbents<S> {
-    /// An empty tracker configured from the search options.
-    pub fn new(opts: &SearchOptions) -> Self {
-        Incumbents {
-            ub: f64::INFINITY,
-            solutions: Vec::new(),
-            mode: opts.mode,
-            tol: opts.tol,
-        }
-    }
-
-    /// Whether a node with lower bound `lb` can be discarded given `ub`.
-    pub fn prunable(lb: f64, ub: f64, opts: &SearchOptions) -> bool {
-        match opts.mode {
-            SearchMode::BestOne => lb >= ub - opts.eps(ub),
-            SearchMode::AllOptimal => lb > ub + opts.eps(ub),
-        }
-    }
-
-    /// Offers a complete solution; returns whether it improved the bound.
-    ///
-    /// A NaN value is rejected outright: it cannot be ordered against the
-    /// incumbent and accepting it would poison every later comparison.
-    pub fn offer(&mut self, value: f64, solution: S) -> bool {
-        if value.is_nan() {
-            return false;
-        }
-        let eps = if self.ub.is_finite() {
-            self.tol * 1f64.max(self.ub.abs())
-        } else {
-            0.0
-        };
-        if value < self.ub - eps {
-            self.ub = value;
-            match self.mode {
-                SearchMode::BestOne => {
-                    self.solutions.clear();
-                    self.solutions.push((value, solution));
-                }
-                SearchMode::AllOptimal => {
-                    let eps = self.tol * 1f64.max(value.abs());
-                    self.solutions.retain(|(v, _)| *v <= value + eps);
-                    self.solutions.push((value, solution));
-                }
-            }
-            true
-        } else if matches!(self.mode, SearchMode::AllOptimal) && value <= self.ub + eps {
-            self.solutions.push((value, solution));
-            false
-        } else {
-            false
-        }
-    }
-
-    /// Final solutions: exactly those within tolerance of `best`.
-    pub fn finish(self, best: f64) -> Vec<S> {
-        let eps = self.tol * 1f64.max(best.abs());
-        self.solutions
-            .into_iter()
-            .filter(|(v, _)| *v <= best + eps)
-            .map(|(_, s)| s)
-            .collect()
-    }
-}
-
-/// An open-node pool: LIFO for depth-first, a min-heap on the lower bound
-/// (FIFO among ties) for best-first.
-enum Pool<N> {
-    Stack(Vec<N>),
-    Heap(BinaryHeap<HeapEntry<N>>, u64),
-}
-
-struct HeapEntry<N> {
-    lb: f64,
-    seq: u64,
-    node: N,
-}
-
-impl<N> PartialEq for HeapEntry<N> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl<N> Eq for HeapEntry<N> {}
-impl<N> Ord for HeapEntry<N> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse both: BinaryHeap is a max-heap, we want the smallest
-        // bound, then the earliest insertion. `total_cmp` keeps the order
-        // total even if a buggy bound produces NaN (sorted past +∞, i.e.
-        // least promising — it is never used for pruning).
-        other.lb.total_cmp(&self.lb).then(other.seq.cmp(&self.seq))
-    }
-}
-impl<N> PartialOrd for HeapEntry<N> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<N> Pool<N> {
-    fn new(strategy: Strategy) -> Self {
-        match strategy {
-            Strategy::DepthFirst => Pool::Stack(Vec::new()),
-            Strategy::BestFirst => Pool::Heap(BinaryHeap::new(), 0),
-        }
-    }
-
-    fn push(&mut self, node: N, lb: f64) {
-        match self {
-            Pool::Stack(v) => v.push(node),
-            Pool::Heap(h, seq) => {
-                h.push(HeapEntry {
-                    lb,
-                    seq: *seq,
-                    node,
-                });
-                *seq += 1;
-            }
-        }
-    }
-
-    fn pop(&mut self) -> Option<N> {
-        match self {
-            Pool::Stack(v) => v.pop(),
-            Pool::Heap(h, _) => h.pop().map(|e| e.node),
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            Pool::Stack(v) => v.len(),
-            Pool::Heap(h, _) => h.len(),
-        }
-    }
-}
+use crate::kernel::{
+    BestFirstFrontier, DepthFirstFrontier, Expander, Frontier, Incumbents, LocalBudget,
+    SearchObserver, Step,
+};
+use crate::{Problem, SearchOptions, SearchOutcome, StopReason, Strategy};
 
 /// Single-threaded branch-and-bound — Algorithm BBU's skeleton: keep a
 /// pool of open nodes (a stack under [`Strategy::DepthFirst`], a bound-
 /// ordered heap under [`Strategy::BestFirst`]), prune against the
-/// incumbent, and record complete solutions.
+/// incumbent, and record complete solutions. A thin scheduler over the
+/// shared [expansion kernel](crate::kernel).
 ///
 /// The search is *anytime*: the cancel token is checked on every node and
 /// the deadline every 128 nodes (including before the first, so an
@@ -168,88 +19,55 @@ pub fn solve_sequential<P: Problem>(
     problem: &P,
     opts: &SearchOptions,
 ) -> SearchOutcome<P::Solution> {
-    let mut stats = SearchStats::default();
+    solve_sequential_observed(problem, opts, &mut ())
+}
+
+/// [`solve_sequential`] with a [`SearchObserver`] receiving the kernel's
+/// structured events — the hook tracing and progress reporting plug into.
+pub fn solve_sequential_observed<P: Problem, O: SearchObserver>(
+    problem: &P,
+    opts: &SearchOptions,
+    observer: &mut O,
+) -> SearchOutcome<P::Solution> {
+    match opts.strategy {
+        Strategy::DepthFirst => drive(problem, opts, DepthFirstFrontier::new(), observer),
+        Strategy::BestFirst => drive(problem, opts, BestFirstFrontier::new(), observer),
+    }
+}
+
+fn drive<P: Problem, F: Frontier<P::Node>, O: SearchObserver>(
+    problem: &P,
+    opts: &SearchOptions,
+    mut frontier: F,
+    observer: &mut O,
+) -> SearchOutcome<P::Solution> {
+    let mut exp = Expander::new(problem, opts);
     let mut inc = Incumbents::new(opts);
-    if let Some((s, v)) = problem.initial_incumbent() {
-        if inc.offer(v, s) {
-            stats.incumbent_updates += 1;
-        }
-    }
-    let mut pool = Pool::new(opts.strategy);
-    let root = problem.root();
-    let root_lb = sanitize_lb(problem.lower_bound(&root));
-    pool.push(root, root_lb);
-    let mut kids = Vec::new();
+    let mut budget = LocalBudget::new(opts.max_branches);
+    exp.offer_initial(&mut inc);
+    exp.push_root(&mut frontier);
     let mut stop = StopReason::Completed;
-    let mut ticks = 0u64;
-    while let Some(node) = pool.pop() {
-        if opts.cancelled() {
-            stop = StopReason::Cancelled;
+    while let Some(node) = frontier.pop() {
+        if let Some(reason) = exp.poll_stop(observer) {
+            stop = reason;
             break;
         }
-        if ticks.is_multiple_of(TIME_CHECK_INTERVAL) && opts.deadline_expired() {
-            stop = StopReason::DeadlineExpired;
-            break;
-        }
-        ticks += 1;
-        let lb = sanitize_lb(problem.lower_bound(&node));
-        if Incumbents::<P::Solution>::prunable(lb, inc.ub, opts) {
-            stats.pruned += 1;
-            continue;
-        }
-        if let Some((s, v)) = problem.solution(&node) {
-            stats.solutions_seen += 1;
-            if inc.offer(v, s) {
-                stats.incumbent_updates += 1;
+        match exp.expand(&node, &mut inc, &mut budget, &mut frontier, observer) {
+            Step::Stopped(reason) => {
+                stop = reason;
+                break;
             }
-            continue;
+            _ => exp.recycle(node),
         }
-        if stats.branched >= opts.max_branches {
-            stop = StopReason::BudgetExhausted;
-            break;
-        }
-        stats.branched += 1;
-        kids.clear();
-        problem.branch(&node, &mut kids);
-        // Push in reverse so the first child is explored first (DFS order
-        // matches the branching order, which problems tune for good
-        // early incumbents).
-        for k in kids.drain(..).rev() {
-            let klb = sanitize_lb(problem.lower_bound(&k));
-            if Incumbents::<P::Solution>::prunable(klb, inc.ub, opts) {
-                stats.pruned += 1;
-            } else {
-                pool.push(k, klb);
-            }
-        }
-        stats.peak_pool = stats.peak_pool.max(pool.len() as u64);
     }
-    let best_value = inc
-        .solutions
-        .iter()
-        .map(|(v, _)| *v)
-        .fold(None, |acc: Option<f64>, v| {
-            Some(acc.map_or(v, |a| a.min(v)))
-        });
-    match best_value {
-        Some(bv) => SearchOutcome {
-            best_value: Some(bv),
-            solutions: inc.finish(bv),
-            stats,
-            stop,
-        },
-        None => SearchOutcome {
-            best_value: None,
-            solutions: Vec::new(),
-            stats,
-            stop,
-        },
-    }
+    inc.into_outcome(exp.stats(), stop)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::ChildBuf;
+    use crate::SearchMode;
 
     /// Toy problem: binary strings of length `n`; value = number of ones +
     /// `base`; optimum is the all-zero string with value `base`. Lower
@@ -280,7 +98,7 @@ mod tests {
         fn solution(&self, node: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
             (node.len() == self.n).then(|| (node.clone(), self.lower_bound(node)))
         }
-        fn branch(&self, node: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+        fn branch(&self, node: &Vec<bool>, out: &mut ChildBuf<Vec<bool>>) {
             for b in [false, true] {
                 let mut c = node.clone();
                 c.push(b);
@@ -348,7 +166,7 @@ mod tests {
             fn solution(&self, n: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
                 self.0.solution(n)
             }
-            fn branch(&self, n: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+            fn branch(&self, n: &Vec<bool>, out: &mut ChildBuf<Vec<bool>>) {
                 self.0.branch(n, out)
             }
             fn initial_incumbent(&self) -> Option<(Vec<bool>, f64)> {
@@ -441,7 +259,7 @@ mod tests {
             fn solution(&self, _: &u32) -> Option<((), f64)> {
                 None
             }
-            fn branch(&self, n: &u32, out: &mut Vec<u32>) {
+            fn branch(&self, n: &u32, out: &mut ChildBuf<u32>) {
                 if *n < 3 {
                     out.push(n + 1);
                 }
@@ -450,5 +268,39 @@ mod tests {
         let out = solve_sequential(&NoSolutions, &SearchOptions::new(SearchMode::BestOne));
         assert_eq!(out.best_value, None);
         assert!(out.solutions.is_empty());
+    }
+
+    #[test]
+    fn observer_sees_structured_events() {
+        use crate::kernel::{SearchEvent, SearchObserver};
+
+        #[derive(Default)]
+        struct Tally {
+            expanded: u64,
+            pruned: u64,
+            improved: u64,
+        }
+        impl SearchObserver for Tally {
+            fn on_event(&mut self, event: SearchEvent) {
+                match event {
+                    SearchEvent::NodeExpanded { .. } => self.expanded += 1,
+                    SearchEvent::Pruned { .. } => self.pruned += 1,
+                    SearchEvent::IncumbentImproved { .. } => self.improved += 1,
+                    SearchEvent::Stopped { .. } => {}
+                }
+            }
+        }
+
+        let p = Bits {
+            n: 7,
+            base: 0.0,
+            twist: false,
+        };
+        let mut tally = Tally::default();
+        let out =
+            solve_sequential_observed(&p, &SearchOptions::new(SearchMode::BestOne), &mut tally);
+        assert_eq!(tally.expanded, out.stats.branched);
+        assert_eq!(tally.pruned, out.stats.pruned);
+        assert_eq!(tally.improved, out.stats.incumbent_updates);
     }
 }

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use mutree_bnb::fault::{FaultSpec, FaultyProblem};
 use mutree_bnb::{
-    solve_parallel, solve_sequential, Problem, SearchMode, SearchOptions, StopReason,
+    solve_parallel, solve_sequential, ChildBuf, Problem, SearchMode, SearchOptions, StopReason,
 };
 
 /// Minimize the weighted ones-count over binary strings; the all-false
@@ -40,7 +40,7 @@ impl Problem for WeightedBits {
     fn solution(&self, node: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
         (node.len() == self.weights.len()).then(|| (node.clone(), self.lower_bound(node)))
     }
-    fn branch(&self, node: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+    fn branch(&self, node: &Vec<bool>, out: &mut ChildBuf<Vec<bool>>) {
         for b in [true, false] {
             let mut c = node.clone();
             c.push(b);

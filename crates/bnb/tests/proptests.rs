@@ -1,10 +1,13 @@
 //! Property tests of the branch-and-bound engine on randomized problem
-//! instances: all drivers must agree with exhaustive enumeration.
+//! instances: all drivers must agree with exhaustive enumeration, and the
+//! sequential driver must reproduce a recorded expansion-order oracle.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use mutree_bnb::{
-    solve_parallel, solve_sequential, CancelToken, Problem, SearchMode, SearchOptions, StopReason,
+    solve_parallel, solve_sequential, CancelToken, ChildBuf, Problem, SearchMode, SearchOptions,
+    StopReason, Strategy,
 };
 use proptest::prelude::*;
 
@@ -32,13 +35,148 @@ impl Problem for SubsetCost {
     fn solution(&self, node: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
         (node.len() == self.weights.len()).then(|| (node.clone(), self.lower_bound(node)))
     }
-    fn branch(&self, node: &Vec<bool>, out: &mut Vec<Vec<bool>>) {
+    fn branch(&self, node: &Vec<bool>, out: &mut ChildBuf<Vec<bool>>) {
         for b in [true, false] {
             let mut c = node.clone();
             c.push(b);
             out.push(c);
         }
     }
+}
+
+/// `SubsetCost` with an expansion log: `branch` records the node it was
+/// called on, fingerprinting the exact node-visit order.
+struct Logged {
+    weights: Vec<f64>,
+    log: Mutex<Vec<String>>,
+}
+
+impl Problem for Logged {
+    type Node = Vec<bool>;
+    type Solution = Vec<bool>;
+
+    fn root(&self) -> Vec<bool> {
+        Vec::new()
+    }
+    fn lower_bound(&self, node: &Vec<bool>) -> f64 {
+        node.iter()
+            .zip(&self.weights)
+            .map(|(&b, &w)| if b { w } else { 0.0 })
+            .sum()
+    }
+    fn solution(&self, node: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
+        (node.len() == self.weights.len()).then(|| (node.clone(), self.lower_bound(node)))
+    }
+    fn branch(&self, node: &Vec<bool>, out: &mut ChildBuf<Vec<bool>>) {
+        let s: String = node.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        self.log.lock().unwrap().push(s);
+        for b in [true, false] {
+            let mut c = node.clone();
+            c.push(b);
+            out.push(c);
+        }
+    }
+}
+
+/// SplitMix-ish deterministic weights in `[0, 8)`.
+fn oracle_weights(seed: u64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let mut z = seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z >> 40) % 64) as f64 / 8.0
+        })
+        .collect()
+}
+
+/// The sequential driver's exact behavior, recorded before the expansion
+/// loop moved into the shared kernel: per-(seed, mode, strategy) counters
+/// plus an FNV-1a hash of the comma-joined expansion order. Any change to
+/// pop order, child staging order, pruning policy, or stats accounting
+/// shows up here as a diff against a known-good trace.
+#[test]
+fn sequential_driver_matches_recorded_oracle() {
+    // (seed, mode, strategy, branched, pruned, seen, updates, peak, hash)
+    #[rustfmt::skip]
+    #[allow(clippy::type_complexity)]
+    let oracle: &[(u64, SearchMode, Strategy, u64, u64, u64, u64, u64, u64)] = &[
+        (1, SearchMode::BestOne,    Strategy::DepthFirst, 89, 68, 22, 22, 10, 0xbcd4_7df4_5d10_975a),
+        (1, SearchMode::BestOne,    Strategy::BestFirst,   9,  9,  1,  1, 10, 0xc581_ae17_b3d0_0855),
+        (1, SearchMode::AllOptimal, Strategy::DepthFirst, 89, 68, 22, 22, 10, 0xbcd4_7df4_5d10_975a),
+        (2, SearchMode::BestOne,    Strategy::DepthFirst, 89, 67, 23, 23, 10, 0xb676_1cd7_989b_0d6c),
+        (2, SearchMode::BestOne,    Strategy::BestFirst,   9,  9,  1,  1, 10, 0xc581_ae17_b3d0_0855),
+        (2, SearchMode::AllOptimal, Strategy::DepthFirst, 89, 67, 23, 23, 10, 0xb676_1cd7_989b_0d6c),
+        (3, SearchMode::BestOne,    Strategy::DepthFirst, 84, 43, 42, 42, 10, 0x86ee_7384_84e4_7cb7),
+        (3, SearchMode::BestOne,    Strategy::BestFirst,   9,  9,  1,  1, 10, 0xc581_ae17_b3d0_0855),
+        (3, SearchMode::AllOptimal, Strategy::DepthFirst, 89, 41, 49, 42, 10, 0x28b4_756d_cace_1f62),
+    ];
+    for &(seed, mode, strat, branched, pruned, seen, updates, peak, hash) in oracle {
+        let p = Logged {
+            weights: oracle_weights(seed, 9),
+            log: Mutex::new(Vec::new()),
+        };
+        let out = solve_sequential(&p, &SearchOptions::new(mode).strategy(strat));
+        let ctx = format!("seed={seed} mode={mode:?} strat={strat:?}");
+        assert_eq!(out.stats.branched, branched, "{ctx}");
+        assert_eq!(out.stats.pruned, pruned, "{ctx}");
+        assert_eq!(out.stats.solutions_seen, seen, "{ctx}");
+        assert_eq!(out.stats.incumbent_updates, updates, "{ctx}");
+        assert_eq!(out.stats.peak_pool, peak, "{ctx}");
+        assert_eq!(out.best_value, Some(0.0), "{ctx}");
+        let joined = p.log.lock().unwrap().join(",");
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in joined.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        assert_eq!(h, hash, "{ctx}: expansion order diverged from oracle");
+    }
+}
+
+/// A problem whose lower bound is always NaN: under the NaN→−∞ sanitize
+/// policy *nothing* may ever be pruned, in any driver.
+struct NanBound(SubsetCost);
+
+impl Problem for NanBound {
+    type Node = Vec<bool>;
+    type Solution = Vec<bool>;
+
+    fn root(&self) -> Vec<bool> {
+        self.0.root()
+    }
+    fn lower_bound(&self, _: &Vec<bool>) -> f64 {
+        f64::NAN
+    }
+    fn solution(&self, n: &Vec<bool>) -> Option<(Vec<bool>, f64)> {
+        self.0.solution(n)
+    }
+    fn branch(&self, n: &Vec<bool>, out: &mut ChildBuf<Vec<bool>>) {
+        self.0.branch(n, out)
+    }
+}
+
+#[test]
+fn nan_lower_bounds_never_prune_in_any_driver() {
+    let weights = vec![1.0, 2.0, 3.0, 1.5, 0.5, 2.5];
+    let optimum = exhaustive_min(&weights);
+    for strat in [Strategy::DepthFirst, Strategy::BestFirst] {
+        let p = NanBound(SubsetCost {
+            weights: weights.clone(),
+        });
+        let out = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne).strategy(strat));
+        assert_eq!(out.best_value, Some(optimum), "{strat:?}");
+        assert!(out.is_complete(), "{strat:?}");
+        assert_eq!(out.stats.pruned, 0, "{strat:?}: NaN bound pruned a node");
+        // With no pruning the search is exhaustive: every internal node of
+        // the full binary tree branches.
+        assert_eq!(out.stats.branched, (1 << weights.len()) - 1, "{strat:?}");
+    }
+    let p = NanBound(SubsetCost { weights });
+    let par = solve_parallel(&p, &SearchOptions::new(SearchMode::BestOne), 4);
+    assert_eq!(par.best_value, Some(optimum), "parallel");
+    assert!(par.is_complete(), "parallel");
+    assert_eq!(par.stats.pruned, 0, "parallel: NaN bound pruned a node");
 }
 
 fn exhaustive_min(weights: &[f64]) -> f64 {
@@ -155,7 +293,7 @@ proptest! {
             fn root(&self) -> Vec<bool> { self.0.root() }
             fn lower_bound(&self, n: &Vec<bool>) -> f64 { self.0.lower_bound(n) }
             fn solution(&self, n: &Vec<bool>) -> Option<(Vec<bool>, f64)> { self.0.solution(n) }
-            fn branch(&self, n: &Vec<bool>, out: &mut Vec<Vec<bool>>) { self.0.branch(n, out) }
+            fn branch(&self, n: &Vec<bool>, out: &mut ChildBuf<Vec<bool>>) { self.0.branch(n, out) }
             fn initial_incumbent(&self) -> Option<(Vec<bool>, f64)> {
                 let all = vec![true; self.0.weights.len()];
                 let v = self.0.weights.iter().sum();

@@ -205,8 +205,12 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
         .map_err(|e| CliError::Solver(e.to_string()))?;
     println!("weight: {}", sol.weight);
     println!(
-        "branched: {}  pruned: {}",
-        sol.stats.branched, sol.stats.pruned
+        "branched: {}  pruned: {}  solutions seen: {}  incumbent updates: {}  peak pool: {}",
+        sol.stats.branched,
+        sol.stats.pruned,
+        sol.stats.solutions_seen,
+        sol.stats.incumbent_updates,
+        sol.stats.peak_pool
     );
     if let Some(sim) = &sol.sim {
         println!(

@@ -9,12 +9,13 @@
 //! [`NetworkModel`](mutree_clustersim::NetworkModel)'s
 //! `latency + bytes/bandwidth`.
 //!
-//! The search logic is *identical* to the real drivers (same nodes, same
-//! bounds, same pruning), so the simulated optimum always matches the
-//! sequential one; only the timeline is modeled. Super-linear speedup
-//! emerges naturally: a slave that stumbles on a good incumbent early
-//! broadcasts it, and every other slave skips work the sequential search
-//! would have performed.
+//! The search logic is *identical* to the real drivers — both the master's
+//! seeding phase and the slaves' node processing run the shared
+//! [expansion kernel](mutree_bnb::kernel) (same nodes, same bounds, same
+//! pruning), so the simulated optimum always matches the sequential one;
+//! only the timeline is modeled. Super-linear speedup emerges naturally: a
+//! slave that stumbles on a good incumbent early broadcasts it, and every
+//! other slave skips work the sequential search would have performed.
 //!
 //! Protocol, one virtual step per BBT node (the paper's Step 7 loop):
 //!
@@ -32,6 +33,10 @@
 
 use std::collections::VecDeque;
 
+use mutree_bnb::kernel::{
+    sanitize_lb, BreadthFirstFrontier, DepthFirstFrontier, Expander, Frontier, IncumbentSink,
+    LocalBudget, Step, StopPoller,
+};
 use mutree_bnb::{
     Incumbents, Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason,
 };
@@ -81,19 +86,6 @@ const TOUCH_OPS: f64 = 1.0;
 const DONATE_EVERY: u64 = 4;
 /// …as long as it keeps at least this many nodes for itself.
 const MIN_KEEP: usize = 3;
-/// Wall-clock deadline polling interval, in simulation events. Cancel
-/// flags are cheap atomics and are checked on every event.
-const TIME_CHECK_EVENTS: u64 = 128;
-
-/// NaN bounds carry no information and must never prune (mirrors the real
-/// drivers' normalization).
-fn sane_lb(lb: f64) -> f64 {
-    if lb.is_nan() {
-        f64::NEG_INFINITY
-    } else {
-        lb
-    }
-}
 
 enum Ev<N> {
     /// Slave `i` is ready to process its next pool node.
@@ -118,13 +110,43 @@ enum MasterMsg<N> {
 }
 
 struct Slave<N, S> {
-    lp: Vec<N>,
+    lp: DepthFirstFrontier<N>,
     ub: f64,
     waiting: bool,
     branches_since_donate: u64,
     found: Vec<(f64, S)>,
-    stats: SearchStats,
     metrics: NodeMetrics,
+}
+
+/// A simulated slave's sink: its *delayed view* of the global upper bound
+/// (updated only when a broadcast arrives), plus a local list of found
+/// solutions gathered by the master at the end.
+struct SlaveSink<'a, S> {
+    ub: &'a mut f64,
+    found: &'a mut Vec<(f64, S)>,
+    opts: &'a SearchOptions,
+}
+
+impl<S> IncumbentSink<S> for SlaveSink<'_, S> {
+    fn current_ub(&self) -> f64 {
+        *self.ub
+    }
+
+    fn accept(&mut self, value: f64, solution: S) -> bool {
+        let eps = self.opts.eps(*self.ub);
+        let improved = value < *self.ub - eps;
+        let keep = match self.opts.mode {
+            SearchMode::BestOne => improved,
+            SearchMode::AllOptimal => value <= *self.ub + eps,
+        };
+        if keep {
+            self.found.push((value, solution));
+        }
+        if improved {
+            *self.ub = value;
+        }
+        improved
+    }
 }
 
 /// Runs the search on a simulated cluster. See the module docs for the
@@ -135,63 +157,44 @@ pub fn solve_simulated<P: SimCost>(
     spec: &ClusterSpec,
 ) -> SimulatedOutcome<P::Solution> {
     let p = spec.slave_count();
-    let mut master_stats = SearchStats::default();
+    // One kernel instance carries the counters for the whole simulated
+    // cluster (per-slave sums and pool peaks commute with the merge the
+    // real parallel driver performs).
+    let mut exp = Expander::new(problem, opts);
     let mut master_inc: Incumbents<P::Solution> = Incumbents::new(opts);
-    let mut seed_ub = f64::INFINITY;
-    if let Some((s, v)) = problem.initial_incumbent() {
-        master_inc.offer(v, s);
-        master_stats.incumbent_updates += 1;
-        seed_ub = v;
-    }
+    exp.offer_initial(&mut master_inc);
+    // The branch budget spans seeding and the event loop, like the real
+    // parallel driver's shared counter.
+    let mut budget = LocalBudget::new(opts.max_branches);
 
     // --- Master seeding (the paper's Steps 1–5), charged to the master.
     // Under strong pruning this loop can drain the whole search, so it
     // honors (real-world) cancellation and deadlines like the event loop.
     let mut seed_ops = 0.0;
     let target = 2 * p;
-    let mut frontier = VecDeque::new();
-    frontier.push_back(problem.root());
-    let mut kids = Vec::new();
+    let mut frontier = BreadthFirstFrontier::new();
+    exp.push_root(&mut frontier);
     let mut seed_stop: Option<StopReason> = None;
-    let mut seed_ticks = 0u64;
     while frontier.len() < target {
-        if opts.cancelled() {
-            seed_stop = Some(StopReason::Cancelled);
+        if let Some(reason) = exp.poll_stop(&mut ()) {
+            seed_stop = Some(reason);
             break;
         }
-        if seed_ticks.is_multiple_of(TIME_CHECK_EVENTS) && opts.deadline_expired() {
-            seed_stop = Some(StopReason::DeadlineExpired);
-            break;
-        }
-        seed_ticks += 1;
-        let Some(node) = frontier.pop_front() else {
+        let Some(node) = frontier.pop() else {
             break;
         };
-        let lb = sane_lb(problem.lower_bound(&node));
-        if Incumbents::<P::Solution>::prunable(lb, seed_ub, opts) {
-            master_stats.pruned += 1;
-            seed_ops += TOUCH_OPS;
-            continue;
-        }
-        if let Some((s, v)) = problem.solution(&node) {
-            master_stats.solutions_seen += 1;
-            if master_inc.offer(v, s) {
-                master_stats.incumbent_updates += 1;
-                seed_ub = seed_ub.min(v);
+        match exp.expand(&node, &mut master_inc, &mut budget, &mut frontier, &mut ()) {
+            Step::Stopped(reason) => {
+                seed_stop = Some(reason);
+                break;
             }
-            seed_ops += TOUCH_OPS;
-            continue;
-        }
-        master_stats.branched += 1;
-        seed_ops += problem.branch_ops(&node);
-        kids.clear();
-        problem.branch(&node, &mut kids);
-        for k in kids.drain(..) {
-            if Incumbents::<P::Solution>::prunable(sane_lb(problem.lower_bound(&k)), seed_ub, opts)
-            {
-                master_stats.pruned += 1;
-            } else {
-                frontier.push_back(k);
+            Step::Branched { .. } => {
+                seed_ops += problem.branch_ops(&node);
+                exp.recycle(node);
+            }
+            _ => {
+                seed_ops += TOUCH_OPS;
+                exp.recycle(node);
             }
         }
     }
@@ -200,7 +203,7 @@ pub fn solve_simulated<P: SimCost>(
     if let Some(reason) = seed_stop {
         return gather(
             master_inc,
-            master_stats,
+            exp.stats(),
             reason,
             SimReport {
                 makespan: t0,
@@ -212,7 +215,7 @@ pub fn solve_simulated<P: SimCost>(
     if frontier.is_empty() {
         return gather(
             master_inc,
-            master_stats,
+            exp.stats(),
             StopReason::Completed,
             SimReport {
                 makespan: t0,
@@ -224,8 +227,9 @@ pub fn solve_simulated<P: SimCost>(
 
     // --- Sort seeds by lower bound and deal cyclically (Step 6).
     let mut seeds: Vec<(f64, P::Node)> = frontier
+        .into_vec()
         .into_iter()
-        .map(|n| (sane_lb(problem.lower_bound(&n)), n))
+        .map(|n| (sanitize_lb(problem.lower_bound(&n)), n))
         .collect();
     seeds.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut deals: Vec<Vec<P::Node>> = (0..p).map(|_| Vec::new()).collect();
@@ -233,14 +237,14 @@ pub fn solve_simulated<P: SimCost>(
         deals[i % p].push(node);
     }
 
+    let seed_ub = master_inc.ub;
     let mut slaves: Vec<Slave<P::Node, P::Solution>> = (0..p)
         .map(|_| Slave {
-            lp: Vec::new(),
+            lp: DepthFirstFrontier::new(),
             ub: seed_ub,
             waiting: false,
             branches_since_donate: 0,
             found: Vec::new(),
-            stats: SearchStats::default(),
             metrics: NodeMetrics::default(),
         })
         .collect();
@@ -264,10 +268,11 @@ pub fn solve_simulated<P: SimCost>(
     // --- Event loop.
     let mut gp: Vec<P::Node> = Vec::new();
     let mut pending_requests: VecDeque<usize> = VecDeque::new();
-    let mut total_branches = master_stats.branched;
     let mut stop = StopReason::Completed;
     let mut makespan = t0;
-    let mut events = 0u64;
+    // Fresh cadence for the event loop (events, not nodes, are the tick
+    // unit here — many events process no node at all).
+    let mut poller = StopPoller::new();
 
     while let Some((now, ev)) = q.pop() {
         makespan = makespan.max(now);
@@ -277,15 +282,10 @@ pub fn solve_simulated<P: SimCost>(
         // The simulation advances virtual time, but the *host* running it
         // still honors real-world deadlines and cancellation: a simulated
         // experiment that explodes combinatorially must stay interruptible.
-        if opts.cancelled() {
-            stop = StopReason::Cancelled;
+        if let Some(reason) = poller.poll(opts) {
+            stop = reason;
             continue;
         }
-        if events.is_multiple_of(TIME_CHECK_EVENTS) && opts.deadline_expired() {
-            stop = StopReason::DeadlineExpired;
-            continue;
-        }
-        events += 1;
         match ev {
             Ev::AtSlave(i, SlaveMsg::Ub(v)) => {
                 let s = &mut slaves[i];
@@ -298,7 +298,9 @@ pub fn solve_simulated<P: SimCost>(
                 // slave has no Ready event yet) or in response to a
                 // request (the slave is waiting); either way it can start.
                 let s = &mut slaves[i];
-                s.lp.extend(batch);
+                for n in batch {
+                    s.lp.push(n);
+                }
                 s.waiting = false;
                 q.schedule(now, Ev::Ready(i));
             }
@@ -342,94 +344,71 @@ pub fn solve_simulated<P: SimCost>(
                     }
                     continue;
                 };
-                let ub = slaves[i].ub;
-                let lb = sane_lb(problem.lower_bound(&node));
-                if Incumbents::<P::Solution>::prunable(lb, ub, opts) {
-                    let s = &mut slaves[i];
-                    s.stats.pruned += 1;
-                    let dt = spec.compute_time(i, TOUCH_OPS);
-                    s.metrics.record_busy(dt, TOUCH_OPS as u64);
-                    q.schedule(now + dt, Ev::Ready(i));
-                    continue;
-                }
-                if let Some((sol, v)) = problem.solution(&node) {
-                    let improved;
-                    let keep;
-                    {
+                let step = {
+                    let Slave { lp, ub, found, .. } = &mut slaves[i];
+                    let mut sink = SlaveSink { ub, found, opts };
+                    exp.expand(&node, &mut sink, &mut budget, lp, &mut ())
+                };
+                match step {
+                    Step::Pruned => {
                         let s = &mut slaves[i];
-                        s.stats.solutions_seen += 1;
-                        improved = v < s.ub - eps(opts, s.ub);
-                        keep = match opts.mode {
-                            SearchMode::BestOne => improved,
-                            SearchMode::AllOptimal => v <= s.ub + eps(opts, s.ub),
-                        };
-                        if keep {
-                            s.found.push((v, sol));
-                        }
-                        if improved {
-                            s.ub = v;
-                            s.stats.incumbent_updates += 1;
-                        }
                         let dt = spec.compute_time(i, TOUCH_OPS);
                         s.metrics.record_busy(dt, TOUCH_OPS as u64);
                         q.schedule(now + dt, Ev::Ready(i));
+                        exp.recycle(node);
                     }
-                    if improved {
-                        // Broadcast the new bound to everyone.
-                        for other in 0..p {
-                            if other != i {
-                                slaves[i].metrics.record_send(CTRL_BYTES);
+                    Step::Solution { value, improved } => {
+                        {
+                            let s = &mut slaves[i];
+                            let dt = spec.compute_time(i, TOUCH_OPS);
+                            s.metrics.record_busy(dt, TOUCH_OPS as u64);
+                            q.schedule(now + dt, Ev::Ready(i));
+                        }
+                        if improved {
+                            // Broadcast the new bound to everyone.
+                            for other in 0..p {
+                                if other != i {
+                                    slaves[i].metrics.record_send(CTRL_BYTES);
+                                    q.schedule(
+                                        now + spec.slave_slave_delay(i, other, CTRL_BYTES),
+                                        Ev::AtSlave(other, SlaveMsg::Ub(value)),
+                                    );
+                                }
+                            }
+                            slaves[i].metrics.record_send(CTRL_BYTES);
+                            q.schedule(
+                                now + spec.master_slave_delay(i, CTRL_BYTES),
+                                Ev::AtMaster(i, MasterMsg::Ub),
+                            );
+                        }
+                        exp.recycle(node);
+                    }
+                    Step::Branched { .. } => {
+                        let ops = problem.branch_ops(&node);
+                        let dt = spec.compute_time(i, ops);
+                        let s = &mut slaves[i];
+                        s.metrics.record_busy(dt, ops as u64);
+                        s.branches_since_donate += 1;
+                        // Keep the global pool stocked (the paper's
+                        // donation rule).
+                        if s.branches_since_donate >= DONATE_EVERY && s.lp.len() > MIN_KEEP {
+                            s.branches_since_donate = 0;
+                            if let Some(donated) = s.lp.steal_oldest() {
+                                let bytes = CTRL_BYTES + problem.node_bytes(&donated);
+                                s.metrics.record_send(bytes);
                                 q.schedule(
-                                    now + spec.slave_slave_delay(i, other, CTRL_BYTES),
-                                    Ev::AtSlave(other, SlaveMsg::Ub(v)),
+                                    now + dt + spec.master_slave_delay(i, bytes),
+                                    Ev::AtMaster(i, MasterMsg::Donate(donated)),
                                 );
                             }
                         }
-                        slaves[i].metrics.record_send(CTRL_BYTES);
-                        q.schedule(
-                            now + spec.master_slave_delay(i, CTRL_BYTES),
-                            Ev::AtMaster(i, MasterMsg::Ub),
-                        );
+                        q.schedule(now + dt, Ev::Ready(i));
+                        exp.recycle(node);
                     }
-                    continue;
-                }
-                if total_branches >= opts.max_branches {
-                    stop = StopReason::BudgetExhausted;
-                    continue;
-                }
-                total_branches += 1;
-                let ops = problem.branch_ops(&node);
-                let dt = spec.compute_time(i, ops);
-                kids.clear();
-                problem.branch(&node, &mut kids);
-                let s = &mut slaves[i];
-                s.stats.branched += 1;
-                s.metrics.record_busy(dt, ops as u64);
-                for k in kids.drain(..).rev() {
-                    if Incumbents::<P::Solution>::prunable(
-                        sane_lb(problem.lower_bound(&k)),
-                        s.ub,
-                        opts,
-                    ) {
-                        s.stats.pruned += 1;
-                    } else {
-                        s.lp.push(k);
+                    Step::Stopped(reason) => {
+                        stop = reason;
                     }
                 }
-                s.stats.peak_pool = s.stats.peak_pool.max(s.lp.len() as u64);
-                s.branches_since_donate += 1;
-                // Keep the global pool stocked (the paper's donation rule).
-                if s.branches_since_donate >= DONATE_EVERY && s.lp.len() > MIN_KEEP {
-                    s.branches_since_donate = 0;
-                    let donated = s.lp.remove(0);
-                    let bytes = CTRL_BYTES + problem.node_bytes(&donated);
-                    s.metrics.record_send(bytes);
-                    q.schedule(
-                        now + dt + spec.master_slave_delay(i, bytes),
-                        Ev::AtMaster(i, MasterMsg::Donate(donated)),
-                    );
-                }
-                q.schedule(now + dt, Ev::Ready(i));
             }
         }
     }
@@ -438,13 +417,11 @@ pub fn solve_simulated<P: SimCost>(
         makespan,
         per_node: slaves.iter().map(|s| s.metrics).collect(),
     };
-    let mut stats = master_stats;
     let mut found = Vec::new();
     for s in slaves {
-        stats.merge(&s.stats);
         found.extend(s.found);
     }
-    gather(master_inc, stats, stop, report, found)
+    gather(master_inc, exp.stats(), stop, report, found)
 }
 
 fn serve_requests<N>(
@@ -468,14 +445,6 @@ fn serve_requests<N>(
     }
 }
 
-fn eps(opts: &SearchOptions, ub: f64) -> f64 {
-    if ub.is_finite() {
-        opts.tol * 1f64.max(ub.abs())
-    } else {
-        0.0
-    }
-}
-
 fn gather<S: Clone>(
     mut inc: Incumbents<S>,
     stats: SearchStats,
@@ -486,35 +455,17 @@ fn gather<S: Clone>(
     for (v, s) in found {
         inc.offer(v, s);
     }
-    let best = inc
-        .solutions
-        .iter()
-        .map(|(v, _)| *v)
-        .fold(None, |acc: Option<f64>, v| {
-            Some(acc.map_or(v, |a| a.min(v)))
-        });
-    let outcome = match best {
-        Some(bv) => SearchOutcome {
-            best_value: Some(bv),
-            solutions: inc.finish(bv),
-            stats,
-            stop,
-        },
-        None => SearchOutcome {
-            best_value: None,
-            solutions: Vec::new(),
-            stats,
-            stop,
-        },
-    };
-    SimulatedOutcome { outcome, report }
+    SimulatedOutcome {
+        outcome: inc.into_outcome(stats, stop),
+        report,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ThreeThree;
-    use mutree_bnb::solve_sequential;
+    use mutree_bnb::{solve_parallel, solve_sequential, ChildBuf};
     use mutree_distmat::{gen, DistanceMatrix};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -640,5 +591,72 @@ mod tests {
         let sim = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(2));
         assert_eq!(seq.best_value, sim.outcome.best_value);
         assert_eq!(seq.solutions.len(), sim.outcome.solutions.len());
+    }
+
+    /// Wraps a problem but reports NaN for every lower bound. The kernel's
+    /// NaN→−∞ policy must make this equivalent to "no pruning", never to
+    /// "prune everything", in the simulated driver too.
+    struct NanLb<'a>(MutProblem<'a>);
+
+    impl Problem for NanLb<'_> {
+        type Node = <MutProblem<'static> as Problem>::Node;
+        type Solution = <MutProblem<'static> as Problem>::Solution;
+
+        fn root(&self) -> Self::Node {
+            self.0.root()
+        }
+        fn lower_bound(&self, _: &Self::Node) -> f64 {
+            f64::NAN
+        }
+        fn solution(&self, n: &Self::Node) -> Option<(Self::Solution, f64)> {
+            self.0.solution(n)
+        }
+        fn branch(&self, n: &Self::Node, out: &mut ChildBuf<Self::Node>) {
+            self.0.branch(n, out)
+        }
+    }
+
+    impl SimCost for NanLb<'_> {
+        fn branch_ops(&self, node: &Self::Node) -> f64 {
+            self.0.branch_ops(node)
+        }
+        fn node_bytes(&self, node: &Self::Node) -> u64 {
+            self.0.node_bytes(node)
+        }
+    }
+
+    #[test]
+    fn nan_lower_bounds_never_prune_in_the_simulated_driver() {
+        let m = m6();
+        let pm = m.maxmin_permutation().apply(&m);
+        let exact = MutProblem::new(&pm, ThreeThree::Off, false);
+        let nan = NanLb(MutProblem::new(&pm, ThreeThree::Off, false));
+        let opts = SearchOptions::new(SearchMode::BestOne);
+        let reference = solve_sequential(&exact, &opts);
+        let sim = solve_simulated(&nan, &opts, &ClusterSpec::with_slaves(3));
+        assert_eq!(reference.best_value, sim.outcome.best_value);
+        assert!(sim.outcome.is_complete());
+        // With no usable bounds nothing may be pruned at all.
+        assert_eq!(sim.outcome.stats.pruned, 0);
+    }
+
+    #[test]
+    fn all_three_drivers_agree_on_the_optimum() {
+        for seed in [11u64, 42, 99] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = gen::uniform_metric(7, 0.0, 50.0, &mut rng);
+            let pm = m.maxmin_permutation().apply(&m);
+            let p = MutProblem::new(&pm, ThreeThree::Off, true);
+            let opts = SearchOptions::new(SearchMode::BestOne);
+            let seq = solve_sequential(&p, &opts);
+            let par = solve_parallel(&p, &opts, 4);
+            let sim = solve_simulated(&p, &opts, &ClusterSpec::with_slaves(4));
+            assert_eq!(seq.best_value, par.best_value, "seed {seed} (parallel)");
+            assert_eq!(
+                seq.best_value, sim.outcome.best_value,
+                "seed {seed} (simulated)"
+            );
+            assert!(par.is_complete() && sim.outcome.is_complete());
+        }
     }
 }

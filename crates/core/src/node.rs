@@ -19,7 +19,7 @@ const NONE: u32 = u32::MAX;
 /// Heights are kept *minimal* for the topology at all times: inserting a
 /// leaf only updates heights along its root path, using the leaf masks to
 /// find the cross pairs each ancestor newly separates.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PartialTree {
     parent: Vec<u32>,
     left: Vec<u32>,
@@ -31,6 +31,40 @@ pub struct PartialTree {
     n: u32,
     weight: f64,
     lb: f64,
+}
+
+impl Clone for PartialTree {
+    fn clone(&self) -> Self {
+        PartialTree {
+            parent: self.parent.clone(),
+            left: self.left.clone(),
+            right: self.right.clone(),
+            height: self.height.clone(),
+            leafset: self.leafset.clone(),
+            root: self.root,
+            k: self.k,
+            n: self.n,
+            weight: self.weight,
+            lb: self.lb,
+        }
+    }
+
+    /// Overwrites `self` without reallocating: the arena vectors of a
+    /// retired tree from the same matrix already have the right capacity,
+    /// so this is five `memcpy`s. This is what makes
+    /// [`insert_next_into`](PartialTree::insert_next_into) allocation-free.
+    fn clone_from(&mut self, source: &Self) {
+        self.parent.clone_from(&source.parent);
+        self.left.clone_from(&source.left);
+        self.right.clone_from(&source.right);
+        self.height.clone_from(&source.height);
+        self.leafset.clone_from(&source.leafset);
+        self.root = source.root;
+        self.k = source.k;
+        self.n = source.n;
+        self.weight = source.weight;
+        self.lb = source.lb;
+    }
 }
 
 impl PartialTree {
@@ -119,6 +153,23 @@ impl PartialTree {
     /// Panics (in debug builds) when the tree is already complete or
     /// `site` is not a live node.
     pub fn insert_next(&self, m: &DistanceMatrix, site: u32) -> PartialTree {
+        let mut t = self.clone();
+        t.insert_in_place(m, site);
+        t
+    }
+
+    /// Like [`insert_next`](PartialTree::insert_next), but writes the child
+    /// into `scratch` (typically a retired sibling from the same search)
+    /// instead of allocating a fresh tree. With a warmed-up scratch this is
+    /// allocation-free: `clone_from` reuses the arena vectors in place.
+    pub fn insert_next_into(&self, m: &DistanceMatrix, site: u32, scratch: &mut PartialTree) {
+        scratch.clone_from(self);
+        scratch.insert_in_place(m, site);
+    }
+
+    /// Inserts the next species above `site`, mutating `self` (which must
+    /// be a copy of the parent node).
+    fn insert_in_place(&mut self, m: &DistanceMatrix, site: u32) {
         debug_assert!(!self.is_complete(), "tree is already complete");
         let s = self.k as usize; // the taxon being inserted
         let n = self.n as usize;
@@ -127,27 +178,27 @@ impl PartialTree {
             e < s || (n..n + s - 1).contains(&e),
             "site {e} is not a live node"
         );
-        let mut t = self.clone();
         let j = n + s - 1; // the new internal node
-        let p = t.parent[e];
+        let p = self.parent[e];
         let sbit = 1u64 << s;
 
-        t.left[j] = e as u32;
-        t.right[j] = s as u32;
-        t.parent[j] = p;
-        t.parent[e] = j as u32;
-        t.parent[s] = j as u32;
-        t.leafset[j] = t.leafset[e] | sbit;
-        t.height[j] = t.height[e].max(t.max_dist_to_mask(m, s, self.leafset[e]) / 2.0);
+        self.left[j] = e as u32;
+        self.right[j] = s as u32;
+        self.parent[j] = p;
+        self.parent[e] = j as u32;
+        self.parent[s] = j as u32;
+        self.leafset[j] = self.leafset[e] | sbit;
+        let cand = self.max_dist_to_mask(m, s, self.leafset[e]) / 2.0;
+        self.height[j] = self.height[e].max(cand);
         if p == NONE {
-            t.root = j as u32;
+            self.root = j as u32;
         } else {
             let p = p as usize;
-            if t.left[p] == site {
-                t.left[p] = j as u32;
+            if self.left[p] == site {
+                self.left[p] = j as u32;
             } else {
-                debug_assert_eq!(t.right[p], site);
-                t.right[p] = j as u32;
+                debug_assert_eq!(self.right[p], site);
+                self.right[p] = j as u32;
             }
         }
 
@@ -158,21 +209,20 @@ impl PartialTree {
         let mut a = p;
         while a != NONE {
             let ai = a as usize;
-            t.leafset[ai] |= sbit;
-            let sibling = if t.left[ai] == child as u32 {
-                t.right[ai]
+            self.leafset[ai] |= sbit;
+            let sibling = if self.left[ai] == child as u32 {
+                self.right[ai]
             } else {
-                t.left[ai]
+                self.left[ai]
             } as usize;
-            let cand = t.max_dist_to_mask(m, s, t.leafset[sibling]) / 2.0;
-            t.height[ai] = t.height[ai].max(t.height[child]).max(cand);
+            let cand = self.max_dist_to_mask(m, s, self.leafset[sibling]) / 2.0;
+            self.height[ai] = self.height[ai].max(self.height[child]).max(cand);
             child = ai;
-            a = t.parent[ai];
+            a = self.parent[ai];
         }
 
-        t.k += 1;
-        t.weight = t.recompute_weight();
-        t
+        self.k += 1;
+        self.weight = self.recompute_weight();
     }
 
     fn max_dist_to_mask(&self, m: &DistanceMatrix, s: usize, mut mask: u64) -> f64 {
@@ -353,6 +403,20 @@ mod tests {
         assert!(ut.validate().is_ok());
         assert_eq!(ut.leaf_count(), 5);
         assert!(ut.is_feasible_for(&m, 1e-9));
+    }
+
+    /// `insert_next_into` over a dirty scratch must produce a tree
+    /// bit-identical to a fresh `insert_next`.
+    #[test]
+    fn insert_next_into_matches_insert_next() {
+        let m = m5();
+        let base = PartialTree::cherry(&m).insert_next(&m, 1);
+        let mut scratch = PartialTree::cherry(&m); // deliberately stale state
+        for site in base.insertion_sites().collect::<Vec<_>>() {
+            let fresh = base.insert_next(&m, site);
+            base.insert_next_into(&m, site, &mut scratch);
+            assert_eq!(format!("{fresh:?}"), format!("{scratch:?}"), "site {site}");
+        }
     }
 
     #[test]

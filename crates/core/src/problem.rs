@@ -1,4 +1,4 @@
-use mutree_bnb::Problem;
+use mutree_bnb::{ChildBuf, Problem};
 use mutree_distmat::DistanceMatrix;
 use mutree_tree::{cluster, triples, Linkage, UltrametricTree};
 
@@ -132,15 +132,24 @@ impl Problem for MutProblem<'_> {
             .then(|| (node.to_ultrametric(), node.weight()))
     }
 
-    fn branch(&self, node: &PartialTree, out: &mut Vec<PartialTree>) {
+    fn branch(&self, node: &PartialTree, out: &mut ChildBuf<PartialTree>) {
         let filter = match self.three_three {
             ThreeThree::Off => false,
             ThreeThree::InitialOnly => node.leaves_inserted() == 2,
             ThreeThree::Full => true,
         };
         for site in node.insertion_sites() {
-            let mut child = node.insert_next(self.m, site);
+            // Overwrite a retired sibling when one is available: after the
+            // pool warms up, branching allocates nothing.
+            let mut child = match out.recycle() {
+                Some(mut scratch) => {
+                    node.insert_next_into(self.m, site, &mut scratch);
+                    scratch
+                }
+                None => node.insert_next(self.m, site),
+            };
             if filter && !self.three_three_ok(&child) {
+                out.retire(child);
                 continue;
             }
             let lb = self.bound_of(&child);
@@ -218,10 +227,10 @@ mod tests {
                 return t.weight();
             }
             let mut best = f64::INFINITY;
-            let mut kids = Vec::new();
+            let mut kids = ChildBuf::new();
             p.branch(t, &mut kids);
-            for k in kids {
-                let completion = walk(p, &k);
+            for k in kids.as_slice() {
+                let completion = walk(p, k);
                 assert!(
                     k.lower_bound() <= completion + 1e-9,
                     "LB {} exceeds a completion of weight {}",
@@ -268,15 +277,15 @@ mod tests {
         let p_off = MutProblem::new(&m, ThreeThree::Off, false);
         let p_full = MutProblem::new(&m, ThreeThree::Full, false);
         let node = p_off.root();
-        let mut kids_off = Vec::new();
-        let mut kids_full = Vec::new();
+        let mut kids_off = ChildBuf::new();
+        let mut kids_full = ChildBuf::new();
         // Expand two levels and compare the generated child counts.
         p_off.branch(&node, &mut kids_off);
         p_full.branch(&node, &mut kids_full);
-        let count = |kids: &[PartialTree], p: &MutProblem| -> usize {
+        let count = |kids: &ChildBuf<PartialTree>, p: &MutProblem| -> usize {
             let mut total = kids.len();
-            let mut grand = Vec::new();
-            for k in kids {
+            let mut grand = ChildBuf::new();
+            for k in kids.as_slice() {
                 grand.clear();
                 p.branch(k, &mut grand);
                 total += grand.len();

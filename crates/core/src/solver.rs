@@ -206,15 +206,24 @@ impl MutSolver {
             return Err(MutError::TooManyTaxa { n, max: 64 });
         }
 
-        // Step 1: maxmin relabeling.
-        let (pm, order): (DistanceMatrix, Vec<usize>) = if self.use_maxmin {
+        // Step 1: maxmin relabeling. When the permutation is the identity
+        // (the matrix is already in maxmin order) there is nothing to
+        // relabel: search `m` directly — no matrix clone going in, no
+        // taxon remap coming out. `order = None` encodes the identity.
+        let pm_owned: DistanceMatrix;
+        let (pm, order): (&DistanceMatrix, Option<Vec<usize>>) = if self.use_maxmin {
             let perm = m.maxmin_permutation();
-            (perm.apply(m), perm.order().to_vec())
+            if perm.order().iter().enumerate().all(|(i, &o)| i == o) {
+                (m, None)
+            } else {
+                pm_owned = perm.apply(m);
+                (&pm_owned, Some(perm.order().to_vec()))
+            }
         } else {
-            (m.clone(), (0..n).collect())
+            (m, None)
         };
 
-        let problem = MutProblem::new(&pm, self.three_three, self.use_upgmm);
+        let problem = MutProblem::new(pm, self.three_three, self.use_upgmm);
         let mut opts = SearchOptions::new(self.mode)
             .max_branches(self.max_branches)
             .strategy(self.strategy);
@@ -249,7 +258,9 @@ impl MutSolver {
         let mut trees: Vec<UltrametricTree> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for mut t in outcome.solutions {
-            t.map_taxa(|permuted| order[permuted]);
+            if let Some(order) = &order {
+                t.map_taxa(|permuted| order[permuted]);
+            }
             let canon = canonical_form(&t);
             if seen.insert(canon) {
                 trees.push(t);
@@ -389,6 +400,23 @@ mod tests {
             .unwrap();
         assert!((dfs.weight - bfs.weight).abs() < 1e-9);
         assert!(bfs.stats.branched <= dfs.stats.branched);
+    }
+
+    /// A matrix already in maxmin order takes the identity fast path (no
+    /// clone, no output remap) and must still solve identically.
+    #[test]
+    fn already_relabeled_matrix_takes_identity_fast_path() {
+        let m = m5();
+        let perm = m.maxmin_permutation();
+        let pm = perm.apply(&m);
+        // Relabeling is idempotent: the permuted matrix's own maxmin
+        // order is the identity, which is what triggers the fast path.
+        let again = pm.maxmin_permutation();
+        assert!(again.order().iter().enumerate().all(|(i, &o)| i == o));
+        let direct = MutSolver::new().solve(&pm).unwrap();
+        let via_original = MutSolver::new().solve(&m).unwrap();
+        assert!((direct.weight - via_original.weight).abs() < 1e-9);
+        assert!(direct.tree.is_feasible_for(&pm, 1e-9));
     }
 
     #[test]
