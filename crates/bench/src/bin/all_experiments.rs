@@ -25,6 +25,7 @@ fn main() {
         ablations::exp_superlinear(),
         ablations::exp_grid(),
         ablations::exp_baselines(),
+        ablations::exp_taskgraph(),
     ];
     for t in tables {
         t.emit(None).expect("write results");

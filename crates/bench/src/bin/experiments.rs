@@ -52,6 +52,7 @@ experiments! {
     "exp_superlinear" => ablations::exp_superlinear,
     "exp_grid" => ablations::exp_grid,
     "exp_baselines" => ablations::exp_baselines,
+    "exp_taskgraph" => ablations::exp_taskgraph,
 }
 
 fn main() -> ExitCode {

@@ -21,7 +21,7 @@ use mutree_seqgen::{
     EvolutionParams, SubstitutionModel,
 };
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Noise level of the random-species family (fraction of each distance).
 pub const RANDOM_NOISE: f64 = 0.2;
@@ -58,6 +58,31 @@ pub fn hmdna_matrix(n: usize, seed: u64) -> DistanceMatrix {
     let seqs = evolve(&tree, &root, &params, &mut rng);
     let mut m = distance_matrix(&seqs, DistanceKind::Edit);
     m.set_labels((0..n).map(|i| format!("HMDNA_{i:02}")));
+    m
+}
+
+/// A block-clustered workload for the task-graph pipeline experiments:
+/// `clusters` tight groups of `size` taxa each. Within-cluster distances
+/// are random in 2–8, across-cluster distances are 100, so the compact
+/// sets at any size threshold `>= size` are exactly the clusters and the
+/// group count is known in advance. Deterministic in
+/// `(clusters, size, seed)`.
+pub fn clustered_matrix(clusters: usize, size: usize, seed: u64) -> DistanceMatrix {
+    let mut rng = StdRng::seed_from_u64(
+        0xb10c_0000 ^ seed ^ ((clusters as u64) << 40) ^ ((size as u64) << 32),
+    );
+    let n = clusters * size;
+    let mut m = DistanceMatrix::zeros(n).expect("n >= 2");
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = if i / size == j / size {
+                rng.gen_range(2.0..8.0)
+            } else {
+                100.0
+            };
+            m.set(i, j, d);
+        }
+    }
     m
 }
 

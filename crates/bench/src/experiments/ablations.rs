@@ -3,7 +3,9 @@
 use std::time::Instant;
 
 use mutree_clustersim::ClusterSpec;
-use mutree_core::{CompactPipeline, Linkage, MutSolver, SearchBackend, Strategy, ThreeThree};
+use mutree_core::{
+    CompactPipeline, Executor, Linkage, MutSolver, SearchBackend, Strategy, ThreeThree,
+};
 
 use crate::data;
 use crate::report::{fmt_secs, Table};
@@ -336,6 +338,63 @@ pub fn abl_33() -> Table {
             format!("{w_off:.1}"),
             format!("{w_ini:.1}"),
             format!("{w_ful:.1}"),
+        ]);
+    }
+    t
+}
+
+/// `exp_taskgraph` — the compact-set pipeline run as an inline sequential
+/// group loop vs the same task DAG scheduled on a shared 4-worker
+/// [`Executor`], on block-clustered instances whose compact sets form 8+
+/// groups. Both runs solve identical stage DAGs and must report the same
+/// tree weight; the wall-clock ratio depends on the host's core count
+/// (see EXPERIMENTS.md for the single-core caveat).
+pub fn exp_taskgraph() -> Table {
+    let mut t = Table::new(
+        "exp_taskgraph",
+        "task-graph pipeline: inline group loop vs shared 4-worker executor (clustered data)",
+        &[
+            "clusters",
+            "taxa",
+            "groups",
+            "inline",
+            "dag4",
+            "ratio",
+            "weight_match",
+        ],
+    );
+    for clusters in [8usize, 10, 12] {
+        let size = 7;
+        let m = data::clustered_matrix(clusters, size, 0xda6 + clusters as u64);
+
+        let t0 = Instant::now();
+        let inline = CompactPipeline::new()
+            .threshold(size + 1)
+            .solve(&m)
+            .expect("inline pipeline");
+        let inline_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let dag = CompactPipeline::new()
+            .threshold(size + 1)
+            .executor(Executor::new(4))
+            .solve(&m)
+            .expect("pooled pipeline");
+        let dag_s = t0.elapsed().as_secs_f64();
+
+        assert!(
+            inline.groups.len() >= 8,
+            "workload must decompose into 8+ groups, got {}",
+            inline.groups.len()
+        );
+        t.push(vec![
+            clusters.to_string(),
+            m.len().to_string(),
+            inline.groups.len().to_string(),
+            fmt_secs(inline_s),
+            fmt_secs(dag_s),
+            format!("{:.2}", inline_s / dag_s.max(1e-12)),
+            ((inline.weight - dag.weight).abs() < 1e-9).to_string(),
         ]);
     }
     t

@@ -87,15 +87,19 @@ mod cancel;
 pub mod fault;
 pub mod kernel;
 mod parallel;
+mod pool;
 mod problem;
 mod sequential;
 mod shared_bound;
+mod trace;
 
 pub use cancel::CancelToken;
-pub use kernel::{sanitize_lb, ChildBuf, Incumbents, SearchEvent, SearchObserver};
-pub use parallel::solve_parallel;
+pub use kernel::{sanitize_lb, ChildBuf, Incumbents, PruneReason, SearchEvent, SearchObserver};
+pub use parallel::{solve_parallel, solve_parallel_observed, solve_parallel_pooled};
+pub use pool::{PoolJob, WorkerPool};
 pub use problem::{
     Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason, Strategy,
 };
 pub use sequential::{solve_sequential, solve_sequential_observed};
 pub use shared_bound::SharedBound;
+pub use trace::{LoggingObserver, TraceLevel};

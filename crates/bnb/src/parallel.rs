@@ -1,12 +1,13 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use crate::kernel::{
     sanitize_lb, AtomicBudget, BreadthFirstFrontier, DepthFirstFrontier, Expander, Frontier,
-    IncumbentSink, Incumbents, Step,
+    IncumbentSink, Incumbents, SearchObserver, Step,
 };
+use crate::pool::{PoolJob, WorkerPool};
 use crate::{
     Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, SharedBound, StopReason,
 };
@@ -121,6 +122,20 @@ impl<N, S> Shared<N, S> {
             }
             st.idle -= 1;
         }
+    }
+
+    /// Registers a late-starting worker (pooled driver only; the scoped
+    /// driver knows its worker count up front). Returns `false` when the
+    /// search has already finished — the worker must exit without touching
+    /// the pool, because the `idle == alive` termination test has already
+    /// fired without it.
+    fn register_worker(&self) -> bool {
+        let mut st = self.lock_state();
+        if st.done {
+            return false;
+        }
+        st.alive += 1;
+        true
     }
 
     /// Deregisters a panicked worker and wakes all waiters so the idle
@@ -243,72 +258,53 @@ pub fn solve_parallel<P: Problem>(
     opts: &SearchOptions,
     workers: usize,
 ) -> SearchOutcome<P::Solution> {
+    solve_parallel_observed(problem, opts, workers, ())
+}
+
+/// [`solve_parallel`] with a [`SearchObserver`]. The observer is cloned
+/// once per worker (plus once for the master's seeding phase), so each
+/// thread owns its copy and no locking is added to the hot path.
+pub fn solve_parallel_observed<P, O>(
+    problem: &P,
+    opts: &SearchOptions,
+    workers: usize,
+    observer: O,
+) -> SearchOutcome<P::Solution>
+where
+    P: Problem,
+    O: SearchObserver + Clone + Send,
+{
     assert!(workers >= 1, "need at least one worker");
     let mut master_inc = Incumbents::new(opts);
     let bound = SharedBound::unbounded();
     // One budget counter spans seeding and the worker phase, so the global
     // branch limit holds across both.
     let branches = AtomicU64::new(0);
-    let mut exp = Expander::new(problem, opts);
-    {
-        let mut sink = SeedSink {
-            inc: &mut master_inc,
-            bound: &bound,
-        };
-        exp.offer_initial(&mut sink);
-    }
+    let mut master_obs = observer.clone();
+    let seed = seed_phase(
+        problem,
+        opts,
+        workers,
+        &mut master_inc,
+        &bound,
+        &branches,
+        &mut master_obs,
+    );
 
-    // --- Master seeding phase: breadth-first until 2×workers open nodes.
-    // The problem's callbacks run on this thread too, so the phase gets the
-    // same panic isolation as the workers: a panic mid-seeding yields
-    // whatever incumbent exists with `WorkerPanicked` instead of unwinding
-    // through the caller.
-    let mut frontier = BreadthFirstFrontier::new();
-    let mut early_stop: Option<StopReason> = None;
-    let seeding = catch_unwind(AssertUnwindSafe(|| {
-        let target = 2 * workers;
-        exp.push_root(&mut frontier);
-        while frontier.len() < target {
-            if let Some(reason) = exp.poll_stop(&mut ()) {
-                early_stop = Some(reason);
-                break;
-            }
-            let Some(node) = frontier.pop() else {
-                break;
-            };
-            let mut sink = SeedSink {
-                inc: &mut master_inc,
-                bound: &bound,
-            };
-            let mut budget = AtomicBudget::new(&branches, opts.max_branches);
-            match exp.expand(&node, &mut sink, &mut budget, &mut frontier, &mut ()) {
-                Step::Stopped(reason) => {
-                    early_stop = Some(reason);
-                    break;
-                }
-                _ => exp.recycle(node),
-            }
-        }
-    }));
-    if seeding.is_err() {
-        early_stop = Some(StopReason::WorkerPanicked);
-        frontier = BreadthFirstFrontier::new();
-    }
-    let master_stats = exp.stats();
-
-    if frontier.is_empty() || early_stop.is_some() {
+    if seed.frontier.is_empty() || seed.early_stop.is_some() {
         // The whole tree collapsed during seeding, or seeding was stopped
         // early — either way there is nothing to hand to workers.
         return gather(
             opts,
-            master_stats,
+            seed.stats,
             master_inc.solutions,
-            early_stop.unwrap_or(StopReason::Completed),
+            seed.early_stop.unwrap_or(StopReason::Completed),
         );
     }
 
     // --- Sort by lower bound, deal cyclically (Step 6).
-    let mut seeds: Vec<(f64, P::Node)> = frontier
+    let mut seeds: Vec<(f64, P::Node)> = seed
+        .frontier
         .into_vec()
         .into_iter()
         .map(|n| (sanitize_lb(problem.lower_bound(&n)), n))
@@ -343,8 +339,11 @@ pub fn solve_parallel<P: Problem>(
             .into_iter()
             .map(|lp| {
                 let shared = &shared;
+                let mut obs = observer.clone();
                 scope.spawn(move || {
-                    match catch_unwind(AssertUnwindSafe(|| run_worker(problem, opts, shared, lp))) {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        run_worker(problem, opts, shared, lp, &mut obs)
+                    })) {
                         Ok(stats) => Some(stats),
                         Err(_) => {
                             // The panic payload is intentionally dropped:
@@ -365,13 +364,234 @@ pub fn solve_parallel<P: Problem>(
     });
 
     // --- Gather (Step 8).
-    let mut stats = master_stats;
+    let mut stats = seed.stats;
     for wstats in worker_stats.into_iter().flatten() {
         stats.merge(&wstats);
     }
     let mut all = master_inc.solutions;
     all.append(&mut shared.found.lock().unwrap_or_else(|e| e.into_inner()));
     gather(opts, stats, all, shared.stop_reason())
+}
+
+/// [`solve_parallel`] on borrowed workers: the same master/slave search,
+/// but instead of spawning a fresh `thread::scope` per call, the worker
+/// loops run as jobs on a caller-supplied [`WorkerPool`], and the calling
+/// thread always serves as one of the workers.
+///
+/// This is the backend the compact-set pipeline uses so that group-level
+/// task parallelism and intra-solve B&B parallelism share one thread
+/// budget instead of oversubscribing the machine with nested scopes.
+///
+/// Differences from the scoped driver, none observable in the outcome:
+///
+/// * the problem is `Arc`-shared because pool jobs are `'static` and may
+///   outlive this stack frame (they self-terminate once the search ends);
+/// * seeds all go to the global pool (sorted so the most promising pops
+///   first) rather than being dealt to per-worker local pools — pool jobs
+///   start at staggered times, and a pre-dealt local pool whose job never
+///   ran before the search drained would orphan its nodes;
+/// * workers register themselves on start and the termination test counts
+///   only registered workers, so the search completes even if the pool is
+///   too busy to ever run some jobs (the calling thread alone suffices).
+///
+/// The optimum value is identical to [`solve_sequential`] /
+/// [`solve_parallel`] for completed runs, as always with a shared exact
+/// bound.
+///
+/// [`solve_sequential`]: crate::solve_sequential
+pub fn solve_parallel_pooled<P, O>(
+    problem: Arc<P>,
+    opts: &SearchOptions,
+    workers: usize,
+    pool: &dyn WorkerPool,
+    observer: O,
+) -> SearchOutcome<P::Solution>
+where
+    P: Problem + Send + Sync + 'static,
+    O: SearchObserver + Clone + Send + 'static,
+{
+    assert!(workers >= 1, "need at least one worker");
+    let mut master_inc = Incumbents::new(opts);
+    let bound = SharedBound::unbounded();
+    let branches = AtomicU64::new(0);
+    let mut master_obs = observer.clone();
+    let seed = seed_phase(
+        &*problem,
+        opts,
+        workers,
+        &mut master_inc,
+        &bound,
+        &branches,
+        &mut master_obs,
+    );
+
+    if seed.frontier.is_empty() || seed.early_stop.is_some() {
+        return gather(
+            opts,
+            seed.stats,
+            master_inc.solutions,
+            seed.early_stop.unwrap_or(StopReason::Completed),
+        );
+    }
+
+    // All seeds go straight to the global pool; sort descending so the
+    // most promising (lowest bound) node pops first off the stack.
+    let mut seeds: Vec<(f64, P::Node)> = seed
+        .frontier
+        .into_vec()
+        .into_iter()
+        .map(|n| (sanitize_lb(problem.lower_bound(&n)), n))
+        .collect();
+    seeds.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let global: Vec<P::Node> = seeds.into_iter().map(|(_, n)| n).collect();
+
+    let shared: Arc<Shared<P::Node, P::Solution>> = Arc::new(Shared {
+        state: Mutex::new(PoolState {
+            global,
+            idle: 0,
+            // Dynamic registration: workers count themselves in as their
+            // jobs actually start (see `register_worker`).
+            alive: 0,
+            done: false,
+        }),
+        cv: Condvar::new(),
+        bound,
+        branches,
+        stop: AtomicU8::new(STOP_NONE),
+        found: Mutex::new(Vec::new()),
+    });
+
+    // The calling thread is always a worker; register it before any pool
+    // job can observe the state, so `alive` is never 0 mid-search.
+    let registered = shared.register_worker();
+    debug_assert!(registered, "fresh pool cannot be done");
+
+    let opts_shared = Arc::new(opts.clone());
+    let pooled_stats: Arc<Mutex<Vec<SearchStats>>> = Arc::new(Mutex::new(Vec::new()));
+    let jobs: Vec<PoolJob> = (1..workers)
+        .map(|_| {
+            let problem = Arc::clone(&problem);
+            let shared = Arc::clone(&shared);
+            let opts = Arc::clone(&opts_shared);
+            let stats = Arc::clone(&pooled_stats);
+            let mut obs = observer.clone();
+            Box::new(move || {
+                // A late starter skips a search that already drained.
+                if !shared.register_worker() {
+                    return;
+                }
+                match catch_unwind(AssertUnwindSafe(|| {
+                    run_worker(&*problem, &opts, &shared, Vec::new(), &mut obs)
+                })) {
+                    Ok(st) => stats.lock().unwrap_or_else(|e| e.into_inner()).push(st),
+                    Err(_) => {
+                        shared.request_stop(StopReason::WorkerPanicked);
+                        shared.abandon_worker();
+                    }
+                }
+            }) as PoolJob
+        })
+        .collect();
+
+    let mut caller_stats: Option<SearchStats> = None;
+    let mut caller_obs = observer;
+    pool.run_all(
+        jobs,
+        Box::new(|| {
+            caller_stats = match catch_unwind(AssertUnwindSafe(|| {
+                run_worker(&*problem, opts, &shared, Vec::new(), &mut caller_obs)
+            })) {
+                Ok(st) => Some(st),
+                Err(_) => {
+                    shared.request_stop(StopReason::WorkerPanicked);
+                    shared.abandon_worker();
+                    None
+                }
+            };
+        }),
+    );
+
+    let mut stats = seed.stats;
+    if let Some(cs) = &caller_stats {
+        stats.merge(cs);
+    }
+    for ws in pooled_stats
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+    {
+        stats.merge(ws);
+    }
+    let mut all = master_inc.solutions;
+    all.append(&mut shared.found.lock().unwrap_or_else(|e| e.into_inner()));
+    gather(opts, stats, all, shared.stop_reason())
+}
+
+/// What the master's seeding phase hands to the worker phase.
+struct SeedOutcome<N> {
+    frontier: BreadthFirstFrontier<N>,
+    early_stop: Option<StopReason>,
+    stats: SearchStats,
+}
+
+/// Master seeding phase: breadth-first until `2 × workers` open nodes.
+/// The problem's callbacks run on the calling thread, so the phase gets
+/// the same panic isolation as the workers: a panic mid-seeding yields
+/// whatever incumbent exists with `WorkerPanicked` instead of unwinding
+/// through the caller.
+fn seed_phase<P: Problem, O: SearchObserver>(
+    problem: &P,
+    opts: &SearchOptions,
+    workers: usize,
+    master_inc: &mut Incumbents<P::Solution>,
+    bound: &SharedBound,
+    branches: &AtomicU64,
+    observer: &mut O,
+) -> SeedOutcome<P::Node> {
+    let mut exp = Expander::new(problem, opts);
+    {
+        let mut sink = SeedSink {
+            inc: master_inc,
+            bound,
+        };
+        exp.offer_initial(&mut sink);
+    }
+    let mut frontier = BreadthFirstFrontier::new();
+    let mut early_stop: Option<StopReason> = None;
+    let seeding = catch_unwind(AssertUnwindSafe(|| {
+        let target = 2 * workers;
+        exp.push_root(&mut frontier);
+        while frontier.len() < target {
+            if let Some(reason) = exp.poll_stop(observer) {
+                early_stop = Some(reason);
+                break;
+            }
+            let Some(node) = frontier.pop() else {
+                break;
+            };
+            let mut sink = SeedSink {
+                inc: master_inc,
+                bound,
+            };
+            let mut budget = AtomicBudget::new(branches, opts.max_branches);
+            match exp.expand(&node, &mut sink, &mut budget, &mut frontier, observer) {
+                Step::Stopped(reason) => {
+                    early_stop = Some(reason);
+                    break;
+                }
+                _ => exp.recycle(node),
+            }
+        }
+    }));
+    if seeding.is_err() {
+        early_stop = Some(StopReason::WorkerPanicked);
+        frontier = BreadthFirstFrontier::new();
+    }
+    SeedOutcome {
+        frontier,
+        early_stop,
+        stats: exp.stats(),
+    }
 }
 
 /// Reduces collected `(value, solution)` pairs to the final outcome.
@@ -414,11 +634,12 @@ fn gather<S>(
     }
 }
 
-fn run_worker<P: Problem>(
+fn run_worker<P: Problem, O: SearchObserver>(
     problem: &P,
     opts: &SearchOptions,
     shared: &Shared<P::Node, P::Solution>,
     lp: Vec<P::Node>,
+    observer: &mut O,
 ) -> SearchStats {
     let mut exp = Expander::new(problem, opts);
     let mut frontier = DepthFirstFrontier::from_vec(lp);
@@ -428,7 +649,7 @@ fn run_worker<P: Problem>(
         if shared.stopping() {
             break;
         }
-        if let Some(reason) = exp.poll_stop(&mut ()) {
+        if let Some(reason) = exp.poll_stop(observer) {
             shared.request_stop(reason);
             break;
         }
@@ -439,7 +660,7 @@ fn run_worker<P: Problem>(
                 None => break,
             },
         };
-        match exp.expand(&node, &mut sink, &mut budget, &mut frontier, &mut ()) {
+        match exp.expand(&node, &mut sink, &mut budget, &mut frontier, observer) {
             Step::Stopped(reason) => {
                 shared.request_stop(reason);
                 break;

@@ -1,0 +1,48 @@
+//! Borrowed-worker abstraction for the thread-parallel driver.
+//!
+//! [`solve_parallel`](crate::solve_parallel) owns its threads: every call
+//! spawns a fresh `thread::scope` and tears it down on return. That is the
+//! right shape for a standalone solve, but wasteful when a scheduling layer
+//! above the solver (the compact-set pipeline) already runs many solves
+//! concurrently on a shared pool — nested scopes oversubscribe the machine
+//! and pay spawn/teardown per call.
+//!
+//! [`WorkerPool`] inverts the ownership: the *caller* owns the threads and
+//! lends them out. [`solve_parallel_pooled`](crate::solve_parallel_pooled)
+//! submits its worker loops as jobs, runs one loop on the calling thread,
+//! and relies on the pool's [`run_all`](WorkerPool::run_all) contract to
+//! help execute queued work while waiting — so a pool of any size (even
+//! one thread) completes the search without deadlocking.
+//!
+//! `mutree_core::exec::Executor` is the canonical implementation; the
+//! trait lives here so the solver crate does not depend on the pipeline
+//! crate.
+
+/// An owned unit of work submitted to a [`WorkerPool`].
+///
+/// Jobs are `'static`: they must own (or `Arc`-share) everything they
+/// touch, because the pool's threads outlive the submitting stack frame.
+pub type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A pool of worker threads that can execute owned jobs on behalf of a
+/// caller.
+pub trait WorkerPool {
+    /// Number of threads serving the pool (at least 1).
+    fn threads(&self) -> usize;
+
+    /// Submits `jobs` for concurrent execution, runs `main` on the calling
+    /// thread, and returns only after **every** submitted job has finished.
+    ///
+    /// Contract, required for deadlock-freedom when jobs coordinate with
+    /// `main` (as the pooled search driver's worker loops do):
+    ///
+    /// * `jobs` are made available to the pool's threads *before* `main`
+    ///   runs, so they can proceed in parallel with it;
+    /// * while waiting for stragglers after `main` returns, the calling
+    ///   thread executes queued work itself ("help-while-wait") instead of
+    ///   sleeping, so progress is guaranteed even on a one-thread pool
+    ///   whose only worker is the caller;
+    /// * a panicking job must not take down a pool thread or abort the
+    ///   wait: the pool isolates it and still counts the job as finished.
+    fn run_all(&self, jobs: Vec<PoolJob>, main: Box<dyn FnOnce() + '_>);
+}

@@ -29,7 +29,10 @@ use std::io::Read;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use mutree_core::{CompactPipeline, MutSolver, SearchBackend, SearchMode, ThreeThree};
+use mutree_core::{
+    CompactPipeline, Executor, LoggingObserver, MutSolver, SearchBackend, SearchMode, ThreeThree,
+    TraceLevel,
+};
 use mutree_distmat::{io as mio, DistanceMatrix};
 use mutree_graph::CompactSets;
 use mutree_tree::{cluster, newick, Linkage};
@@ -73,9 +76,10 @@ mutree — minimum ultrametric evolutionary trees (PaCT 2005 reproduction)
 
 USAGE:
   mutree solve <matrix.phy> [--backend seq|par:N|sim:N] [--all] [--33 off|initial|full]
-               [--timeout SECS]
+               [--timeout SECS] [--threads N] [--trace-search incumbents|all]
         Exact minimum ultrametric tree via branch-and-bound.
   mutree fast <matrix.phy> [--threshold K] [--linkage max|min|avg] [--timeout SECS]
+               [--threads N] [--trace-search incumbents|all]
         Near-optimal tree via compact-set decomposition (the fast technique).
   mutree sets <matrix.phy>
         List the compact sets of the distance graph.
@@ -92,6 +96,14 @@ USAGE:
 
   --timeout stops the search at a wall-clock deadline; the best tree found
   so far is still printed and the exit code becomes 5.
+
+  --threads N runs on one shared N-thread worker pool: 'fast' fans its
+  group and condensed solves out as a task graph on it, and parallel
+  branch-and-bound borrows the same workers ('solve' defaults to the
+  par:N backend when --backend is not given).
+
+  --trace-search logs structured search events to stderr: 'incumbents'
+  prints incumbent updates and stops, 'all' adds every expansion/prune.
 
 EXIT CODES:
   0  success            2  usage error       3  bad input
@@ -170,6 +182,36 @@ fn parse_timeout(args: &[String]) -> Result<Option<Duration>, CliError> {
     Ok(Some(Duration::from_secs_f64(secs)))
 }
 
+/// Parses an optional `--threads <N>` flag into a shared worker budget.
+fn parse_threads(args: &[String]) -> Result<Option<usize>, CliError> {
+    let Some(spec) = flag_value(args, "--threads") else {
+        if args.iter().any(|a| a == "--threads") {
+            return Err(usage("--threads requires a worker count"));
+        }
+        return Ok(None);
+    };
+    let n: usize = spec
+        .parse()
+        .map_err(|_| usage(format!("bad thread count {spec:?}")))?;
+    if n == 0 {
+        return Err(usage("need at least one thread"));
+    }
+    Ok(Some(n))
+}
+
+/// Parses an optional `--trace-search <level>` flag.
+fn parse_trace(args: &[String]) -> Result<Option<LoggingObserver>, CliError> {
+    let Some(spec) = flag_value(args, "--trace-search") else {
+        if args.iter().any(|a| a == "--trace-search") {
+            return Err(usage("--trace-search requires a level (incumbents | all)"));
+        }
+        return Ok(None);
+    };
+    let level = TraceLevel::parse(spec)
+        .ok_or_else(|| usage(format!("unknown trace level {spec:?} (incumbents | all)")))?;
+    Ok(Some(LoggingObserver::new(level)))
+}
+
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == flag)
@@ -185,6 +227,17 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
     let mut solver = MutSolver::new();
     if let Some(backend) = flag_value(args, "--backend") {
         solver = solver.backend(parse_backend(backend)?);
+    }
+    if let Some(threads) = parse_threads(args)? {
+        // One shared pool; without an explicit backend, --threads implies
+        // the thread-parallel search borrowing from that pool.
+        if flag_value(args, "--backend").is_none() {
+            solver = solver.backend(SearchBackend::Parallel { workers: threads });
+        }
+        solver = solver.executor(Executor::new(threads));
+    }
+    if let Some(observer) = parse_trace(args)? {
+        solver = solver.trace(observer);
     }
     if args.iter().any(|a| a == "--all") {
         solver = solver.mode(SearchMode::AllOptimal);
@@ -253,9 +306,21 @@ fn fast(args: &[String]) -> Result<ExitCode, CliError> {
     if let Some(linkage) = flag_value(args, "--linkage") {
         pipeline = pipeline.linkage(parse_linkage(linkage)?);
     }
+    let mut solver = MutSolver::new();
     if let Some(timeout) = parse_timeout(args)? {
-        pipeline = pipeline.solver(MutSolver::new().timeout(timeout));
+        solver = solver.timeout(timeout);
     }
+    if let Some(observer) = parse_trace(args)? {
+        solver = solver.trace(observer);
+    }
+    if let Some(threads) = parse_threads(args)? {
+        // One shared pool for everything: the pipeline fans its stage
+        // tasks out on it, and each stage's thread-parallel search
+        // borrows the same workers.
+        solver = solver.backend(SearchBackend::Parallel { workers: threads });
+        pipeline = pipeline.executor(Executor::new(threads));
+    }
+    pipeline = pipeline.solver(solver);
     let sol = pipeline
         .solve(&m)
         .map_err(|e| CliError::Solver(e.to_string()))?;
@@ -271,6 +336,12 @@ fn fast(args: &[String]) -> Result<ExitCode, CliError> {
         .collect();
     println!("groups: {}", groups.join(" "));
     println!("{}", newick::to_newick_with(&sol.tree, |t| m.label(t)));
+    let slowest: Vec<String> = sol
+        .slowest_stages(3)
+        .iter()
+        .map(|t| format!("{} {:.3}s", t.stage, t.seconds))
+        .collect();
+    eprintln!("mutree: slowest stages: {}", slowest.join(", "));
     if sol.is_complete() {
         Ok(ExitCode::SUCCESS)
     } else {
@@ -280,6 +351,9 @@ fn fast(args: &[String]) -> Result<ExitCode, CliError> {
             sol.degraded.len(),
             if sol.degraded.len() == 1 { "" } else { "s" }
         );
+        for d in &sol.degraded {
+            eprintln!("mutree: degraded stage {}: {}", d.stage, d.reason);
+        }
         Ok(ExitCode::from(EXIT_INCOMPLETE))
     }
 }

@@ -264,3 +264,47 @@ fn generous_timeout_still_completes_with_exit_0() {
     assert_eq!(code, Some(0));
     assert!(stdout.contains("weight: 11"));
 }
+
+#[test]
+fn solve_with_threads_uses_shared_pool_and_agrees() {
+    let (stdout, stderr, code) = run_full(&["solve", "-", "--threads", "2"], MATRIX);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("weight: 11"), "{stdout}");
+}
+
+#[test]
+fn fast_with_threads_reports_slowest_stages() {
+    let (stdout, stderr, code) = run_full(&["fast", "-", "--threads", "2"], MATRIX);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("weight:"), "{stdout}");
+    assert!(stderr.contains("slowest stages:"), "{stderr}");
+}
+
+#[test]
+fn fast_degradation_diagnostics_include_stage_paths() {
+    let (_, stderr, code) = run_full(&["fast", "-", "--timeout", "0"], MATRIX);
+    assert_eq!(code, Some(5), "{stderr}");
+    assert!(stderr.contains("degraded stage"), "{stderr}");
+}
+
+#[test]
+fn trace_search_logs_structured_events() {
+    let (stdout, stderr, code) = run_full(&["solve", "-", "--trace-search", "all"], MATRIX);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("weight: 11"));
+    assert!(stderr.contains("trace: event="), "{stderr}");
+}
+
+#[test]
+fn bad_trace_level_is_a_usage_error() {
+    let (_, stderr, code) = run_full(&["solve", "-", "--trace-search", "verbose"], MATRIX);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown trace level"), "{stderr}");
+}
+
+#[test]
+fn zero_threads_is_a_usage_error() {
+    let (_, stderr, code) = run_full(&["fast", "-", "--threads", "0"], MATRIX);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("at least one thread"), "{stderr}");
+}

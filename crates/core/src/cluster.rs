@@ -38,7 +38,8 @@ use mutree_bnb::kernel::{
     LocalBudget, Step, StopPoller,
 };
 use mutree_bnb::{
-    Incumbents, Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason,
+    Incumbents, Problem, SearchMode, SearchObserver, SearchOptions, SearchOutcome, SearchStats,
+    StopReason,
 };
 use mutree_clustersim::{ClusterSpec, EventQueue, NodeMetrics, SimReport};
 
@@ -54,7 +55,7 @@ pub trait SimCost: Problem {
     fn node_bytes(&self, node: &Self::Node) -> u64;
 }
 
-impl SimCost for MutProblem<'_> {
+impl SimCost for MutProblem {
     fn branch_ops(&self, node: &Self::Node) -> f64 {
         // 2k−1 children, each an O(k) height-path update.
         let k = node.leaves_inserted() as f64;
@@ -156,6 +157,18 @@ pub fn solve_simulated<P: SimCost>(
     opts: &SearchOptions,
     spec: &ClusterSpec,
 ) -> SimulatedOutcome<P::Solution> {
+    solve_simulated_observed(problem, opts, spec, &mut ())
+}
+
+/// [`solve_simulated`] with a [`SearchObserver`] receiving the kernel's
+/// structured events (the whole simulation runs on one thread, so a
+/// single observer sees every event in deterministic order).
+pub fn solve_simulated_observed<P: SimCost, O: SearchObserver>(
+    problem: &P,
+    opts: &SearchOptions,
+    spec: &ClusterSpec,
+    observer: &mut O,
+) -> SimulatedOutcome<P::Solution> {
     let p = spec.slave_count();
     // One kernel instance carries the counters for the whole simulated
     // cluster (per-slave sums and pool peaks commute with the merge the
@@ -176,14 +189,14 @@ pub fn solve_simulated<P: SimCost>(
     exp.push_root(&mut frontier);
     let mut seed_stop: Option<StopReason> = None;
     while frontier.len() < target {
-        if let Some(reason) = exp.poll_stop(&mut ()) {
+        if let Some(reason) = exp.poll_stop(observer) {
             seed_stop = Some(reason);
             break;
         }
         let Some(node) = frontier.pop() else {
             break;
         };
-        match exp.expand(&node, &mut master_inc, &mut budget, &mut frontier, &mut ()) {
+        match exp.expand(&node, &mut master_inc, &mut budget, &mut frontier, observer) {
             Step::Stopped(reason) => {
                 seed_stop = Some(reason);
                 break;
@@ -347,7 +360,7 @@ pub fn solve_simulated<P: SimCost>(
                 let step = {
                     let Slave { lp, ub, found, .. } = &mut slaves[i];
                     let mut sink = SlaveSink { ub, found, opts };
-                    exp.expand(&node, &mut sink, &mut budget, lp, &mut ())
+                    exp.expand(&node, &mut sink, &mut budget, lp, observer)
                 };
                 match step {
                     Step::Pruned => {
@@ -596,11 +609,11 @@ mod tests {
     /// Wraps a problem but reports NaN for every lower bound. The kernel's
     /// NaN→−∞ policy must make this equivalent to "no pruning", never to
     /// "prune everything", in the simulated driver too.
-    struct NanLb<'a>(MutProblem<'a>);
+    struct NanLb(MutProblem);
 
-    impl Problem for NanLb<'_> {
-        type Node = <MutProblem<'static> as Problem>::Node;
-        type Solution = <MutProblem<'static> as Problem>::Solution;
+    impl Problem for NanLb {
+        type Node = <MutProblem as Problem>::Node;
+        type Solution = <MutProblem as Problem>::Solution;
 
         fn root(&self) -> Self::Node {
             self.0.root()
@@ -616,7 +629,7 @@ mod tests {
         }
     }
 
-    impl SimCost for NanLb<'_> {
+    impl SimCost for NanLb {
         fn branch_ops(&self, node: &Self::Node) -> f64 {
             self.0.branch_ops(node)
         }

@@ -45,17 +45,22 @@
 
 mod cluster;
 mod error;
+pub mod exec;
 mod node;
 mod pipeline;
 mod problem;
 mod solver;
 
-pub use cluster::{solve_simulated, SimCost, SimulatedOutcome};
+pub use cluster::{solve_simulated, solve_simulated_observed, SimCost, SimulatedOutcome};
 pub use error::MutError;
+pub use exec::{Executor, TaskDag};
 pub use node::PartialTree;
-pub use pipeline::{CompactPipeline, DegradeReason, DegradedGroup, PipelineSolution};
+pub use pipeline::{CompactPipeline, DegradeReason, DegradedGroup, PipelineSolution, StageTiming};
 pub use problem::{MutProblem, ThreeThree};
 pub use solver::{solution_newick, MutSolution, MutSolver, SearchBackend};
 
-pub use mutree_bnb::{CancelToken, SearchMode, SearchStats, StopReason, Strategy};
+pub use mutree_bnb::{
+    CancelToken, LoggingObserver, SearchMode, SearchStats, StopReason, Strategy, TraceLevel,
+    WorkerPool,
+};
 pub use mutree_tree::Linkage;

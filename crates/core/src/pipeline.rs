@@ -22,14 +22,33 @@
 //! undecomposed search time, and the compact sets guarantee that species
 //! grouped together really do share a lowest common ancestor below any
 //! outside species, so the phylogenetic relations are preserved.
+//!
+//! # Execution as a task DAG
+//!
+//! Steps 3–4 are declared as a [`TaskDag`]: one task per ≥3-member group
+//! solve, one task for the condensed meta-matrix (which may recurse
+//! through the pipeline — on the *same* executor, never a nested pool),
+//! and a merge/refit join task depending on all of them. With an
+//! [`Executor`] attached ([`CompactPipeline::executor`]) the independent
+//! solves run concurrently on its shared worker pool, and Parallel-backend
+//! solvers borrow the same workers
+//! ([`solve_parallel_pooled`](mutree_bnb::solve_parallel_pooled)) instead
+//! of spawning a `thread::scope` per solve, so one `--threads` budget
+//! covers both levels of parallelism. Without an executor the identical
+//! DAG runs inline on the calling thread. Either way results are
+//! aggregated in task order — never completion order — so the solution,
+//! its degradation records and its merged statistics are deterministic.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use mutree_bnb::StopReason;
 use mutree_distmat::DistanceMatrix;
 use mutree_graph::CompactSets;
 use mutree_tree::{cluster, Linkage, UltrametricTree};
 
+use crate::exec::{Executor, TaskDag, TaskId};
 use crate::{MutError, MutSolver, SearchStats};
 
 /// Why a pipeline stage fell short of a proven-optimal exact solve.
@@ -64,12 +83,27 @@ impl std::fmt::Display for DegradeReason {
 /// but the affected piece is a heuristic, not an optimum.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DegradedGroup {
-    /// Index into [`PipelineSolution::groups`], or `None` when the
-    /// condensed meta-matrix solve (or an undecomposable whole-matrix
-    /// solve) was the degraded stage.
+    /// Index into [`PipelineSolution::groups`] for a top-level group
+    /// stage, or `None` when the condensed meta-matrix solve, a stage
+    /// below a recursive meta solve, or an undecomposable whole-matrix
+    /// solve was the degraded stage.
     pub group: Option<usize>,
+    /// Depth-qualified stage path, e.g. `group 3`, `meta`, or
+    /// `meta[1]/group 0` for a stage inside the first recursive condensed
+    /// solve — so recursive degradations are no longer ambiguous.
+    pub stage: String,
     /// What happened.
     pub reason: DegradeReason,
+}
+
+/// Wall-clock time one pipeline stage took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Depth-qualified stage path (same scheme as
+    /// [`DegradedGroup::stage`]), plus `merge` for the join stage.
+    pub stage: String,
+    /// Seconds the stage ran for.
+    pub seconds: f64,
 }
 
 /// A solved pipeline instance.
@@ -93,6 +127,9 @@ pub struct PipelineSolution {
     /// incumbents and agglomerative stand-ins — in pipeline order. Empty
     /// on a fully exact run.
     pub degraded: Vec<DegradedGroup>,
+    /// Per-stage wall-clock times, in pipeline order (recursive condensed
+    /// solves contribute their stages inline, path-qualified).
+    pub timings: Vec<StageTiming>,
 }
 
 impl PipelineSolution {
@@ -101,6 +138,14 @@ impl PipelineSolution {
     /// decomposition).
     pub fn is_complete(&self) -> bool {
         self.stop.is_complete() && self.degraded.is_empty()
+    }
+
+    /// The `count` slowest stages, most expensive first.
+    pub fn slowest_stages(&self, count: usize) -> Vec<&StageTiming> {
+        let mut by_time: Vec<&StageTiming> = self.timings.iter().collect();
+        by_time.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+        by_time.truncate(count);
+        by_time
     }
 }
 
@@ -122,12 +167,31 @@ pub struct CompactPipeline {
     linkage: Linkage,
     solver: MutSolver,
     max_depth: usize,
+    executor: Option<Executor>,
 }
 
 impl Default for CompactPipeline {
     fn default() -> Self {
         CompactPipeline::new()
     }
+}
+
+/// `MUTREE_PIPELINE_THREADS=N` (N ≥ 1) forces every pipeline onto one
+/// process-wide shared N-thread executor — CI uses it to push the whole
+/// test suite through the task-graph path.
+fn env_executor() -> Option<Executor> {
+    static FORCED: OnceLock<Option<Executor>> = OnceLock::new();
+    FORCED
+        .get_or_init(|| {
+            std::env::var("MUTREE_PIPELINE_THREADS")
+                .ok()?
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&t| t > 0)
+                .map(Executor::new)
+        })
+        .clone()
 }
 
 impl CompactPipeline {
@@ -140,6 +204,7 @@ impl CompactPipeline {
             linkage: Linkage::Maximum,
             solver: MutSolver::new(),
             max_depth: 8,
+            executor: env_executor(),
         }
     }
 
@@ -169,6 +234,32 @@ impl CompactPipeline {
         self
     }
 
+    /// Runs the stage DAG on `exec`: group solves and the meta solve run
+    /// concurrently on its worker pool, and any Parallel-backend solver
+    /// without its own executor borrows the same workers, so group-level
+    /// and intra-solve parallelism share one thread budget.
+    pub fn executor(mut self, exec: Executor) -> Self {
+        self.executor = Some(exec);
+        self
+    }
+
+    /// The attached executor, if any.
+    pub fn executor_handle(&self) -> Option<&Executor> {
+        self.executor.as_ref()
+    }
+
+    /// The solver clone handed to each stage task: when the pipeline has
+    /// an executor and the solver does not, the solver borrows the
+    /// pipeline's pool (a no-op for non-Parallel backends).
+    fn task_solver(&self) -> MutSolver {
+        match &self.executor {
+            Some(exec) if self.solver.executor_handle().is_none() => {
+                self.solver.clone().executor(exec.clone())
+            }
+            _ => self.solver.clone(),
+        }
+    }
+
     /// Runs the pipeline.
     ///
     /// # Errors
@@ -177,13 +268,14 @@ impl CompactPipeline {
     /// cannot bring every exact solve within the 64-taxon engine limit,
     /// and any error from the underlying solver.
     pub fn solve(&self, m: &DistanceMatrix) -> Result<PipelineSolution, MutError> {
-        self.solve_at_depth(m, 0)
+        self.solve_at_depth(m, 0, "")
     }
 
     fn solve_at_depth(
         &self,
         m: &DistanceMatrix,
         depth: usize,
+        prefix: &str,
     ) -> Result<PipelineSolution, MutError> {
         let n = m.len();
         let cs = CompactSets::find(m);
@@ -199,159 +291,382 @@ impl CompactPipeline {
                     max: 64,
                 });
             }
-            let mut stats = SearchStats::default();
-            let mut stop = StopReason::Completed;
-            let mut degraded = Vec::new();
-            let mut tree = self.stage_tree(m, None, &mut stats, &mut stop, &mut degraded);
+            let stage = format!("{prefix}whole");
+            let started = Instant::now();
+            let st = solve_stage(&self.task_solver(), m, None, &stage);
+            let timings = vec![StageTiming {
+                stage,
+                seconds: started.elapsed().as_secs_f64(),
+            }];
+            let mut tree = st.tree;
             let weight = tree.fit_heights(m);
             return Ok(PipelineSolution {
                 tree,
                 weight,
                 groups,
-                stats,
+                stats: st.stats,
                 compact_sets: cs.len(),
-                stop,
-                degraded,
+                stop: st.stop,
+                degraded: st.degraded,
+                timings,
             });
         }
 
-        let mut stats = SearchStats::default();
-        let mut stop = StopReason::Completed;
-        let mut degraded: Vec<DegradedGroup> = Vec::new();
+        // --- Declare the stage DAG: one task per nontrivial group solve,
+        // one meta task, one merge join. Degradation stays per stage (one
+        // stuck or broken group must not take the whole tree down) because
+        // `solve_stage` absorbs every solver failure into a fallback tree.
+        let g = groups.len();
+        let condensed = condense(m, &groups, self.linkage)?;
+        // Meta heights are refit against the *maximum*-linkage condensed
+        // matrix before grafting: by Lemma 2, every attachment point then
+        // sits above its subtree (Min(C, !C) > Max(C)), so grafting cannot
+        // fail even when the topology came from a different linkage.
+        let max_condensed = if matches!(self.linkage, Linkage::Maximum) {
+            condensed.clone()
+        } else {
+            condense(m, &groups, Linkage::Maximum)?
+        };
 
-        // --- Solve each group exactly (degrading per group, not per run:
-        // one stuck or broken group must not take the whole tree down).
-        let mut subtrees: Vec<UltrametricTree> = Vec::with_capacity(groups.len());
+        let task_solver = self.task_solver();
+        let mut dag: TaskDag<StageData> = TaskDag::new();
+        let mut slots: Vec<MergeSlot> = Vec::with_capacity(g);
         for (gi, group) in groups.iter().enumerate() {
             match group.len() {
-                1 => subtrees.push(UltrametricTree::leaf(group[0])),
+                1 => slots.push(MergeSlot {
+                    gi,
+                    task: None,
+                    trivial: Some(UltrametricTree::leaf(group[0])),
+                    group: group.clone(),
+                    sub: None,
+                }),
                 2 => {
                     let h = m.get(group[0], group[1]) / 2.0;
-                    subtrees.push(UltrametricTree::cherry(group[0], group[1], h));
+                    slots.push(MergeSlot {
+                        gi,
+                        task: None,
+                        trivial: Some(UltrametricTree::cherry(group[0], group[1], h)),
+                        group: group.clone(),
+                        sub: None,
+                    });
                 }
                 _ => {
-                    let sub = m.submatrix(group)?;
-                    let mut tree =
-                        self.stage_tree(&sub, Some(gi), &mut stats, &mut stop, &mut degraded);
-                    // Solver taxa are submatrix-relative; map back.
-                    tree.map_taxa(|local| group[local]);
-                    subtrees.push(tree);
+                    let sub = Arc::new(m.submatrix(group)?);
+                    let stage = format!("{prefix}group {gi}");
+                    let solver = task_solver.clone();
+                    let task_sub = Arc::clone(&sub);
+                    let task_group = group.clone();
+                    let task_stage = stage.clone();
+                    let id = dag.add(stage, &[], move |_| {
+                        let mut st = solve_stage(&solver, &task_sub, Some(gi), &task_stage);
+                        // Solver taxa are submatrix-relative; map back.
+                        st.tree.map_taxa(|local| task_group[local]);
+                        StageData::Group(st)
+                    });
+                    slots.push(MergeSlot {
+                        gi,
+                        task: Some(id),
+                        trivial: None,
+                        group: group.clone(),
+                        sub: Some(sub),
+                    });
                 }
             }
         }
 
-        // --- Condensed matrix over the groups, under the chosen linkage.
-        let g = groups.len();
-        let condensed = condense(m, &groups, self.linkage)?;
         // The condensed matrix is itself a (strictly smaller) instance:
         // solve it exactly when it fits under the threshold, recurse
-        // through the pipeline otherwise. Recursion terminates because the
-        // group count strictly decreases whenever any group has ≥ 2
-        // members, and the no-structure case errors out above.
-        let mut meta_tree: UltrametricTree;
-        if g > 64 || (g > self.threshold && depth < self.max_depth) {
-            let rec = self.solve_at_depth(&condensed, depth + 1)?;
-            stats.merge(&rec.stats);
-            stop = stop.worst(rec.stop);
-            // The recursive run's group indices refer to *its* groups, not
-            // ours; report its degradations as meta-solve degradations.
-            degraded.extend(rec.degraded.into_iter().map(|d| DegradedGroup {
-                group: None,
-                reason: d.reason,
-            }));
-            meta_tree = rec.tree;
+        // through the pipeline — on the same executor — otherwise.
+        // Recursion terminates because the group count strictly decreases
+        // whenever any group has ≥ 2 members, and the no-structure case
+        // errors out above.
+        let meta_stage = format!("{prefix}meta");
+        let recurse = g > 64 || (g > self.threshold && depth < self.max_depth);
+        let meta_id = if recurse {
+            let pipeline = self.clone();
+            let child_prefix = format!("{prefix}meta[{}]/", depth + 1);
+            dag.add(meta_stage, &[], move |_| {
+                let rec = pipeline.solve_at_depth(&condensed, depth + 1, &child_prefix);
+                StageData::Meta(rec.map(|rec| {
+                    MetaOut {
+                        tree: rec.tree,
+                        stats: rec.stats,
+                        stop: rec.stop,
+                        // The recursive run's group indices refer to *its*
+                        // groups, not ours; the stage path says which.
+                        degraded: rec
+                            .degraded
+                            .into_iter()
+                            .map(|mut d| {
+                                d.group = None;
+                                d
+                            })
+                            .collect(),
+                        timings: rec.timings,
+                    }
+                }))
+            })
         } else {
-            meta_tree = self.stage_tree(&condensed, None, &mut stats, &mut stop, &mut degraded);
+            let solver = task_solver.clone();
+            let task_stage = meta_stage.clone();
+            dag.add(meta_stage, &[], move |_| {
+                let st = solve_stage(&solver, &condensed, None, &task_stage);
+                StageData::Meta(Ok(MetaOut {
+                    tree: st.tree,
+                    stats: st.stats,
+                    stop: st.stop,
+                    degraded: st.degraded,
+                    timings: Vec::new(),
+                }))
+            })
+        };
+
+        // Caller-side record of which task id is which group, for
+        // aggregating dead task slots deterministically.
+        let group_tasks: Vec<(TaskId, usize)> = slots
+            .iter()
+            .filter_map(|s| s.task.map(|t| (t, s.gi)))
+            .collect();
+
+        // --- Merge join: graft each group subtree onto its meta leaf and
+        // refit against the original matrix (minimal feasible heights for
+        // the merged topology — never worse, often better). A group slot
+        // whose task died gets the agglomerative stand-in; a dead or
+        // failed meta solve fails the merge, and the caller maps that to
+        // the meta task's error.
+        let merge_deps: Vec<TaskId> = group_tasks
+            .iter()
+            .map(|&(t, _)| t)
+            .chain(std::iter::once(meta_id))
+            .collect();
+        let m_owned = m.clone();
+        dag.add(format!("{prefix}merge"), &merge_deps, move |ctx| {
+            let meta = match ctx.dep(meta_id) {
+                Some(StageData::Meta(Ok(out))) => out,
+                _ => return StageData::Merged(None),
+            };
+            let mut meta_tree = meta.tree.clone();
+            meta_tree.fit_heights(&max_condensed);
+            // Move meta taxa out of the way of original ids, then graft.
+            meta_tree.map_taxa(|group| n + group);
+            for slot in &slots {
+                let subtree = match (&slot.trivial, slot.task) {
+                    (Some(t), _) => t.clone(),
+                    (None, Some(tid)) => match ctx.dep(tid) {
+                        Some(StageData::Group(st)) => st.tree.clone(),
+                        _ => {
+                            // The task itself died (solver panics are
+                            // already absorbed inside `solve_stage`, so
+                            // this is the outer safety net); stand in the
+                            // agglomerative tree. The caller records the
+                            // degradation from the task report.
+                            let sub = slot.sub.as_ref().expect("solved slot keeps its submatrix");
+                            let mut t = cluster(sub, Linkage::Maximum);
+                            t.map_taxa(|local| slot.group[local]);
+                            t
+                        }
+                    },
+                    (None, None) => unreachable!("slot has either a trivial tree or a task"),
+                };
+                if let Err(e) = meta_tree.graft(n + slot.gi, subtree) {
+                    return StageData::Merged(Some(Err(e.into())));
+                }
+            }
+            let weight = meta_tree.fit_heights(&m_owned);
+            StageData::Merged(Some(Ok(MergeOut {
+                tree: meta_tree,
+                weight,
+            })))
+        });
+
+        let reports = match &self.executor {
+            Some(exec) => dag.run(exec),
+            None => dag.run_inline(),
+        };
+
+        // --- Aggregate in task order (never completion order): stats,
+        // stop severity, degradations and timings all come out identical
+        // under any scheduling, which is the pipeline's determinism rule.
+        let mut stats = SearchStats::default();
+        let mut stop = StopReason::Completed;
+        let mut degraded: Vec<DegradedGroup> = Vec::new();
+        let mut timings: Vec<StageTiming> = Vec::with_capacity(reports.len());
+        let mut meta_err: Option<MutError> = None;
+        let mut merged: Option<Option<Result<MergeOut, MutError>>> = None;
+        for (id, report) in reports.into_iter().enumerate() {
+            timings.push(StageTiming {
+                stage: report.label.clone(),
+                seconds: report.elapsed.as_secs_f64(),
+            });
+            match report.result {
+                Some(StageData::Group(st)) => {
+                    stats.merge(&st.stats);
+                    stop = stop.worst(st.stop);
+                    degraded.extend(st.degraded);
+                }
+                Some(StageData::Meta(Ok(out))) => {
+                    stats.merge(&out.stats);
+                    stop = stop.worst(out.stop);
+                    degraded.extend(out.degraded);
+                    timings.extend(out.timings);
+                }
+                Some(StageData::Meta(Err(e))) => meta_err = Some(e),
+                Some(StageData::Merged(result)) => merged = Some(result),
+                None => {
+                    // The task body died outside solve_stage's isolation.
+                    stop = stop.worst(StopReason::WorkerPanicked);
+                    if let Some(&(_, gi)) = group_tasks.iter().find(|&&(t, _)| t == id) {
+                        degraded.push(DegradedGroup {
+                            group: Some(gi),
+                            stage: report.label,
+                            reason: DegradeReason::Panicked,
+                        });
+                    }
+                }
+            }
         }
 
-        // --- Merge: graft each group subtree onto its meta leaf.
-        // Meta heights are refit against the *maximum*-linkage condensed
-        // matrix first: by Lemma 2, every attachment point then sits above
-        // its subtree (Min(C, !C) > Max(C)), so grafting cannot fail even
-        // when the topology came from a different linkage.
-        let max_condensed = if matches!(self.linkage, Linkage::Maximum) {
-            condensed
-        } else {
-            condense(m, &groups, Linkage::Maximum)?
+        let merge_out = match merged {
+            Some(Some(Ok(out))) => out,
+            // Graft/refit failure inside the merge task.
+            Some(Some(Err(e))) => return Err(e),
+            // The meta solve failed (recursion error) or a task died so
+            // badly the merge could not run.
+            Some(None) | None => {
+                return Err(meta_err.unwrap_or(MutError::Interrupted {
+                    reason: StopReason::WorkerPanicked,
+                }))
+            }
         };
-        meta_tree.fit_heights(&max_condensed);
-        // Move meta taxa out of the way of original ids, then graft.
-        meta_tree.map_taxa(|group| n + group);
-        for (gi, sub) in subtrees.into_iter().enumerate() {
-            meta_tree.graft(n + gi, sub)?;
-        }
-        // Final refit against the original matrix: minimal feasible
-        // heights for the merged topology (never worse, often better).
-        let weight = meta_tree.fit_heights(m);
 
         Ok(PipelineSolution {
-            tree: meta_tree,
-            weight,
+            tree: merge_out.tree,
+            weight: merge_out.weight,
             groups,
             stats,
             compact_sets: cs.len(),
             stop,
             degraded,
+            timings,
         })
     }
+}
 
-    /// Produces a feasible ultrametric tree for one pipeline stage,
-    /// degrading instead of failing:
-    ///
-    /// 1. exact solve, when nothing has gone wrong;
-    /// 2. the exact search's best incumbent, when it stopped early
-    ///    (budget, deadline, cancellation, worker panic) — an incumbent is
-    ///    always a feasible tree for its submatrix;
-    /// 3. the max-linkage agglomerative tree (UPGMM), when the deadline or
-    ///    cancel already fired before the solve, the solver errored, or it
-    ///    panicked — panics are contained with `catch_unwind` so one bad
-    ///    stage cannot poison the rest of the pipeline.
-    ///
-    /// Every non-exact outcome is recorded in `degraded` (with `gi` as
-    /// the group index, `None` for meta/whole-matrix stages) and folded
-    /// into the merged `stop` reason.
-    fn stage_tree(
-        &self,
-        sub: &DistanceMatrix,
-        gi: Option<usize>,
-        stats: &mut SearchStats,
-        stop: &mut StopReason,
-        degraded: &mut Vec<DegradedGroup>,
-    ) -> UltrametricTree {
-        if let Some(reason) = self.solver.stop_requested() {
-            *stop = stop.worst(reason);
+/// One solved stage: a feasible tree plus its accounting.
+struct StageTree {
+    tree: UltrametricTree,
+    stats: SearchStats,
+    stop: StopReason,
+    degraded: Vec<DegradedGroup>,
+}
+
+/// The meta stage's payload: an exact solve's [`StageTree`] fields, or a
+/// recursive pipeline run flattened into them (plus its inner timings).
+struct MetaOut {
+    tree: UltrametricTree,
+    stats: SearchStats,
+    stop: StopReason,
+    degraded: Vec<DegradedGroup>,
+    timings: Vec<StageTiming>,
+}
+
+/// The merge join's payload.
+struct MergeOut {
+    tree: UltrametricTree,
+    weight: f64,
+}
+
+/// What one DAG task returns; the variant is fixed per stage kind.
+enum StageData {
+    Group(StageTree),
+    Meta(Result<MetaOut, MutError>),
+    /// `None`: the meta dependency was dead or failed, nothing to merge.
+    Merged(Option<Result<MergeOut, MutError>>),
+}
+
+/// How a group subtree reaches the merge task: either a precomputed
+/// trivial tree (singleton / pair) or the [`TaskId`] of its solve task,
+/// with the submatrix kept around for the dead-task fallback.
+struct MergeSlot {
+    gi: usize,
+    task: Option<TaskId>,
+    trivial: Option<UltrametricTree>,
+    group: Vec<usize>,
+    sub: Option<Arc<DistanceMatrix>>,
+}
+
+/// Produces a feasible ultrametric tree for one pipeline stage, degrading
+/// instead of failing:
+///
+/// 1. exact solve, when nothing has gone wrong;
+/// 2. the exact search's best incumbent, when it stopped early (budget,
+///    deadline, cancellation, worker panic) — an incumbent is always a
+///    feasible tree for its submatrix;
+/// 3. the max-linkage agglomerative tree (UPGMM), when the deadline or
+///    cancel already fired before the solve, the solver errored, or it
+///    panicked — panics are contained with `catch_unwind` so one bad
+///    stage cannot poison the rest of the pipeline.
+///
+/// Every non-exact outcome is recorded in the returned `degraded` set
+/// (with `group` as the top-level group index, `None` for
+/// meta/whole-matrix stages, and `stage` as the depth-qualified path) and
+/// folded into the returned `stop` reason.
+fn solve_stage(
+    solver: &MutSolver,
+    sub: &DistanceMatrix,
+    group: Option<usize>,
+    stage: &str,
+) -> StageTree {
+    let mut stats = SearchStats::default();
+    let mut stop = StopReason::Completed;
+    let mut degraded = Vec::new();
+    let tree = 'tree: {
+        if let Some(reason) = solver.stop_requested() {
+            stop = stop.worst(reason);
             degraded.push(DegradedGroup {
-                group: gi,
+                group,
+                stage: stage.to_string(),
                 reason: DegradeReason::Stopped(reason),
             });
-            return cluster(sub, Linkage::Maximum);
+            break 'tree cluster(sub, Linkage::Maximum);
         }
-        let reason = match catch_unwind(AssertUnwindSafe(|| self.solver.solve(sub))) {
+        let reason = match catch_unwind(AssertUnwindSafe(|| solver.solve(sub))) {
             Ok(Ok(sol)) => {
                 stats.merge(&sol.stats);
                 if !sol.stop.is_complete() {
-                    *stop = stop.worst(sol.stop);
+                    stop = stop.worst(sol.stop);
                     degraded.push(DegradedGroup {
-                        group: gi,
+                        group,
+                        stage: stage.to_string(),
                         reason: DegradeReason::Stopped(sol.stop),
                     });
                 }
-                return sol.tree;
+                break 'tree sol.tree;
             }
             // Stopped before any incumbent existed (UPGMM disabled):
             // same deal as an early stop, minus a usable incumbent.
             Ok(Err(MutError::Interrupted { reason })) => {
-                *stop = stop.worst(reason);
+                stop = stop.worst(reason);
                 DegradeReason::Stopped(reason)
             }
             Ok(Err(e)) => DegradeReason::Error(e.to_string()),
             Err(_) => {
-                *stop = stop.worst(StopReason::WorkerPanicked);
+                stop = stop.worst(StopReason::WorkerPanicked);
                 DegradeReason::Panicked
             }
         };
-        degraded.push(DegradedGroup { group: gi, reason });
+        degraded.push(DegradedGroup {
+            group,
+            stage: stage.to_string(),
+            reason,
+        });
         cluster(sub, Linkage::Maximum)
+    };
+    StageTree {
+        tree,
+        stats,
+        stop,
+        degraded,
     }
 }
 
@@ -496,6 +811,9 @@ mod tests {
         let exact = MutSolver::new().solve(&m).unwrap();
         assert!((pipe.weight - exact.weight).abs() < 1e-9);
         assert_eq!(pipe.compact_sets, 0);
+        // The undecomposable path is a single "whole" stage.
+        assert_eq!(pipe.timings.len(), 1);
+        assert_eq!(pipe.timings[0].stage, "whole");
     }
 
     #[test]
@@ -506,6 +824,23 @@ mod tests {
         // An ultrametric matrix is its own optimal tree; the pipeline must
         // recover it exactly (compact sets match the tree's clusters).
         assert_eq!(pipe.tree.distance_matrix().max_relative_deviation(&m), 0.0);
+    }
+
+    #[test]
+    fn timings_name_every_stage() {
+        let m = structured6();
+        let pipe = CompactPipeline::new().threshold(4).solve(&m).unwrap();
+        let stages: Vec<&str> = pipe.timings.iter().map(|t| t.stage.as_str()).collect();
+        // At least one group solve, the meta solve and the merge join.
+        assert!(stages.iter().any(|s| s.starts_with("group ")), "{stages:?}");
+        assert!(stages.contains(&"meta"), "{stages:?}");
+        assert!(stages.contains(&"merge"), "{stages:?}");
+        assert!(pipe.timings.iter().all(|t| t.seconds >= 0.0));
+        assert_eq!(
+            pipe.slowest_stages(2).len(),
+            2.min(pipe.timings.len()),
+            "slowest_stages truncates to the requested count"
+        );
     }
 
     #[test]
@@ -534,6 +869,7 @@ mod tests {
                 d.reason,
                 DegradeReason::Stopped(mutree_bnb::StopReason::DeadlineExpired)
             );
+            assert!(!d.stage.is_empty());
             if let Some(gi) = d.group {
                 assert!(gi < pipe.groups.len());
             }
@@ -589,5 +925,49 @@ mod tests {
         let pipe = CompactPipeline::new().threshold(3).solve(&m).unwrap();
         assert_eq!(pipe.tree.leaf_count(), 30);
         assert!(pipe.tree.is_feasible_for(&m, 1e-9));
+    }
+
+    #[test]
+    fn recursive_degradations_carry_depth_qualified_stage_paths() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = gen::random_ultrametric(30, 100.0, &mut rng);
+        // Tiny threshold forces recursion; zero budget without UPGMM
+        // degrades every exact stage, including recursive ones.
+        let pipe = CompactPipeline::new()
+            .threshold(3)
+            .solver(MutSolver::new().without_upgmm().max_branches(0))
+            .solve(&m)
+            .unwrap();
+        assert!(pipe.tree.is_feasible_for(&m, 1e-9));
+        let nested: Vec<&DegradedGroup> = pipe
+            .degraded
+            .iter()
+            .filter(|d| d.stage.starts_with("meta[1]/"))
+            .collect();
+        assert!(
+            !nested.is_empty(),
+            "recursive degradations must be stage-qualified: {:?}",
+            pipe.degraded
+        );
+        // Anything below the recursion reports no (ambiguous) group index.
+        assert!(nested.iter().all(|d| d.group.is_none()));
+        // And the recursion's stage timings are flattened into ours.
+        assert!(pipe.timings.iter().any(|t| t.stage.starts_with("meta[1]/")));
+    }
+
+    #[test]
+    fn executor_pipeline_matches_inline_pipeline() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let m = gen::perturbed_ultrametric(18, 80.0, 0.06, &mut rng);
+        let inline = CompactPipeline::new().threshold(5).solve(&m).unwrap();
+        let pooled = CompactPipeline::new()
+            .threshold(5)
+            .executor(Executor::new(4))
+            .solve(&m)
+            .unwrap();
+        assert!((inline.weight - pooled.weight).abs() < 1e-9);
+        assert_eq!(inline.groups, pooled.groups);
+        assert_eq!(inline.degraded, pooled.degraded);
+        assert!(pooled.tree.is_feasible_for(&m, 1e-9));
     }
 }

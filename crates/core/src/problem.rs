@@ -43,22 +43,24 @@ pub enum ThreeThree {
 /// * **Initial incumbent** — the UPGMM tree (complete-linkage
 ///   agglomeration) with its own linkage heights, whose distances
 ///   dominate the matrix — exactly the paper's Step 3 upper bound.
-pub struct MutProblem<'a> {
-    m: &'a DistanceMatrix,
+pub struct MutProblem {
+    /// Owned so a problem can be `Arc`-shared across executor tasks whose
+    /// lifetimes outlive the caller's stack frame (see `mutree_core::exec`).
+    m: DistanceMatrix,
     /// `suffix[k]` = Σ_{t=k}^{n−1} min_{i<t} M[i,t] / 2; `suffix[n]` = 0.
     suffix: Vec<f64>,
     three_three: ThreeThree,
     use_upgmm: bool,
 }
 
-impl<'a> MutProblem<'a> {
+impl MutProblem {
     /// Wraps a (relabeled) matrix. `use_upgmm` controls whether the UPGMM
     /// heuristic seeds the upper bound (disable to ablate Step 3).
     ///
     /// # Panics
     ///
     /// Panics when the matrix exceeds 64 taxa.
-    pub fn new(m: &'a DistanceMatrix, three_three: ThreeThree, use_upgmm: bool) -> Self {
+    pub fn new(m: &DistanceMatrix, three_three: ThreeThree, use_upgmm: bool) -> Self {
         let n = m.len();
         assert!(n <= 64, "MutProblem supports at most 64 taxa");
         let mut suffix = vec![0.0; n + 1];
@@ -67,7 +69,7 @@ impl<'a> MutProblem<'a> {
             suffix[t] = suffix[t + 1] + minrow / 2.0;
         }
         MutProblem {
-            m,
+            m: m.clone(),
             suffix,
             three_three,
             use_upgmm,
@@ -76,7 +78,7 @@ impl<'a> MutProblem<'a> {
 
     /// The matrix this problem searches over.
     pub fn matrix(&self) -> &DistanceMatrix {
-        self.m
+        &self.m
     }
 
     fn bound_of(&self, t: &PartialTree) -> f64 {
@@ -91,7 +93,7 @@ impl<'a> MutProblem<'a> {
         let order = t.root_path_orders();
         for i in 0..s {
             for j in (i + 1)..s {
-                match triples::close_pair_in_matrix(self.m, i, j, s) {
+                match triples::close_pair_in_matrix(&self.m, i, j, s) {
                     None => {}
                     Some(cp) => {
                         let ok = if cp == (i, j) {
@@ -112,12 +114,12 @@ impl<'a> MutProblem<'a> {
     }
 }
 
-impl Problem for MutProblem<'_> {
+impl Problem for MutProblem {
     type Node = PartialTree;
     type Solution = UltrametricTree;
 
     fn root(&self) -> PartialTree {
-        let mut t = PartialTree::cherry(self.m);
+        let mut t = PartialTree::cherry(&self.m);
         let lb = self.bound_of(&t);
         t.set_lower_bound(lb);
         t
@@ -143,10 +145,10 @@ impl Problem for MutProblem<'_> {
             // pool warms up, branching allocates nothing.
             let mut child = match out.recycle() {
                 Some(mut scratch) => {
-                    node.insert_next_into(self.m, site, &mut scratch);
+                    node.insert_next_into(&self.m, site, &mut scratch);
                     scratch
                 }
-                None => node.insert_next(self.m, site),
+                None => node.insert_next(&self.m, site),
             };
             if filter && !self.three_three_ok(&child) {
                 out.retire(child);
@@ -166,7 +168,7 @@ impl Problem for MutProblem<'_> {
         // (Wu–Chao–Tang Step 3 uses the heuristic's own cost as UB; the
         // search quickly re-derives the minimal heights for good
         // topologies anyway).
-        let t = cluster(self.m, Linkage::Maximum);
+        let t = cluster(&self.m, Linkage::Maximum);
         let w = t.weight();
         Some((t, w))
     }

@@ -1,14 +1,15 @@
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mutree_bnb::{
-    solve_parallel, solve_sequential, CancelToken, SearchMode, SearchOptions, SearchStats,
-    StopReason, Strategy,
+    solve_parallel_observed, solve_parallel_pooled, solve_sequential_observed, CancelToken,
+    LoggingObserver, SearchMode, SearchOptions, SearchStats, StopReason, Strategy,
 };
 use mutree_clustersim::{ClusterSpec, SimReport};
 use mutree_distmat::DistanceMatrix;
 use mutree_tree::{newick, UltrametricTree};
 
-use crate::{solve_simulated, MutError, MutProblem, ThreeThree};
+use crate::{solve_simulated_observed, Executor, MutError, MutProblem, ThreeThree};
 
 /// Which execution backend runs the branch-and-bound search.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +85,9 @@ pub struct MutSolver {
     cancel: Option<CancelToken>,
     use_maxmin: bool,
     use_upgmm: bool,
+    executor: Option<Executor>,
+    trace: Option<LoggingObserver>,
+    panic_on_taxa: Option<usize>,
 }
 
 impl Default for MutSolver {
@@ -107,6 +111,9 @@ impl MutSolver {
             cancel: None,
             use_maxmin: true,
             use_upgmm: true,
+            executor: None,
+            trace: None,
+            panic_on_taxa: None,
         }
     }
 
@@ -181,6 +188,38 @@ impl MutSolver {
         }
     }
 
+    /// Borrows worker threads from `exec` for the thread-parallel backend
+    /// instead of spawning a fresh `thread::scope` per solve, so many
+    /// concurrent solves (the compact-set pipeline's group stages) share
+    /// one thread budget. Ignored by the other backends.
+    pub fn executor(mut self, exec: Executor) -> Self {
+        self.executor = Some(exec);
+        self
+    }
+
+    /// The attached executor, if any.
+    pub fn executor_handle(&self) -> Option<&Executor> {
+        self.executor.as_ref()
+    }
+
+    /// Logs structured kernel events ([`SearchEvent`]s) to stderr while
+    /// solving, on every backend. See [`LoggingObserver`].
+    ///
+    /// [`SearchEvent`]: mutree_bnb::SearchEvent
+    pub fn trace(mut self, observer: LoggingObserver) -> Self {
+        self.trace = Some(observer);
+        self
+    }
+
+    /// Test-only fault injection: `solve` panics on any `n`-taxon matrix.
+    /// The pipeline fault tests use this to prove that one poisoned group
+    /// solve degrades alone while its siblings complete on the same pool.
+    #[doc(hidden)]
+    pub fn panic_on_taxa(mut self, n: usize) -> Self {
+        self.panic_on_taxa = Some(n);
+        self
+    }
+
     /// Disables the maxmin relabeling (ablation; hurts the lower bound).
     pub fn without_maxmin(mut self) -> Self {
         self.use_maxmin = false;
@@ -204,6 +243,9 @@ impl MutSolver {
         let n = m.len();
         if n > 64 {
             return Err(MutError::TooManyTaxa { n, max: 64 });
+        }
+        if self.panic_on_taxa == Some(n) {
+            panic!("injected fault: {n}-taxon solve");
         }
 
         // Step 1: maxmin relabeling. When the permutation is the identity
@@ -231,12 +273,23 @@ impl MutSolver {
         opts.cancel = self.cancel.clone();
 
         let (outcome, sim) = match &self.backend {
-            SearchBackend::Sequential => (solve_sequential(&problem, &opts), None),
+            SearchBackend::Sequential => (
+                solve_sequential_observed(&problem, &opts, &mut self.trace.clone()),
+                None,
+            ),
             SearchBackend::Parallel { workers } => {
-                (solve_parallel(&problem, &opts, *workers), None)
+                let out = match &self.executor {
+                    // Borrowed workers: the search runs on the caller's
+                    // shared pool instead of a per-solve thread::scope.
+                    Some(exec) => {
+                        solve_parallel_pooled(Arc::new(problem), &opts, *workers, exec, self.trace)
+                    }
+                    None => solve_parallel_observed(&problem, &opts, *workers, self.trace),
+                };
+                (out, None)
             }
             SearchBackend::SimulatedCluster { spec } => {
-                let out = solve_simulated(&problem, &opts, spec);
+                let out = solve_simulated_observed(&problem, &opts, spec, &mut self.trace.clone());
                 (out.outcome, Some(out.report))
             }
         };
