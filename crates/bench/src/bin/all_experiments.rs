@@ -1,5 +1,5 @@
 //! Runs every experiment in sequence (the full evaluation).
-use mutree_bench::experiments::{ablations, hpcasia, pact};
+use mutree_bench::experiments::{ablations, frontier, hpcasia, pact};
 
 fn main() {
     let tables = [
@@ -26,6 +26,7 @@ fn main() {
         ablations::exp_grid(),
         ablations::exp_baselines(),
         ablations::exp_taskgraph(),
+        frontier::exp_frontier(),
     ];
     for t in tables {
         t.emit(None).expect("write results");

@@ -8,7 +8,10 @@
 //! * [`ablations`] — design-choice studies: condensed-matrix linkage,
 //!   group-size threshold, bound ingredients (maxmin, UPGMM), and the
 //!   3-3 rule's strength.
+//! * [`frontier`] — the sharded work-stealing frontier against the
+//!   retired global-mutex pool, at 1/2/4/8 worker threads.
 
 pub mod ablations;
+pub mod frontier;
 pub mod hpcasia;
 pub mod pact;

@@ -293,6 +293,21 @@ pub enum SearchEvent {
         /// Why the search is stopping.
         reason: StopReason,
     },
+    /// A starved worker stole a batch of open nodes from an overflow
+    /// shard (parallel drivers only).
+    Stolen {
+        /// Nodes taken — half the victim shard's queue, at least one.
+        nodes: usize,
+    },
+    /// A loaded worker donated surplus open nodes to its overflow shard
+    /// because a peer was parked waiting for work.
+    Donated {
+        /// Nodes donated — the bottom half of the worker's local stack.
+        nodes: usize,
+    },
+    /// A worker found every shard empty and parked on the frontier's
+    /// eventcount until the next donation or the end of the search.
+    Parked,
 }
 
 /// Receives [`SearchEvent`]s from the kernel. The unit type `()` is the

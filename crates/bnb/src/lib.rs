@@ -13,12 +13,15 @@
 //! * run [`solve_sequential`] for the classic depth-first search, or
 //!   [`solve_parallel`] for the master/slave scheme of the PaCT 2005 /
 //!   HPC Asia 2005 papers — a shared atomic upper bound every worker sees
-//!   immediately, per-worker *local pools* searched depth-first, and a
-//!   *global pool* used both to seed the workers (the master pre-branches
-//!   until `2 × workers` open nodes exist, sorts them by lower bound and
-//!   deals them cyclically) and to rebalance load (an idle worker pulls
-//!   from the global pool; a loaded worker donates its most promising
-//!   pending node whenever the global pool runs dry).
+//!   immediately, per-worker *local stacks* searched depth-first, and a
+//!   [sharded work-stealing frontier](frontier) for load balancing: the
+//!   master pre-branches until `2 × workers` open nodes exist, sorts them
+//!   by lower bound and deals them cyclically; a worker whose stack
+//!   drains steals half a batch from a sharded overflow pool, and a
+//!   loaded worker donates its shallowest nodes in batches whenever a
+//!   peer is parked waiting. The per-node expansion fast path acquires
+//!   no lock, and termination is an atomic in-flight node counter with
+//!   eventcount parking — no timed polling anywhere.
 //!
 //! Because a better incumbent found by *any* worker immediately tightens
 //! pruning in *all* workers, the parallel search can visit strictly fewer
@@ -33,8 +36,9 @@
 //! and always return the best incumbent found with an accurate
 //! [`StopReason`] in [`SearchOutcome::stop`]. The parallel driver also
 //! isolates panics raised inside [`Problem`] callbacks: a panicking worker
-//! deregisters itself and wakes every waiter, so the run drains without
-//! deadlocking and reports [`StopReason::WorkerPanicked`] while keeping
+//! closes the frontier on its way out, waking every parked peer, so the
+//! run drains without deadlocking and reports
+//! [`StopReason::WorkerPanicked`] while keeping
 //! all previously published incumbents. The [`fault`] module provides a
 //! deterministic fault-injection wrapper used to test exactly these
 //! properties.
@@ -85,6 +89,7 @@
 
 mod cancel;
 pub mod fault;
+pub mod frontier;
 pub mod kernel;
 mod parallel;
 mod pool;
@@ -94,8 +99,11 @@ mod shared_bound;
 mod trace;
 
 pub use cancel::CancelToken;
+pub use frontier::{ShardedFrontier, WorkerFrontier};
 pub use kernel::{sanitize_lb, ChildBuf, Incumbents, PruneReason, SearchEvent, SearchObserver};
-pub use parallel::{solve_parallel, solve_parallel_observed, solve_parallel_pooled};
+pub use parallel::{
+    solve_parallel, solve_parallel_global, solve_parallel_observed, solve_parallel_pooled,
+};
 pub use pool::{PoolJob, WorkerPool};
 pub use problem::{
     Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason, Strategy,

@@ -1,8 +1,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
 
+use crate::frontier::{ShardedFrontier, WorkerFrontier};
 use crate::kernel::{
     sanitize_lb, AtomicBudget, BreadthFirstFrontier, DepthFirstFrontier, Expander, Frontier,
     IncumbentSink, Incumbents, SearchObserver, Step,
@@ -11,12 +11,6 @@ use crate::pool::{PoolJob, WorkerPool};
 use crate::{
     Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, SharedBound, StopReason,
 };
-
-/// How long a starved worker sleeps on the condvar before re-checking the
-/// stop flags. A missed wakeup (e.g. a peer that panicked before its
-/// `notify_all`) therefore delays termination by at most this much instead
-/// of hanging forever.
-const IDLE_WAIT: Duration = Duration::from_millis(25);
 
 /// Compact first-wins encoding of the early-stop reason; `0` = running.
 const STOP_NONE: u8 = 0;
@@ -41,19 +35,11 @@ fn decode_stop(v: u8) -> StopReason {
     }
 }
 
-struct PoolState<N> {
-    global: Vec<N>,
-    /// Workers currently blocked waiting for global work.
-    idle: usize,
-    /// Workers still running (panicked workers deregister themselves so
-    /// the `idle == alive` termination test stays reachable).
-    alive: usize,
-    done: bool,
-}
-
+/// Everything one parallel search shares between its workers: the
+/// work-stealing frontier, the atomic bound, the global branch budget,
+/// the stop flag and the publish-immediately solution list.
 struct Shared<N, S> {
-    state: Mutex<PoolState<N>>,
-    cv: Condvar,
+    frontier: ShardedFrontier<N>,
     bound: SharedBound,
     branches: AtomicU64,
     /// First early-stop reason to fire, `STOP_NONE` while running.
@@ -64,14 +50,20 @@ struct Shared<N, S> {
 }
 
 impl<N, S> Shared<N, S> {
-    /// Locks the pool state, tolerating poison: a panicking worker runs
-    /// its unwind path while holding no invariant broken — the state is a
-    /// plain work list, safe to keep using.
-    fn lock_state(&self) -> MutexGuard<'_, PoolState<N>> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    fn new(frontier: ShardedFrontier<N>, bound: SharedBound, branches: AtomicU64) -> Self {
+        Shared {
+            frontier,
+            bound,
+            branches,
+            stop: AtomicU8::new(STOP_NONE),
+            found: Mutex::new(Vec::new()),
+        }
     }
 
-    /// Records `reason` if no earlier stop fired, then wakes everyone.
+    /// Records `reason` if no earlier stop fired, then closes the
+    /// frontier, which wakes every parked worker. Safe to call from a
+    /// panic's unwind path: the frontier's in-flight counter needs no
+    /// repair, because closing overrides it.
     fn request_stop(&self, reason: StopReason) {
         let _ = self.stop.compare_exchange(
             STOP_NONE,
@@ -79,9 +71,7 @@ impl<N, S> Shared<N, S> {
             Ordering::AcqRel,
             Ordering::Acquire,
         );
-        let mut st = self.lock_state();
-        st.done = true;
-        self.cv.notify_all();
+        self.frontier.close();
     }
 
     fn stop_reason(&self) -> StopReason {
@@ -92,68 +82,15 @@ impl<N, S> Shared<N, S> {
         self.stop.load(Ordering::Acquire) != STOP_NONE
     }
 
-    /// Blocks until global work is available or the search has finished.
-    fn fetch_global(&self) -> Option<N> {
-        let mut st = self.lock_state();
-        loop {
-            if st.done {
-                return None;
-            }
-            if let Some(n) = st.global.pop() {
-                return Some(n);
-            }
-            st.idle += 1;
-            if st.idle >= st.alive {
-                // Everyone still alive is out of work: the search is over.
-                st.done = true;
-                self.cv.notify_all();
-                return None;
-            }
-            // Bounded wait so a missed notification (worker panic between
-            // its last donation and its unwind) degrades to a short poll,
-            // never a hang.
-            let (g, _) = self
-                .cv
-                .wait_timeout(st, IDLE_WAIT)
-                .unwrap_or_else(|e| e.into_inner());
-            st = g;
-            if st.done {
-                return None;
-            }
-            st.idle -= 1;
-        }
-    }
-
-    /// Registers a late-starting worker (pooled driver only; the scoped
-    /// driver knows its worker count up front). Returns `false` when the
-    /// search has already finished — the worker must exit without touching
-    /// the pool, because the `idle == alive` termination test has already
-    /// fired without it.
-    fn register_worker(&self) -> bool {
-        let mut st = self.lock_state();
-        if st.done {
-            return false;
-        }
-        st.alive += 1;
-        true
-    }
-
-    /// Deregisters a panicked worker and wakes all waiters so the idle
-    /// count converges without it.
-    fn abandon_worker(&self) {
-        let mut st = self.lock_state();
-        st.alive = st.alive.saturating_sub(1);
-        if st.idle >= st.alive {
-            st.done = true;
-        }
-        self.cv.notify_all();
-    }
-
     fn publish(&self, value: f64, solution: S) {
         self.found
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push((value, solution));
+    }
+
+    fn take_found(&self) -> Vec<(f64, S)> {
+        std::mem::take(&mut self.found.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -178,33 +115,48 @@ impl<S: Clone> IncumbentSink<S> for SeedSink<'_, S> {
     }
 }
 
-/// A worker's sink: prunes against the shared atomic bound and publishes
-/// accepted solutions immediately, so a later panic loses nothing.
-struct WorkerSink<'a, N, S> {
-    shared: &'a Shared<N, S>,
+/// A worker's sink: prunes against a shared atomic bound and publishes
+/// accepted solutions immediately, so a later panic loses nothing. Used
+/// by both the sharded driver and the global-pool baseline, which share
+/// the bound/publish half of the machinery.
+struct WorkerSink<'a, S, F: Fn(f64, S)> {
+    bound: &'a SharedBound,
+    publish: F,
     opts: &'a SearchOptions,
+    _marker: std::marker::PhantomData<S>,
 }
 
-impl<N, S> IncumbentSink<S> for WorkerSink<'_, N, S> {
+impl<'a, S, F: Fn(f64, S)> WorkerSink<'a, S, F> {
+    fn new(bound: &'a SharedBound, opts: &'a SearchOptions, publish: F) -> Self {
+        WorkerSink {
+            bound,
+            publish,
+            opts,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, F: Fn(f64, S)> IncumbentSink<S> for WorkerSink<'_, S, F> {
     fn current_ub(&self) -> f64 {
-        self.shared.bound.get()
+        self.bound.get()
     }
 
     fn accept(&mut self, value: f64, solution: S) -> bool {
         match self.opts.mode {
             SearchMode::BestOne => {
-                if self.shared.bound.try_improve(value) {
-                    self.shared.publish(value, solution);
+                if self.bound.try_improve(value) {
+                    (self.publish)(value, solution);
                     true
                 } else {
                     false
                 }
             }
             SearchMode::AllOptimal => {
-                let ub = self.shared.bound.get();
+                let ub = self.bound.get();
                 if value <= ub + self.opts.eps(ub) {
-                    self.shared.publish(value, solution);
-                    self.shared.bound.try_improve(value)
+                    (self.publish)(value, solution);
+                    self.bound.try_improve(value)
                 } else {
                     false
                 }
@@ -220,19 +172,23 @@ impl<N, S> IncumbentSink<S> for WorkerSink<'_, N, S> {
 ///    the tree breadth-first until at least `2 × workers` open nodes exist
 ///    (Step 5);
 /// 2. open nodes are sorted by lower bound and dealt cyclically to the
-///    workers' local pools (Step 6);
-/// 3. every worker runs depth-first on its local pool (Step 7), pruning
+///    workers' local stacks (Step 6);
+/// 3. every worker runs depth-first on its local stack (Step 7), pruning
 ///    against the *shared* upper bound, which any improvement updates
 ///    atomically — the thread analogue of broadcasting the global UB;
-/// 4. a worker whose local pool drains pulls from the global pool; when
-///    the global pool is empty, loaded workers donate their most promising
-///    pending node, so nobody idles while work remains;
-/// 5. when all workers are idle and the global pool is empty the search
-///    terminates and the master gathers solutions (Step 8).
+/// 4. load balancing is work stealing over a
+///    [sharded frontier](crate::frontier): a worker whose stack drains
+///    steals half a batch from a sharded overflow pool, and a loaded
+///    worker donates its shallowest nodes in batches whenever a peer is
+///    parked — nobody idles while work remains, and the per-node fast
+///    path never touches a lock;
+/// 5. when the frontier's in-flight node counter reaches zero the search
+///    is exhausted; the last worker closes the frontier and the master
+///    gathers solutions (Step 8).
 ///
 /// Both the seeding phase and the workers run the shared
 /// [expansion kernel](crate::kernel); only the scheduling around it (the
-/// pools, the shared bound, the stop flags) lives here.
+/// frontier, the shared bound, the stop flags) lives here.
 ///
 /// With `workers == 1` this degenerates to (slightly buffered) sequential
 /// search; results are always identical in optimum value to
@@ -246,10 +202,11 @@ impl<N, S> IncumbentSink<S> for WorkerSink<'_, N, S> {
 ///   cooperatively by every worker; the first to notice stops the whole
 ///   search, and the outcome keeps the best incumbent published so far;
 /// * a panic in one worker (i.e. in the [`Problem`] implementation) is
-///   caught, the worker deregisters itself and wakes all waiters, and the
-///   run drains cleanly with [`StopReason::WorkerPanicked`] — never a
-///   deadlock, and never losing incumbents already published, because
-///   workers publish each accepted solution immediately;
+///   caught; the worker closes the frontier on its way out, which wakes
+///   every parked peer, and the run drains cleanly with
+///   [`StopReason::WorkerPanicked`] — never a deadlock, and never losing
+///   incumbents already published, because workers publish each accepted
+///   solution immediately;
 /// * NaN lower bounds never prune (they are treated as `-∞`) and NaN
 ///   objective values are rejected, so a numerically degenerate problem
 ///   degrades to extra work instead of wrong answers.
@@ -310,6 +267,7 @@ where
         .map(|n| (sanitize_lb(problem.lower_bound(&n)), n))
         .collect();
     seeds.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let seed_count = seeds.len() as u64;
     let mut locals: Vec<Vec<P::Node>> = (0..workers).map(|_| Vec::new()).collect();
     for (i, (_, node)) in seeds.into_iter().enumerate() {
         locals[i % workers].push(node);
@@ -319,19 +277,11 @@ where
         lp.reverse();
     }
 
-    let shared: Shared<P::Node, P::Solution> = Shared {
-        state: Mutex::new(PoolState {
-            global: Vec::new(),
-            idle: 0,
-            alive: workers,
-            done: false,
-        }),
-        cv: Condvar::new(),
-        bound,
-        branches,
-        stop: AtomicU8::new(STOP_NONE),
-        found: Mutex::new(Vec::new()),
-    };
+    let shared: Shared<P::Node, P::Solution> =
+        Shared::new(ShardedFrontier::for_workers(workers), bound, branches);
+    // Charge the pre-dealt seeds before any worker starts, so the
+    // in-flight counter can never transiently read zero mid-search.
+    shared.frontier.charge(seed_count);
 
     // --- Worker phase.
     let worker_stats: Vec<Option<SearchStats>> = std::thread::scope(|scope| {
@@ -350,7 +300,6 @@ where
                             // isolation means the search result reports the
                             // fault, it does not re-raise it.
                             shared.request_stop(StopReason::WorkerPanicked);
-                            shared.abandon_worker();
                             None
                         }
                     }
@@ -369,7 +318,7 @@ where
         stats.merge(&wstats);
     }
     let mut all = master_inc.solutions;
-    all.append(&mut shared.found.lock().unwrap_or_else(|e| e.into_inner()));
+    all.append(&mut shared.take_found());
     gather(opts, stats, all, shared.stop_reason())
 }
 
@@ -386,13 +335,17 @@ where
 ///
 /// * the problem is `Arc`-shared because pool jobs are `'static` and may
 ///   outlive this stack frame (they self-terminate once the search ends);
-/// * seeds all go to the global pool (sorted so the most promising pops
-///   first) rather than being dealt to per-worker local pools — pool jobs
-///   start at staggered times, and a pre-dealt local pool whose job never
-///   ran before the search drained would orphan its nodes;
-/// * workers register themselves on start and the termination test counts
-///   only registered workers, so the search completes even if the pool is
-///   too busy to ever run some jobs (the calling thread alone suffices).
+/// * seeds are dealt round-robin into the frontier's overflow shards
+///   (sorted so each shard's front holds its most promising node) rather
+///   than into per-worker local stacks — pool jobs start at staggered
+///   times and steal their first batch when they arrive, so a job that
+///   never runs orphans nothing;
+/// * termination needs no worker registration at all: the frontier's
+///   in-flight counter reaches zero when the tree is exhausted, whether
+///   one thread drained it or eight did, so the search completes even if
+///   the pool is too busy to ever run some jobs (the calling thread alone
+///   suffices) and a job arriving after the search drained exits
+///   immediately on the closed frontier.
 ///
 /// The optimum value is identical to [`solve_sequential`] /
 /// [`solve_parallel`] for completed runs, as always with a shared exact
@@ -434,37 +387,24 @@ where
         );
     }
 
-    // All seeds go straight to the global pool; sort descending so the
-    // most promising (lowest bound) node pops first off the stack.
+    // Seeds go to the overflow shards, most promising first, so the first
+    // steal each worker performs grabs the best available batch.
     let mut seeds: Vec<(f64, P::Node)> = seed
         .frontier
         .into_vec()
         .into_iter()
         .map(|n| (sanitize_lb(problem.lower_bound(&n)), n))
         .collect();
-    seeds.sort_by(|a, b| b.0.total_cmp(&a.0));
-    let global: Vec<P::Node> = seeds.into_iter().map(|(_, n)| n).collect();
+    seeds.sort_by(|a, b| a.0.total_cmp(&b.0));
 
-    let shared: Arc<Shared<P::Node, P::Solution>> = Arc::new(Shared {
-        state: Mutex::new(PoolState {
-            global,
-            idle: 0,
-            // Dynamic registration: workers count themselves in as their
-            // jobs actually start (see `register_worker`).
-            alive: 0,
-            done: false,
-        }),
-        cv: Condvar::new(),
+    let shared: Arc<Shared<P::Node, P::Solution>> = Arc::new(Shared::new(
+        ShardedFrontier::for_workers(workers),
         bound,
         branches,
-        stop: AtomicU8::new(STOP_NONE),
-        found: Mutex::new(Vec::new()),
-    });
-
-    // The calling thread is always a worker; register it before any pool
-    // job can observe the state, so `alive` is never 0 mid-search.
-    let registered = shared.register_worker();
-    debug_assert!(registered, "fresh pool cannot be done");
+    ));
+    shared
+        .frontier
+        .seed(seeds.into_iter().map(|(_, n)| n).collect());
 
     let opts_shared = Arc::new(opts.clone());
     let pooled_stats: Arc<Mutex<Vec<SearchStats>>> = Arc::new(Mutex::new(Vec::new()));
@@ -477,17 +417,14 @@ where
             let mut obs = observer.clone();
             Box::new(move || {
                 // A late starter skips a search that already drained.
-                if !shared.register_worker() {
+                if shared.frontier.is_closed() {
                     return;
                 }
                 match catch_unwind(AssertUnwindSafe(|| {
                     run_worker(&*problem, &opts, &shared, Vec::new(), &mut obs)
                 })) {
                     Ok(st) => stats.lock().unwrap_or_else(|e| e.into_inner()).push(st),
-                    Err(_) => {
-                        shared.request_stop(StopReason::WorkerPanicked);
-                        shared.abandon_worker();
-                    }
+                    Err(_) => shared.request_stop(StopReason::WorkerPanicked),
                 }
             }) as PoolJob
         })
@@ -504,7 +441,6 @@ where
                 Ok(st) => Some(st),
                 Err(_) => {
                     shared.request_stop(StopReason::WorkerPanicked);
-                    shared.abandon_worker();
                     None
                 }
             };
@@ -523,7 +459,7 @@ where
         stats.merge(ws);
     }
     let mut all = master_inc.solutions;
-    all.append(&mut shared.found.lock().unwrap_or_else(|e| e.into_inner()));
+    all.append(&mut shared.take_found());
     gather(opts, stats, all, shared.stop_reason())
 }
 
@@ -634,6 +570,12 @@ fn gather<S>(
     }
 }
 
+/// One worker's scheduling loop around the expansion kernel: dive
+/// depth-first on the local stack; when it drains, steal from the
+/// frontier's overflow shards or park; after every expansion, donate
+/// surplus if a peer is parked. The per-node fast path (pop → expand →
+/// finish) performs no mutex acquisition — shared state is touched only
+/// at steal/donate batch boundaries.
 fn run_worker<P: Problem, O: SearchObserver>(
     problem: &P,
     opts: &SearchOptions,
@@ -642,9 +584,9 @@ fn run_worker<P: Problem, O: SearchObserver>(
     observer: &mut O,
 ) -> SearchStats {
     let mut exp = Expander::new(problem, opts);
-    let mut frontier = DepthFirstFrontier::from_vec(lp);
+    let mut frontier = WorkerFrontier::new(&shared.frontier, lp);
     let mut budget = AtomicBudget::new(&shared.branches, opts.max_branches);
-    let mut sink = WorkerSink { shared, opts };
+    let mut sink = WorkerSink::new(&shared.bound, opts, |v, s| shared.publish(v, s));
     loop {
         if shared.stopping() {
             break;
@@ -655,12 +597,265 @@ fn run_worker<P: Problem, O: SearchObserver>(
         }
         let node = match frontier.pop() {
             Some(n) => n,
+            None => match frontier.acquire(observer) {
+                Some(n) => n,
+                None => break,
+            },
+        };
+        let step = exp.expand(&node, &mut sink, &mut budget, &mut frontier, observer);
+        // The node's expansion is complete: convert its in-flight unit
+        // into the absorbed children's, in one netted atomic transition.
+        // The worker whose settle takes the counter to zero ends the
+        // whole search.
+        frontier.settle();
+        match step {
+            Step::Stopped(reason) => {
+                shared.request_stop(reason);
+                break;
+            }
+            Step::Branched { .. } => {
+                exp.recycle(node);
+                frontier.maybe_donate(observer);
+            }
+            _ => exp.recycle(node),
+        }
+    }
+    let mut stats = exp.stats();
+    stats.steals = frontier.steals;
+    stats.donations = frontier.donations;
+    stats.parks = frontier.parks;
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// Global-mutex baseline
+// ---------------------------------------------------------------------------
+
+/// State of the baseline's single global pool.
+struct GlobalPool<N> {
+    global: Vec<N>,
+    /// Workers currently blocked waiting for global work.
+    idle: usize,
+    /// Workers still running (panicked workers deregister themselves so
+    /// the `idle == alive` termination test stays reachable).
+    alive: usize,
+    done: bool,
+}
+
+/// The first-generation driver's shared state: one mutex-guarded pool,
+/// one condvar. Every donation and every starved worker serializes here —
+/// which is exactly what the `exp_frontier` benchmark measures against.
+struct GlobalShared<N, S> {
+    state: Mutex<GlobalPool<N>>,
+    cv: Condvar,
+    bound: SharedBound,
+    branches: AtomicU64,
+    stop: AtomicU8,
+    found: Mutex<Vec<(f64, S)>>,
+}
+
+impl<N, S> GlobalShared<N, S> {
+    fn lock_state(&self) -> MutexGuard<'_, GlobalPool<N>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn request_stop(&self, reason: StopReason) {
+        let _ = self.stop.compare_exchange(
+            STOP_NONE,
+            encode_stop(reason),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        let mut st = self.lock_state();
+        st.done = true;
+        self.cv.notify_all();
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire) != STOP_NONE
+    }
+
+    /// Blocks until global work is available or the search has finished.
+    /// The wait is untimed: every transition that could end the wait
+    /// (donation, stop, panic deregistration) mutates the state and
+    /// notifies *while holding the state mutex*, so no wakeup can be
+    /// missed and no poll interval is needed.
+    fn fetch_global(&self) -> Option<N> {
+        let mut st = self.lock_state();
+        loop {
+            if st.done {
+                return None;
+            }
+            if let Some(n) = st.global.pop() {
+                return Some(n);
+            }
+            st.idle += 1;
+            if st.idle >= st.alive {
+                // Everyone still alive is out of work: the search is over.
+                st.done = true;
+                self.cv.notify_all();
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            if st.done {
+                return None;
+            }
+            st.idle -= 1;
+        }
+    }
+
+    /// Deregisters a panicked worker and wakes all waiters so the idle
+    /// count converges without it.
+    fn abandon_worker(&self) {
+        let mut st = self.lock_state();
+        st.alive = st.alive.saturating_sub(1);
+        if st.idle >= st.alive {
+            st.done = true;
+        }
+        self.cv.notify_all();
+    }
+
+    fn publish(&self, value: f64, solution: S) {
+        self.found
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((value, solution));
+    }
+}
+
+/// The retired first-generation parallel driver: one global
+/// `Mutex<Vec<N>>` pool with per-node donation and a condvar for starved
+/// workers. Kept (with the old timed poll replaced by a correctly
+/// synchronized untimed wait) **only** as the contention baseline for the
+/// `exp_frontier` benchmark and the agreement tests; production callers
+/// should use [`solve_parallel`], which runs the sharded work-stealing
+/// frontier instead.
+pub fn solve_parallel_global<P: Problem>(
+    problem: &P,
+    opts: &SearchOptions,
+    workers: usize,
+) -> SearchOutcome<P::Solution> {
+    assert!(workers >= 1, "need at least one worker");
+    let mut master_inc = Incumbents::new(opts);
+    let bound = SharedBound::unbounded();
+    let branches = AtomicU64::new(0);
+    let seed = seed_phase(
+        problem,
+        opts,
+        workers,
+        &mut master_inc,
+        &bound,
+        &branches,
+        &mut (),
+    );
+
+    if seed.frontier.is_empty() || seed.early_stop.is_some() {
+        return gather(
+            opts,
+            seed.stats,
+            master_inc.solutions,
+            seed.early_stop.unwrap_or(StopReason::Completed),
+        );
+    }
+
+    let mut seeds: Vec<(f64, P::Node)> = seed
+        .frontier
+        .into_vec()
+        .into_iter()
+        .map(|n| (sanitize_lb(problem.lower_bound(&n)), n))
+        .collect();
+    seeds.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut locals: Vec<Vec<P::Node>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, (_, node)) in seeds.into_iter().enumerate() {
+        locals[i % workers].push(node);
+    }
+    for lp in &mut locals {
+        lp.reverse();
+    }
+
+    let shared: GlobalShared<P::Node, P::Solution> = GlobalShared {
+        state: Mutex::new(GlobalPool {
+            global: Vec::new(),
+            idle: 0,
+            alive: workers,
+            done: false,
+        }),
+        cv: Condvar::new(),
+        bound,
+        branches,
+        stop: AtomicU8::new(STOP_NONE),
+        found: Mutex::new(Vec::new()),
+    };
+
+    let worker_stats: Vec<Option<SearchStats>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = locals
+            .into_iter()
+            .map(|lp| {
+                let shared = &shared;
+                scope.spawn(move || {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        run_global_worker(problem, opts, shared, lp)
+                    })) {
+                        Ok(stats) => Some(stats),
+                        Err(_) => {
+                            shared.request_stop(StopReason::WorkerPanicked);
+                            shared.abandon_worker();
+                            None
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(None))
+            .collect()
+    });
+
+    let mut stats = seed.stats;
+    for wstats in worker_stats.into_iter().flatten() {
+        stats.merge(&wstats);
+    }
+    let mut all = master_inc.solutions;
+    all.append(&mut shared.found.lock().unwrap_or_else(|e| e.into_inner()));
+    gather(
+        opts,
+        stats,
+        all,
+        decode_stop(shared.stop.load(Ordering::Acquire)),
+    )
+}
+
+/// The baseline worker loop: depth-first on the local stack, global-pool
+/// fetch when it drains, one-node donation under the global mutex — the
+/// pre-sharding hot path, with a mutex acquisition per expansion whenever
+/// any peer is idle.
+fn run_global_worker<P: Problem>(
+    problem: &P,
+    opts: &SearchOptions,
+    shared: &GlobalShared<P::Node, P::Solution>,
+    lp: Vec<P::Node>,
+) -> SearchStats {
+    let mut exp = Expander::new(problem, opts);
+    let mut frontier = DepthFirstFrontier::from_vec(lp);
+    let mut budget = AtomicBudget::new(&shared.branches, opts.max_branches);
+    let mut sink = WorkerSink::new(&shared.bound, opts, |v, s| shared.publish(v, s));
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        if let Some(reason) = exp.poll_stop(&mut ()) {
+            shared.request_stop(reason);
+            break;
+        }
+        let node = match frontier.pop() {
+            Some(n) => n,
             None => match shared.fetch_global() {
                 Some(n) => n,
                 None => break,
             },
         };
-        match exp.expand(&node, &mut sink, &mut budget, &mut frontier, observer) {
+        match exp.expand(&node, &mut sink, &mut budget, &mut frontier, &mut ()) {
             Step::Stopped(reason) => {
                 shared.request_stop(reason);
                 break;
@@ -739,6 +934,18 @@ mod tests {
             let par = solve_parallel(&p, &opts, workers);
             assert_eq!(seq.best_value, par.best_value, "workers = {workers}");
             assert_eq!(par.solutions.len(), 1);
+            assert!(par.is_complete());
+        }
+    }
+
+    #[test]
+    fn global_baseline_matches_sequential_optimum() {
+        let p = problem(10);
+        for workers in [1, 2, 4] {
+            let opts = SearchOptions::new(SearchMode::BestOne);
+            let seq = solve_sequential(&p, &opts);
+            let par = solve_parallel_global(&p, &opts, workers);
+            assert_eq!(seq.best_value, par.best_value, "workers = {workers}");
             assert!(par.is_complete());
         }
     }
@@ -843,6 +1050,27 @@ mod tests {
         for _ in 0..25 {
             let out = solve_parallel(&p, &SearchOptions::new(SearchMode::BestOne), 4);
             assert_eq!(out.best_value, Some(0.0));
+        }
+    }
+
+    #[test]
+    fn eight_worker_stress_conserves_the_tree() {
+        // With every weight zero and AllOptimal pruning (`lb > ub + ε`
+        // never fires at lb = ub = 0), nothing prunes: the driver must
+        // expand the complete binary tree, so the counters give an exact
+        // conservation oracle across steals and donations — no node
+        // lost, none expanded twice.
+        let depth = 12u32;
+        let p = WeightedBits {
+            weights: vec![0.0; depth as usize],
+        };
+        let opts = SearchOptions::new(SearchMode::AllOptimal);
+        for _ in 0..5 {
+            let out = solve_parallel(&p, &opts, 8);
+            assert!(out.is_complete());
+            assert_eq!(out.stats.solutions_seen, 1u64 << depth);
+            assert_eq!(out.stats.branched, (1u64 << depth) - 1);
+            assert_eq!(out.solutions.len(), 1 << depth);
         }
     }
 

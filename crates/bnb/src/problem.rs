@@ -237,6 +237,15 @@ pub struct SearchStats {
     pub incumbent_updates: u64,
     /// Largest number of nodes simultaneously alive in the pools.
     pub peak_pool: u64,
+    /// Work-stealing traffic: batches stolen from overflow shards by
+    /// starved workers (parallel drivers only; zero elsewhere).
+    pub steals: u64,
+    /// Work-stealing traffic: surplus batches donated to overflow shards
+    /// for parked peers (parallel drivers only; zero elsewhere).
+    pub donations: u64,
+    /// Times a worker parked with every shard empty — high values mean
+    /// the search is starved for parallelism, not compute.
+    pub parks: u64,
 }
 
 impl SearchStats {
@@ -247,6 +256,9 @@ impl SearchStats {
         self.solutions_seen += other.solutions_seen;
         self.incumbent_updates += other.incumbent_updates;
         self.peak_pool = self.peak_pool.max(other.peak_pool);
+        self.steals += other.steals;
+        self.donations += other.donations;
+        self.parks += other.parks;
     }
 }
 

@@ -286,7 +286,7 @@ mod tests {
                     SearchEvent::NodeExpanded { .. } => self.expanded += 1,
                     SearchEvent::Pruned { .. } => self.pruned += 1,
                     SearchEvent::IncumbentImproved { .. } => self.improved += 1,
-                    SearchEvent::Stopped { .. } => {}
+                    _ => {}
                 }
             }
         }

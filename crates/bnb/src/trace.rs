@@ -82,6 +82,21 @@ impl SearchObserver for LoggingObserver {
             SearchEvent::Stopped { reason } => {
                 eprintln!("trace: event=stop reason={reason:?}");
             }
+            SearchEvent::Stolen { nodes } => {
+                if self.level >= TraceLevel::All {
+                    eprintln!("trace: event=steal nodes={nodes}");
+                }
+            }
+            SearchEvent::Donated { nodes } => {
+                if self.level >= TraceLevel::All {
+                    eprintln!("trace: event=donate nodes={nodes}");
+                }
+            }
+            SearchEvent::Parked => {
+                if self.level >= TraceLevel::All {
+                    eprintln!("trace: event=park");
+                }
+            }
         }
     }
 }

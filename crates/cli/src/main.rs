@@ -265,6 +265,13 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
         sol.stats.incumbent_updates,
         sol.stats.peak_pool
     );
+    // Work-stealing contention counters (all zero for sequential runs):
+    // high park counts mean workers starve, high steal/donation counts
+    // mean the load balancer is actually moving batches.
+    println!(
+        "steals: {}  donations: {}  parks: {}",
+        sol.stats.steals, sol.stats.donations, sol.stats.parks
+    );
     if let Some(sim) = &sol.sim {
         println!(
             "virtual makespan: {:.6}s  messages: {}",

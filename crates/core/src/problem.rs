@@ -49,8 +49,33 @@ pub struct MutProblem {
     m: DistanceMatrix,
     /// `suffix[k]` = Σ_{t=k}^{n−1} min_{i<t} M[i,t] / 2; `suffix[n]` = 0.
     suffix: Vec<f64>,
+    /// Memoized 3-3 close pairs, one byte per triple `i < j < s` at index
+    /// `C(s,3) + C(j,2) + i` (see [`triple_index`]); empty when the rule
+    /// is [`ThreeThree::Off`]. The matrix never changes after
+    /// construction, so `close_pair_in_matrix` is pure — one `O(n³)`
+    /// precompute here replaces a distance-comparison triple per checked
+    /// topology per node expansion.
+    close_pairs: Vec<u8>,
     three_three: ThreeThree,
     use_upgmm: bool,
+}
+
+/// No strict close pair: the triple constrains nothing.
+const CLOSE_NONE: u8 = 0;
+/// The close pair is `(i, j)` — the earlier two species.
+const CLOSE_EARLIER: u8 = 1;
+/// The close pair is `(i, s)` — the newest species with the lower one.
+const CLOSE_WITH_LOW: u8 = 2;
+/// The close pair is `(j, s)` — the newest species with the higher one.
+const CLOSE_WITH_HIGH: u8 = 3;
+
+/// Flat index of the sorted triple `i < j < s`: triples with maximum
+/// element `< s` occupy the first `C(s,3)` slots, those with maximum `s`
+/// and middle `< j` the next `C(j,2)`, then `i` picks the slot.
+#[inline]
+fn triple_index(i: usize, j: usize, s: usize) -> usize {
+    debug_assert!(i < j && j < s);
+    s * (s - 1) * (s - 2) / 6 + j * (j - 1) / 2 + i
 }
 
 impl MutProblem {
@@ -68,9 +93,29 @@ impl MutProblem {
             let minrow = (0..t).map(|i| m.get(i, t)).fold(f64::INFINITY, f64::min);
             suffix[t] = suffix[t + 1] + minrow / 2.0;
         }
+        let close_pairs = if matches!(three_three, ThreeThree::Off) {
+            Vec::new()
+        } else {
+            let mut table = vec![CLOSE_NONE; n * n.saturating_sub(1) * n.saturating_sub(2) / 6];
+            for s in 2..n {
+                for j in 1..s {
+                    for i in 0..j {
+                        table[triple_index(i, j, s)] =
+                            match triples::close_pair_in_matrix(m, i, j, s) {
+                                None => CLOSE_NONE,
+                                Some(cp) if cp == (i, j) => CLOSE_EARLIER,
+                                Some(cp) if cp == (i, s) => CLOSE_WITH_LOW,
+                                Some(_) => CLOSE_WITH_HIGH,
+                            };
+                    }
+                }
+            }
+            table
+        };
         MutProblem {
             m: m.clone(),
             suffix,
+            close_pairs,
             three_three,
             use_upgmm,
         }
@@ -87,26 +132,22 @@ impl MutProblem {
 
     /// Checks the 3-3 rule for the species inserted last: every triple
     /// `(i, j, s)` with a strict matrix close pair must be resolved the
-    /// same way by the topology. `O(k²)` via the root-path orders of `s`.
+    /// same way by the topology. `O(k²)` table lookups via the root-path
+    /// orders of `s` — the close pairs themselves were memoized at
+    /// construction, so no distance comparison runs per node expansion.
     fn three_three_ok(&self, t: &PartialTree) -> bool {
         let s = t.leaves_inserted() - 1;
         let order = t.root_path_orders();
         for i in 0..s {
             for j in (i + 1)..s {
-                match triples::close_pair_in_matrix(&self.m, i, j, s) {
-                    None => {}
-                    Some(cp) => {
-                        let ok = if cp == (i, j) {
-                            order[i] == order[j]
-                        } else if cp == (i, s) {
-                            order[i] < order[j]
-                        } else {
-                            order[j] < order[i]
-                        };
-                        if !ok {
-                            return false;
-                        }
-                    }
+                let ok = match self.close_pairs[triple_index(i, j, s)] {
+                    CLOSE_NONE => continue,
+                    CLOSE_EARLIER => order[i] == order[j],
+                    CLOSE_WITH_LOW => order[i] < order[j],
+                    _ => order[j] < order[i],
+                };
+                if !ok {
+                    return false;
                 }
             }
         }
@@ -315,6 +356,38 @@ mod tests {
         // nodes sit at height 3, so ω = 3 + 3 + 3 + 0.
         assert_eq!(out.solutions.len(), 3);
         assert!((out.best_value.unwrap() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn close_pair_table_matches_direct_computation() {
+        // Include a matrix with ties so the CLOSE_NONE arm is exercised.
+        let tied = DistanceMatrix::from_rows(&[
+            vec![0.0, 6.0, 6.0, 2.0],
+            vec![6.0, 0.0, 6.0, 7.0],
+            vec![6.0, 6.0, 0.0, 4.0],
+            vec![2.0, 7.0, 4.0, 0.0],
+        ])
+        .unwrap();
+        for m in [m5(), tied] {
+            let p = MutProblem::new(&m, ThreeThree::Full, false);
+            for s in 2..m.len() {
+                for j in 1..s {
+                    for i in 0..j {
+                        let expected = match triples::close_pair_in_matrix(&m, i, j, s) {
+                            None => CLOSE_NONE,
+                            Some(cp) if cp == (i, j) => CLOSE_EARLIER,
+                            Some(cp) if cp == (i, s) => CLOSE_WITH_LOW,
+                            Some(_) => CLOSE_WITH_HIGH,
+                        };
+                        assert_eq!(
+                            p.close_pairs[triple_index(i, j, s)],
+                            expected,
+                            "triple ({i},{j},{s})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
