@@ -1,5 +1,5 @@
 //! Runs every experiment in sequence (the full evaluation).
-use mutree_bench::experiments::{ablations, frontier, hpcasia, pact};
+use mutree_bench::experiments::{ablations, frontier, hpcasia, leafwords, pact};
 
 fn main() {
     let tables = [
@@ -27,6 +27,7 @@ fn main() {
         ablations::exp_baselines(),
         ablations::exp_taskgraph(),
         frontier::exp_frontier(),
+        leafwords::exp_leafwords(),
     ];
     for t in tables {
         t.emit(None).expect("write results");

@@ -11,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use mutree_bench::experiments::{ablations, frontier, hpcasia, pact};
+use mutree_bench::experiments::{ablations, frontier, hpcasia, leafwords, pact};
 use mutree_bench::report::Table;
 
 /// Builds the `NAMES` table and the dispatch function in one place, so a
@@ -54,6 +54,7 @@ experiments! {
     "exp_baselines" => ablations::exp_baselines,
     "exp_taskgraph" => ablations::exp_taskgraph,
     "exp_frontier" => frontier::exp_frontier,
+    "exp_leafwords" => leafwords::exp_leafwords,
 }
 
 fn main() -> ExitCode {

@@ -10,8 +10,12 @@
 //!   3-3 rule's strength.
 //! * [`frontier`] — the sharded work-stealing frontier against the
 //!   retired global-mutex pool, at 1/2/4/8 worker threads.
+//! * [`leafwords`] — the const-generic leaf-bitset widths: K=1 vs K=2 on
+//!   the frontier batch (hot-path regression watch), plus the 80-taxon
+//!   wide solve the width dispatcher unlocked.
 
 pub mod ablations;
 pub mod frontier;
 pub mod hpcasia;
+pub mod leafwords;
 pub mod pact;

@@ -43,9 +43,10 @@ use crate::{Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, Stop
 pub(crate) const TIME_CHECK_INTERVAL: u64 = 128;
 
 /// How many retired nodes a [`ChildBuf`] keeps for reuse. Enough for the
-/// widest expansions we see (a 64-taxon tree branches 127 ways) while
-/// bounding memory held by idle buffers.
-const SPARE_CAP: usize = 256;
+/// widest expansions we see (a 256-taxon tree — the widest leaf-bitset
+/// monomorphization — branches 511 ways) while bounding memory held by
+/// idle buffers.
+const SPARE_CAP: usize = 1024;
 
 /// Normalizes a lower bound coming from [`Problem::lower_bound`] so a
 /// buggy or degenerate bound can never prune a live subtree: NaN (which

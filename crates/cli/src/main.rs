@@ -253,10 +253,25 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
     if let Some(timeout) = parse_timeout(args)? {
         solver = solver.timeout(timeout);
     }
+    // Which leaf-bitset width the dispatcher picked (or was forced to via
+    // MUTREE_FORCE_LEAF_WORDS), against the engine's taxa ceiling.
+    let words = solver.dispatch_leaf_words(m.len()).ok_or_else(|| {
+        CliError::Solver(format!(
+            "matrix has {} taxa; engine limit is {} (use the pipeline: mutree fast)",
+            m.len(),
+            solver.max_taxa()
+        ))
+    })?;
     let sol = solver
         .solve(&m)
         .map_err(|e| CliError::Solver(e.to_string()))?;
     println!("weight: {}", sol.weight);
+    println!(
+        "leaf words: {words}  ({} of {} taxa, engine limit {})",
+        m.len(),
+        64 * words,
+        solver.max_taxa()
+    );
     println!(
         "branched: {}  pruned: {}  solutions seen: {}  incumbent updates: {}  peak pool: {}",
         sol.stats.branched,

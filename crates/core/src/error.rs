@@ -6,9 +6,13 @@ use mutree_tree::TreeError;
 /// Errors from the MUT solver and the compact-set pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MutError {
-    /// The exact search encodes leaf sets as 64-bit masks; matrices beyond
-    /// 64 taxa must go through the compact-set pipeline (which decomposes
-    /// them) or be reduced some other way.
+    /// The exact search encodes leaf sets as fixed-width bitsets, the
+    /// widest monomorphized width being [`MAX_EXACT_TAXA`] taxa
+    /// (`crate::MAX_EXACT_TAXA`); matrices beyond that must go through
+    /// the compact-set pipeline (which decomposes them) or be reduced
+    /// some other way.
+    ///
+    /// [`MAX_EXACT_TAXA`]: crate::MAX_EXACT_TAXA
     TooManyTaxa {
         /// Number of taxa requested.
         n: usize,

@@ -46,6 +46,7 @@
 mod cluster;
 mod error;
 pub mod exec;
+mod leafset;
 mod node;
 mod pipeline;
 mod problem;
@@ -54,10 +55,14 @@ mod solver;
 pub use cluster::{solve_simulated, solve_simulated_observed, SimCost, SimulatedOutcome};
 pub use error::MutError;
 pub use exec::{Executor, TaskDag};
+pub use leafset::{LeafIter, LeafWords};
 pub use node::PartialTree;
 pub use pipeline::{CompactPipeline, DegradeReason, DegradedGroup, PipelineSolution, StageTiming};
 pub use problem::{MutProblem, ThreeThree};
-pub use solver::{solution_newick, MutSolution, MutSolver, SearchBackend};
+pub use solver::{
+    leaf_words_for, solution_newick, MutSolution, MutSolver, SearchBackend, LEAF_WIDTHS,
+    MAX_EXACT_TAXA,
+};
 
 pub use mutree_bnb::{
     CancelToken, LoggingObserver, SearchMode, SearchStats, StopReason, Strategy, TraceLevel,

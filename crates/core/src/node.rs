@@ -1,6 +1,8 @@
 use mutree_distmat::DistanceMatrix;
 use mutree_tree::UltrametricTree;
 
+use crate::leafset::LeafWords;
+
 const NONE: u32 = u32::MAX;
 
 /// A node of the branch-and-bound tree (BBT): an ultrametric tree over the
@@ -12,20 +14,23 @@ const NONE: u32 = u32::MAX;
 /// * node ids `0..n` are the leaves (id = taxon); ids `n..2n-1` are
 ///   internal nodes, allocated in insertion order (inserting taxon `s`
 ///   creates internal node `n + s − 1`);
-/// * each node stores its parent, children, height, and the bitmask of
-///   leaves below it (hence the 64-taxon limit of a single exact search —
-///   far beyond where exact search is computationally feasible anyway).
+/// * each node stores its parent, children, height, and the
+///   [`LeafWords<K>`] bitset of leaves below it. `K` fixes the taxa
+///   ceiling at `64·K`; the solver monomorphizes K = 1, 2, 4 and
+///   dispatches on the matrix size (see
+///   [`leaf_words_for`](crate::leaf_words_for)), so the default `K = 1`
+///   compiles to the historical single-`u64` arena.
 ///
 /// Heights are kept *minimal* for the topology at all times: inserting a
 /// leaf only updates heights along its root path, using the leaf masks to
 /// find the cross pairs each ancestor newly separates.
 #[derive(Debug)]
-pub struct PartialTree {
+pub struct PartialTree<const K: usize = 1> {
     parent: Vec<u32>,
     left: Vec<u32>,
     right: Vec<u32>,
     height: Vec<f64>,
-    leafset: Vec<u64>,
+    leafset: Vec<LeafWords<K>>,
     root: u32,
     k: u32,
     n: u32,
@@ -33,7 +38,7 @@ pub struct PartialTree {
     lb: f64,
 }
 
-impl Clone for PartialTree {
+impl<const K: usize> Clone for PartialTree<K> {
     fn clone(&self) -> Self {
         PartialTree {
             parent: self.parent.clone(),
@@ -67,24 +72,33 @@ impl Clone for PartialTree {
     }
 }
 
-impl PartialTree {
+impl<const K: usize> PartialTree<K> {
+    /// Taxa ceiling of this leaf-bitset width: `64·K` leaves fit in the
+    /// per-node [`LeafWords<K>`] mask.
+    pub const MAX_TAXA: usize = LeafWords::<K>::CAPACITY;
+
     /// The root BBT node: the unique topology over taxa `{0, 1}`, with
     /// height `M[0,1] / 2`.
     ///
     /// # Panics
     ///
-    /// Panics when the matrix exceeds 64 taxa (enforce via
-    /// [`MutSolver`](crate::MutSolver), which returns an error instead).
+    /// Panics when the matrix exceeds [`MAX_TAXA`](Self::MAX_TAXA) taxa
+    /// (enforce via [`MutSolver`](crate::MutSolver), which dispatches to a
+    /// wide-enough width and returns an error beyond the widest).
     pub fn cherry(m: &DistanceMatrix) -> Self {
         let n = m.len();
-        assert!(n <= 64, "PartialTree supports at most 64 taxa");
+        assert!(
+            n <= Self::MAX_TAXA,
+            "PartialTree with {K} leaf words supports at most {} taxa, got {n}",
+            Self::MAX_TAXA
+        );
         let cap = 2 * n - 1;
         let mut t = PartialTree {
             parent: vec![NONE; cap],
             left: vec![NONE; cap],
             right: vec![NONE; cap],
             height: vec![0.0; cap],
-            leafset: vec![0; cap],
+            leafset: vec![LeafWords::EMPTY; cap],
             root: n as u32,
             k: 2,
             n: n as u32,
@@ -92,14 +106,14 @@ impl PartialTree {
             lb: 0.0,
         };
         for leaf in 0..n {
-            t.leafset[leaf] = 1 << leaf;
+            t.leafset[leaf] = LeafWords::singleton(leaf);
         }
         let r = n; // first internal node
         t.left[r] = 0;
         t.right[r] = 1;
         t.parent[0] = r as u32;
         t.parent[1] = r as u32;
-        t.leafset[r] = 0b11;
+        t.leafset[r] = LeafWords::singleton(0).union(LeafWords::singleton(1));
         t.height[r] = m.get(0, 1) / 2.0;
         t.weight = m.get(0, 1);
         t
@@ -152,7 +166,7 @@ impl PartialTree {
     ///
     /// Panics (in debug builds) when the tree is already complete or
     /// `site` is not a live node.
-    pub fn insert_next(&self, m: &DistanceMatrix, site: u32) -> PartialTree {
+    pub fn insert_next(&self, m: &DistanceMatrix, site: u32) -> PartialTree<K> {
         let mut t = self.clone();
         t.insert_in_place(m, site);
         t
@@ -162,7 +176,7 @@ impl PartialTree {
     /// into `scratch` (typically a retired sibling from the same search)
     /// instead of allocating a fresh tree. With a warmed-up scratch this is
     /// allocation-free: `clone_from` reuses the arena vectors in place.
-    pub fn insert_next_into(&self, m: &DistanceMatrix, site: u32, scratch: &mut PartialTree) {
+    pub fn insert_next_into(&self, m: &DistanceMatrix, site: u32, scratch: &mut PartialTree<K>) {
         scratch.clone_from(self);
         scratch.insert_in_place(m, site);
     }
@@ -180,14 +194,14 @@ impl PartialTree {
         );
         let j = n + s - 1; // the new internal node
         let p = self.parent[e];
-        let sbit = 1u64 << s;
+        let sbit = LeafWords::singleton(s);
 
         self.left[j] = e as u32;
         self.right[j] = s as u32;
         self.parent[j] = p;
         self.parent[e] = j as u32;
         self.parent[s] = j as u32;
-        self.leafset[j] = self.leafset[e] | sbit;
+        self.leafset[j] = self.leafset[e].union(sbit);
         let cand = self.max_dist_to_mask(m, s, self.leafset[e]) / 2.0;
         self.height[j] = self.height[e].max(cand);
         if p == NONE {
@@ -225,11 +239,9 @@ impl PartialTree {
         self.weight = self.recompute_weight();
     }
 
-    fn max_dist_to_mask(&self, m: &DistanceMatrix, s: usize, mut mask: u64) -> f64 {
+    fn max_dist_to_mask(&self, m: &DistanceMatrix, s: usize, mask: LeafWords<K>) -> f64 {
         let mut best = 0.0f64;
-        while mask != 0 {
-            let y = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
+        for y in mask.iter() {
             best = best.max(m.get(s, y));
         }
         best
@@ -265,7 +277,7 @@ impl PartialTree {
         let mut a = child;
         while a != NONE {
             let ai = a as usize;
-            let mut sib_mask = self.leafset[ai] & !(1u64 << s);
+            let mut sib_mask = self.leafset[ai].without(s);
             if child != a {
                 let sibling = if self.left[ai] == child {
                     self.right[ai]
@@ -274,10 +286,7 @@ impl PartialTree {
                 } as usize;
                 sib_mask = self.leafset[sibling];
             }
-            let mut mask = sib_mask;
-            while mask != 0 {
-                let y = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
+            for y in sib_mask.iter() {
                 if y < s {
                     order[y] = level;
                 }
@@ -296,7 +305,7 @@ impl PartialTree {
     /// Converts to a full [`UltrametricTree`] (taxa keep their ids in the
     /// matrix this tree was built against).
     pub fn to_ultrametric(&self) -> UltrametricTree {
-        fn build(t: &PartialTree, v: usize) -> UltrametricTree {
+        fn build<const K: usize>(t: &PartialTree<K>, v: usize) -> UltrametricTree {
             if v < t.n as usize {
                 UltrametricTree::leaf(v)
             } else {
@@ -312,6 +321,9 @@ impl PartialTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn m5() -> DistanceMatrix {
         DistanceMatrix::from_rows(&[
@@ -327,7 +339,7 @@ mod tests {
     #[test]
     fn cherry_weight_and_sites() {
         let m = m5();
-        let t = PartialTree::cherry(&m);
+        let t = PartialTree::<1>::cherry(&m);
         assert_eq!(t.leaves_inserted(), 2);
         assert_eq!(t.weight(), 9.0);
         assert_eq!(t.insertion_sites().count(), 3);
@@ -337,7 +349,7 @@ mod tests {
     #[test]
     fn insertion_site_count_grows_correctly() {
         let m = m5();
-        let mut t = PartialTree::cherry(&m);
+        let mut t = PartialTree::<1>::cherry(&m);
         for expect in [3usize, 5, 7] {
             assert_eq!(t.insertion_sites().count(), expect);
             let site = t.insertion_sites().next().unwrap();
@@ -352,7 +364,7 @@ mod tests {
     fn weight_matches_fit_heights_everywhere() {
         let m = m5();
         // Depth-first over all insertion sequences.
-        let mut stack = vec![PartialTree::cherry(&m)];
+        let mut stack = vec![PartialTree::<1>::cherry(&m)];
         let mut seen = 0;
         while let Some(t) = stack.pop() {
             if t.is_complete() {
@@ -380,7 +392,7 @@ mod tests {
     #[test]
     fn weight_never_decreases_with_insertions() {
         let m = m5();
-        let t = PartialTree::cherry(&m);
+        let t = PartialTree::<1>::cherry(&m);
         for site in t.insertion_sites().collect::<Vec<_>>() {
             let t2 = t.insert_next(&m, site);
             assert!(t2.weight() >= t.weight() - 1e-12);
@@ -394,7 +406,7 @@ mod tests {
     #[test]
     fn to_ultrametric_is_valid() {
         let m = m5();
-        let mut t = PartialTree::cherry(&m);
+        let mut t = PartialTree::<1>::cherry(&m);
         while !t.is_complete() {
             let site = t.insertion_sites().last().unwrap();
             t = t.insert_next(&m, site);
@@ -410,8 +422,8 @@ mod tests {
     #[test]
     fn insert_next_into_matches_insert_next() {
         let m = m5();
-        let base = PartialTree::cherry(&m).insert_next(&m, 1);
-        let mut scratch = PartialTree::cherry(&m); // deliberately stale state
+        let base = PartialTree::<1>::cherry(&m).insert_next(&m, 1);
+        let mut scratch = PartialTree::<1>::cherry(&m); // deliberately stale state
         for site in base.insertion_sites().collect::<Vec<_>>() {
             let fresh = base.insert_next(&m, site);
             base.insert_next_into(&m, site, &mut scratch);
@@ -423,25 +435,25 @@ mod tests {
     fn root_path_orders_reflect_topology() {
         let m = m5();
         // Build ((0,2),1): insert 2 above leaf 0.
-        let t = PartialTree::cherry(&m).insert_next(&m, 0);
+        let t = PartialTree::<1>::cherry(&m).insert_next(&m, 0);
         // s = 2; path: joint above {0,2}, then root. 0 shares the joint
         // (order 0); 1 hangs off the root (order 1).
         let order = t.root_path_orders();
         assert_eq!(order, vec![0, 1]);
 
         // Build (0,(1,2)): insert 2 above leaf 1.
-        let t = PartialTree::cherry(&m).insert_next(&m, 1);
+        let t = PartialTree::<1>::cherry(&m).insert_next(&m, 1);
         assert_eq!(t.root_path_orders(), vec![1, 0]);
 
         // Insert 2 above the root: both 0 and 1 are one level up.
-        let t = PartialTree::cherry(&m).insert_next(&m, 5);
+        let t = PartialTree::<1>::cherry(&m).insert_next(&m, 5);
         assert_eq!(t.root_path_orders(), vec![0, 0]);
     }
 
     #[test]
     fn heights_are_minimal_after_each_insertion() {
         let m = m5();
-        let mut stack = vec![PartialTree::cherry(&m)];
+        let mut stack = vec![PartialTree::<1>::cherry(&m)];
         while let Some(t) = stack.pop() {
             let mut ut = t.to_ultrametric();
             let refit = ut.fit_heights(&m);
@@ -454,6 +466,86 @@ mod tests {
                 for site in t.insertion_sites().collect::<Vec<_>>() {
                     stack.push(t.insert_next(&m, site));
                 }
+            }
+        }
+    }
+
+    /// Same matrix, different widths: each insertion must produce the
+    /// same topology, heights and weight regardless of K.
+    #[test]
+    fn widths_agree_on_every_insertion_path() {
+        let m = m5();
+        let mut stack = vec![(PartialTree::<1>::cherry(&m), PartialTree::<2>::cherry(&m))];
+        while let Some((t1, t2)) = stack.pop() {
+            assert_eq!(t1.weight(), t2.weight());
+            assert_eq!(
+                format!("{:?}", t1.to_ultrametric()),
+                format!("{:?}", t2.to_ultrametric())
+            );
+            if !t1.is_complete() {
+                for site in t1.insertion_sites().collect::<Vec<_>>() {
+                    stack.push((t1.insert_next(&m, site), t2.insert_next(&m, site)));
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The invariant `root_path_orders` relies on (noted at the sibling
+        /// walk above): after any insertion sequence, the sibling masks
+        /// along the new leaf's root path are pairwise disjoint, every
+        /// node's leafset is the union of its children's, and popcounts add
+        /// up.
+        #[test]
+        fn sibling_masks_stay_disjoint(n in 4usize..12, seed in any::<u64>()) {
+            use rand::Rng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = mutree_distmat::gen::uniform_metric(n, 1.0, 50.0, &mut rng);
+            let mut t = PartialTree::<2>::cherry(&m);
+            while !t.is_complete() {
+                let sites: Vec<u32> = t.insertion_sites().collect();
+                let site = sites[rng.gen_range(0..sites.len())];
+                t = t.insert_next(&m, site);
+
+                // Check the consistency invariants on the whole arena.
+                let s = t.leaves_inserted() - 1;
+                let live: Vec<usize> = (0..=s).chain(n..n + s).collect();
+                for &v in &live {
+                    if v < n {
+                        prop_assert_eq!(t.leafset[v], LeafWords::singleton(v));
+                        continue;
+                    }
+                    let l = t.leafset[t.left[v] as usize];
+                    let r = t.leafset[t.right[v] as usize];
+                    prop_assert!(l.is_disjoint(&r), "children of {} overlap", v);
+                    prop_assert_eq!(l.union(r), t.leafset[v]);
+                    prop_assert_eq!(l.count() + r.count(), t.leafset[v].count());
+                }
+
+                // Walk s's root path and collect the sibling masks the 3-3
+                // order computation consumes: pairwise disjoint, union =
+                // all earlier leaves.
+                let mut masks: Vec<LeafWords<2>> = Vec::new();
+                let joint = t.parent[s] as usize;
+                masks.push(t.leafset[joint].without(s));
+                let mut child = joint;
+                let mut a = t.parent[joint];
+                while a != NONE {
+                    let ai = a as usize;
+                    let sib = if t.left[ai] == child as u32 { t.right[ai] } else { t.left[ai] };
+                    masks.push(t.leafset[sib as usize]);
+                    child = ai;
+                    a = t.parent[ai];
+                }
+                for (i, a) in masks.iter().enumerate() {
+                    for b in &masks[i + 1..] {
+                        prop_assert!(a.is_disjoint(b));
+                    }
+                }
+                let all = masks.iter().fold(LeafWords::EMPTY, |acc, &mk| acc.union(mk));
+                prop_assert_eq!(all.count() as usize, s);
             }
         }
     }

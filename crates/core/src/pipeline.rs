@@ -265,8 +265,10 @@ impl CompactPipeline {
     /// # Errors
     ///
     /// [`MutError::NotDecomposable`] when even recursive decomposition
-    /// cannot bring every exact solve within the 64-taxon engine limit,
-    /// and any error from the underlying solver.
+    /// cannot bring every exact solve within the engine's taxa ceiling
+    /// (the solver dispatcher's [`MAX_EXACT_TAXA`](crate::MAX_EXACT_TAXA),
+    /// 256 with the widest monomorphized leaf bitset), and any error from
+    /// the underlying solver.
     pub fn solve(&self, m: &DistanceMatrix) -> Result<PipelineSolution, MutError> {
         self.solve_at_depth(m, 0, "")
     }
@@ -285,10 +287,11 @@ impl CompactPipeline {
         // fall back to the plain exact solver.
         let effective = groups.iter().filter(|g| g.len() >= 2).count();
         if effective == 0 || groups.len() == 1 {
-            if n > 64 {
+            let limit = self.solver.max_taxa();
+            if n > limit {
                 return Err(MutError::NotDecomposable {
                     groups: groups.len(),
-                    max: 64,
+                    max: limit,
                 });
             }
             let stage = format!("{prefix}whole");
@@ -381,7 +384,7 @@ impl CompactPipeline {
         // whenever any group has ≥ 2 members, and the no-structure case
         // errors out above.
         let meta_stage = format!("{prefix}meta");
-        let recurse = g > 64 || (g > self.threshold && depth < self.max_depth);
+        let recurse = g > self.solver.max_taxa() || (g > self.threshold && depth < self.max_depth);
         let meta_id = if recurse {
             let pipeline = self.clone();
             let child_prefix = format!("{prefix}meta[{}]/", depth + 1);

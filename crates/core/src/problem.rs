@@ -43,7 +43,7 @@ pub enum ThreeThree {
 /// * **Initial incumbent** — the UPGMM tree (complete-linkage
 ///   agglomeration) with its own linkage heights, whose distances
 ///   dominate the matrix — exactly the paper's Step 3 upper bound.
-pub struct MutProblem {
+pub struct MutProblem<const K: usize = 1> {
     /// Owned so a problem can be `Arc`-shared across executor tasks whose
     /// lifetimes outlive the caller's stack frame (see `mutree_core::exec`).
     m: DistanceMatrix,
@@ -78,16 +78,22 @@ fn triple_index(i: usize, j: usize, s: usize) -> usize {
     s * (s - 1) * (s - 2) / 6 + j * (j - 1) / 2 + i
 }
 
-impl MutProblem {
+impl<const K: usize> MutProblem<K> {
     /// Wraps a (relabeled) matrix. `use_upgmm` controls whether the UPGMM
     /// heuristic seeds the upper bound (disable to ablate Step 3).
     ///
     /// # Panics
     ///
-    /// Panics when the matrix exceeds 64 taxa.
+    /// Panics when the matrix exceeds the `64·K` taxa this width's leaf
+    /// bitsets can hold ([`MutSolver`](crate::MutSolver) dispatches to a
+    /// wide-enough width automatically).
     pub fn new(m: &DistanceMatrix, three_three: ThreeThree, use_upgmm: bool) -> Self {
         let n = m.len();
-        assert!(n <= 64, "MutProblem supports at most 64 taxa");
+        assert!(
+            n <= PartialTree::<K>::MAX_TAXA,
+            "MutProblem with {K} leaf words supports at most {} taxa, got {n}",
+            PartialTree::<K>::MAX_TAXA
+        );
         let mut suffix = vec![0.0; n + 1];
         for t in (2..n).rev() {
             let minrow = (0..t).map(|i| m.get(i, t)).fold(f64::INFINITY, f64::min);
@@ -126,7 +132,7 @@ impl MutProblem {
         &self.m
     }
 
-    fn bound_of(&self, t: &PartialTree) -> f64 {
+    fn bound_of(&self, t: &PartialTree<K>) -> f64 {
         t.weight() + self.suffix[t.leaves_inserted()]
     }
 
@@ -135,7 +141,7 @@ impl MutProblem {
     /// same way by the topology. `O(k²)` table lookups via the root-path
     /// orders of `s` — the close pairs themselves were memoized at
     /// construction, so no distance comparison runs per node expansion.
-    fn three_three_ok(&self, t: &PartialTree) -> bool {
+    fn three_three_ok(&self, t: &PartialTree<K>) -> bool {
         let s = t.leaves_inserted() - 1;
         let order = t.root_path_orders();
         for i in 0..s {
@@ -155,27 +161,27 @@ impl MutProblem {
     }
 }
 
-impl Problem for MutProblem {
-    type Node = PartialTree;
+impl<const K: usize> Problem for MutProblem<K> {
+    type Node = PartialTree<K>;
     type Solution = UltrametricTree;
 
-    fn root(&self) -> PartialTree {
-        let mut t = PartialTree::cherry(&self.m);
+    fn root(&self) -> PartialTree<K> {
+        let mut t = PartialTree::<K>::cherry(&self.m);
         let lb = self.bound_of(&t);
         t.set_lower_bound(lb);
         t
     }
 
-    fn lower_bound(&self, node: &PartialTree) -> f64 {
+    fn lower_bound(&self, node: &PartialTree<K>) -> f64 {
         node.lower_bound()
     }
 
-    fn solution(&self, node: &PartialTree) -> Option<(UltrametricTree, f64)> {
+    fn solution(&self, node: &PartialTree<K>) -> Option<(UltrametricTree, f64)> {
         node.is_complete()
             .then(|| (node.to_ultrametric(), node.weight()))
     }
 
-    fn branch(&self, node: &PartialTree, out: &mut ChildBuf<PartialTree>) {
+    fn branch(&self, node: &PartialTree<K>, out: &mut ChildBuf<PartialTree<K>>) {
         let filter = match self.three_three {
             ThreeThree::Off => false,
             ThreeThree::InitialOnly => node.leaves_inserted() == 2,
@@ -233,7 +239,7 @@ mod tests {
 
     /// Brute force: minimal weight over all 105 topologies.
     fn brute_force(m: &DistanceMatrix) -> f64 {
-        let p = MutProblem::new(m, ThreeThree::Off, false);
+        let p = MutProblem::<1>::new(m, ThreeThree::Off, false);
         let mut best = f64::INFINITY;
         let mut stack = vec![p.root()];
         while let Some(t) = stack.pop() {
@@ -251,7 +257,7 @@ mod tests {
     #[test]
     fn bbu_finds_the_brute_force_optimum() {
         let m = m5();
-        let p = MutProblem::new(&m, ThreeThree::Off, true);
+        let p = MutProblem::<1>::new(&m, ThreeThree::Off, true);
         let out = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne));
         assert!((out.best_value.unwrap() - brute_force(&m)).abs() < 1e-9);
         let tree = &out.solutions[0];
@@ -262,7 +268,7 @@ mod tests {
     #[test]
     fn lower_bound_is_admissible_along_paths() {
         let m = m5();
-        let p = MutProblem::new(&m, ThreeThree::Off, false);
+        let p = MutProblem::<1>::new(&m, ThreeThree::Off, false);
         // For every partial tree, LB must not exceed the weight of any
         // completion reachable from it.
         fn walk(p: &MutProblem, t: &PartialTree) -> f64 {
@@ -292,7 +298,7 @@ mod tests {
     #[test]
     fn upgmm_incumbent_upper_bounds_optimum() {
         let m = m5();
-        let p = MutProblem::new(&m, ThreeThree::Off, true);
+        let p = MutProblem::<1>::new(&m, ThreeThree::Off, true);
         let (tree, w) = p.initial_incumbent().unwrap();
         assert!(tree.is_feasible_for(&m, 1e-9));
         assert!(w >= brute_force(&m) - 1e-9);
@@ -302,12 +308,12 @@ mod tests {
     fn three_three_preserves_the_optimum_here() {
         let m = m5();
         let base = solve_sequential(
-            &MutProblem::new(&m, ThreeThree::Off, true),
+            &MutProblem::<1>::new(&m, ThreeThree::Off, true),
             &SearchOptions::new(SearchMode::BestOne),
         );
         for mode in [ThreeThree::InitialOnly, ThreeThree::Full] {
             let constrained = solve_sequential(
-                &MutProblem::new(&m, mode, true),
+                &MutProblem::<1>::new(&m, mode, true),
                 &SearchOptions::new(SearchMode::BestOne),
             );
             assert_eq!(base.best_value, constrained.best_value, "{mode:?}");
@@ -317,8 +323,8 @@ mod tests {
     #[test]
     fn three_three_reduces_branching() {
         let m = m5();
-        let p_off = MutProblem::new(&m, ThreeThree::Off, false);
-        let p_full = MutProblem::new(&m, ThreeThree::Full, false);
+        let p_off = MutProblem::<1>::new(&m, ThreeThree::Off, false);
+        let p_full = MutProblem::<1>::new(&m, ThreeThree::Full, false);
         let node = p_off.root();
         let mut kids_off = ChildBuf::new();
         let mut kids_full = ChildBuf::new();
@@ -350,7 +356,7 @@ mod tests {
             vec![6.0, 6.0, 0.0],
         ])
         .unwrap();
-        let p = MutProblem::new(&m, ThreeThree::Off, false);
+        let p = MutProblem::<1>::new(&m, ThreeThree::Off, false);
         let out = solve_sequential(&p, &SearchOptions::new(SearchMode::AllOptimal));
         // All three resolutions of the triple cost the same: both internal
         // nodes sit at height 3, so ω = 3 + 3 + 3 + 0.
@@ -369,7 +375,7 @@ mod tests {
         ])
         .unwrap();
         for m in [m5(), tied] {
-            let p = MutProblem::new(&m, ThreeThree::Full, false);
+            let p = MutProblem::<1>::new(&m, ThreeThree::Full, false);
             for s in 2..m.len() {
                 for j in 1..s {
                     for i in 0..j {
@@ -393,7 +399,7 @@ mod tests {
     #[test]
     fn suffix_bound_matches_definition() {
         let m = m5();
-        let p = MutProblem::new(&m, ThreeThree::Off, false);
+        let p = MutProblem::<1>::new(&m, ThreeThree::Off, false);
         // minrow[2] = min(4,7) = 4; minrow[3] = min(6,8,3) = 3;
         // minrow[4] = min(5,6,5,5) = 5. suffix[2] = (4+3+5)/2 = 6.
         assert!((p.suffix[2] - 6.0).abs() < 1e-12);

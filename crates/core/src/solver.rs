@@ -11,6 +11,36 @@ use mutree_tree::{newick, UltrametricTree};
 
 use crate::{solve_simulated_observed, Executor, MutError, MutProblem, ThreeThree};
 
+/// Leaf-bitset widths (in 64-bit words) the exact search is
+/// monomorphized for, narrowest first. Each width `K` handles up to
+/// `64·K` taxa; [`MutSolver::solve`] dispatches to the narrowest fit so
+/// the historical `K = 1` hot path compiles to exactly the single-`u64`
+/// code it always was.
+pub const LEAF_WIDTHS: [usize; 3] = [1, 2, 4];
+
+/// Taxa ceiling of a single exact search: the widest monomorphized
+/// leaf-bitset width (`LeafWords<4>`) holds 256 leaves. Matrices beyond
+/// this must go through [`CompactPipeline`](crate::CompactPipeline).
+pub const MAX_EXACT_TAXA: usize = 64 * LEAF_WIDTHS[LEAF_WIDTHS.len() - 1];
+
+/// The leaf-bitset width (in 64-bit words) the engine dispatches an
+/// `n`-taxon exact solve to: the narrowest entry of [`LEAF_WIDTHS`] that
+/// fits, or `None` beyond [`MAX_EXACT_TAXA`].
+pub fn leaf_words_for(n: usize) -> Option<usize> {
+    LEAF_WIDTHS.iter().copied().find(|&k| n <= 64 * k)
+}
+
+/// Reads the `MUTREE_FORCE_LEAF_WORDS` override: a width from
+/// [`LEAF_WIDTHS`] forces every solve in the process onto at least that
+/// many leaf words (the differential CI pass pins it to 2 so the whole
+/// suite runs the wide path). Unset, empty or unsupported values mean no
+/// override. Read per solve, not cached, so tests can toggle it.
+fn env_forced_leaf_words() -> Option<usize> {
+    let v = std::env::var("MUTREE_FORCE_LEAF_WORDS").ok()?;
+    let words: usize = v.trim().parse().ok()?;
+    LEAF_WIDTHS.contains(&words).then_some(words)
+}
+
 /// Which execution backend runs the branch-and-bound search.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SearchBackend {
@@ -88,6 +118,7 @@ pub struct MutSolver {
     executor: Option<Executor>,
     trace: Option<LoggingObserver>,
     panic_on_taxa: Option<usize>,
+    leaf_words: Option<usize>,
 }
 
 impl Default for MutSolver {
@@ -114,6 +145,7 @@ impl MutSolver {
             executor: None,
             trace: None,
             panic_on_taxa: None,
+            leaf_words: None,
         }
     }
 
@@ -220,6 +252,44 @@ impl MutSolver {
         self
     }
 
+    /// Forces the leaf-bitset width to `words` 64-bit words (one of
+    /// [`LEAF_WIDTHS`]) instead of the narrowest fit for the matrix. A
+    /// forced width narrower than the matrix needs is ignored. The
+    /// `MUTREE_FORCE_LEAF_WORDS` environment variable applies the same
+    /// override process-wide (this builder wins when both are set); the
+    /// differential tests solve with widths 1 and 2 and assert identical
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `words` is not a supported width.
+    pub fn leaf_words(mut self, words: usize) -> Self {
+        assert!(
+            LEAF_WIDTHS.contains(&words),
+            "supported leaf-word widths are {LEAF_WIDTHS:?}, got {words}"
+        );
+        self.leaf_words = Some(words);
+        self
+    }
+
+    /// The dispatcher's taxa ceiling for one exact solve
+    /// ([`MAX_EXACT_TAXA`]). The compact-set pipeline reads the limit from
+    /// here instead of hard-coding it.
+    pub fn max_taxa(&self) -> usize {
+        MAX_EXACT_TAXA
+    }
+
+    /// The leaf-bitset width [`solve`](MutSolver::solve) would dispatch an
+    /// `n`-taxon matrix to, accounting for a width forced via
+    /// [`leaf_words`](MutSolver::leaf_words) or `MUTREE_FORCE_LEAF_WORDS`;
+    /// `None` beyond [`MAX_EXACT_TAXA`]. The CLI reports this in its
+    /// diagnostics.
+    pub fn dispatch_leaf_words(&self, n: usize) -> Option<usize> {
+        let needed = leaf_words_for(n)?;
+        let forced = self.leaf_words.or_else(env_forced_leaf_words);
+        Some(forced.filter(|&w| w >= needed).unwrap_or(needed))
+    }
+
     /// Disables the maxmin relabeling (ablation; hurts the lower bound).
     pub fn without_maxmin(mut self) -> Self {
         self.use_maxmin = false;
@@ -233,17 +303,35 @@ impl MutSolver {
         self
     }
 
-    /// Solves the minimum ultrametric tree problem for `m`.
+    /// Solves the minimum ultrametric tree problem for `m`, dispatching
+    /// to the narrowest monomorphized leaf-bitset width that fits (see
+    /// [`LEAF_WIDTHS`] and [`MutSolver::leaf_words`]).
     ///
     /// # Errors
     ///
-    /// [`MutError::TooManyTaxa`] beyond 64 taxa — use
+    /// [`MutError::TooManyTaxa`] beyond [`MAX_EXACT_TAXA`] taxa — use
     /// [`CompactPipeline`](crate::CompactPipeline) there.
     pub fn solve(&self, m: &DistanceMatrix) -> Result<MutSolution, MutError> {
         let n = m.len();
-        if n > 64 {
-            return Err(MutError::TooManyTaxa { n, max: 64 });
+        // A forced width (builder first, then the env hook) may widen the
+        // dispatch but never narrow it below what the matrix needs.
+        let Some(width) = self.dispatch_leaf_words(n) else {
+            return Err(MutError::TooManyTaxa {
+                n,
+                max: MAX_EXACT_TAXA,
+            });
+        };
+        match width {
+            1 => self.solve_width::<1>(m),
+            2 => self.solve_width::<2>(m),
+            _ => self.solve_width::<4>(m),
         }
+    }
+
+    /// The width-monomorphized search body: everything from maxmin
+    /// relabeling to topology dedup runs with `K`-word leaf bitsets.
+    fn solve_width<const K: usize>(&self, m: &DistanceMatrix) -> Result<MutSolution, MutError> {
+        let n = m.len();
         if self.panic_on_taxa == Some(n) {
             panic!("injected fault: {n}-taxon solve");
         }
@@ -265,7 +353,7 @@ impl MutSolver {
             (m, None)
         };
 
-        let problem = MutProblem::new(pm, self.three_three, self.use_upgmm);
+        let problem = MutProblem::<K>::new(pm, self.three_three, self.use_upgmm);
         let mut opts = SearchOptions::new(self.mode)
             .max_branches(self.max_branches)
             .strategy(self.strategy);
@@ -510,11 +598,46 @@ mod tests {
 
     #[test]
     fn too_many_taxa_is_an_error() {
-        let m = DistanceMatrix::zeros(65).unwrap();
+        let m = DistanceMatrix::zeros(MAX_EXACT_TAXA + 1).unwrap();
         assert!(matches!(
             MutSolver::new().solve(&m),
-            Err(MutError::TooManyTaxa { n: 65, max: 64 })
+            Err(MutError::TooManyTaxa { n, max }) if n == MAX_EXACT_TAXA + 1 && max == MAX_EXACT_TAXA
         ));
+    }
+
+    #[test]
+    fn leaf_width_dispatch_is_narrowest_fit() {
+        assert_eq!(leaf_words_for(2), Some(1));
+        assert_eq!(leaf_words_for(64), Some(1));
+        assert_eq!(leaf_words_for(65), Some(2));
+        assert_eq!(leaf_words_for(128), Some(2));
+        assert_eq!(leaf_words_for(129), Some(4));
+        assert_eq!(leaf_words_for(MAX_EXACT_TAXA), Some(4));
+        assert_eq!(leaf_words_for(MAX_EXACT_TAXA + 1), None);
+    }
+
+    /// 65 taxa used to be a hard error; now it dispatches to two-word
+    /// leaf bitsets and solves exactly.
+    #[test]
+    fn sixty_five_taxa_crosses_the_word_boundary() {
+        let mut rng = StdRng::seed_from_u64(65);
+        let m = gen::random_ultrametric(65, 100.0, &mut rng);
+        let sol = MutSolver::new().solve(&m).unwrap();
+        assert!(sol.is_complete());
+        assert_eq!(sol.tree.leaf_count(), 65);
+        assert_eq!(sol.tree.distance_matrix().max_relative_deviation(&m), 0.0);
+    }
+
+    /// Forcing a wider width than needed must not change the result.
+    #[test]
+    fn forced_wide_width_agrees_with_narrow() {
+        let m = m5();
+        let narrow = MutSolver::new().leaf_words(1).solve(&m).unwrap();
+        for words in [2usize, 4] {
+            let wide = MutSolver::new().leaf_words(words).solve(&m).unwrap();
+            assert_eq!(narrow.weight, wide.weight, "width {words}");
+            assert_eq!(narrow.stats.branched, wide.stats.branched, "width {words}");
+        }
     }
 
     #[test]

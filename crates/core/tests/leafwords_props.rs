@@ -1,0 +1,95 @@
+//! Property suite for the const-generic [`LeafWords`] bitset: set-algebra
+//! identities, popcount consistency, and iteration order. The companion
+//! invariant — disjointness of sibling masks after `insert_next_into` —
+//! lives next to the arena code in `node.rs`, where the private leafset
+//! arrays are visible.
+
+use mutree_core::LeafWords;
+use proptest::prelude::*;
+
+/// Builds a `LeafWords<2>` plus a mirror `Vec<usize>` of its sorted
+/// members from an arbitrary 128-bit pattern (two raw words).
+fn set2(lo: u64, hi: u64) -> (LeafWords<2>, Vec<usize>) {
+    let mut s = LeafWords::<2>::EMPTY;
+    let mut members = Vec::new();
+    for (w, word) in [lo, hi].into_iter().enumerate() {
+        for b in 0..64 {
+            if word & (1 << b) != 0 {
+                s.insert(64 * w + b);
+                members.push(64 * w + b);
+            }
+        }
+    }
+    (s, members)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_intersection_identities(a_lo in any::<u64>(), a_hi in any::<u64>(),
+                                     b_lo in any::<u64>(), b_hi in any::<u64>()) {
+        let (a, _) = set2(a_lo, a_hi);
+        let (b, _) = set2(b_lo, b_hi);
+        // Commutativity, idempotence, absorption, identity elements.
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.intersection(b), b.intersection(a));
+        prop_assert_eq!(a.union(a), a);
+        prop_assert_eq!(a.intersection(a), a);
+        prop_assert_eq!(a.union(a.intersection(b)), a);
+        prop_assert_eq!(a.intersection(a.union(b)), a);
+        prop_assert_eq!(a.union(LeafWords::EMPTY), a);
+        prop_assert_eq!(a.intersection(LeafWords::EMPTY), LeafWords::EMPTY);
+        // Operator sugar matches the named methods.
+        prop_assert_eq!(a | b, a.union(b));
+        prop_assert_eq!(a & b, a.intersection(b));
+        // Disjointness is empty intersection, intersects its negation.
+        prop_assert_eq!(a.is_disjoint(&b), a.intersection(b).is_empty());
+        prop_assert_eq!(a.intersects(&b), !a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn popcount_is_consistent(a_lo in any::<u64>(), a_hi in any::<u64>(),
+                              b_lo in any::<u64>(), b_hi in any::<u64>()) {
+        let (a, am) = set2(a_lo, a_hi);
+        let (b, _) = set2(b_lo, b_hi);
+        prop_assert_eq!(a.count() as usize, am.len());
+        prop_assert_eq!(a.count(), a_lo.count_ones() + a_hi.count_ones());
+        // Inclusion–exclusion.
+        prop_assert_eq!(
+            a.union(b).count() + a.intersection(b).count(),
+            a.count() + b.count()
+        );
+        prop_assert_eq!(a.is_empty(), a.count() == 0);
+    }
+
+    #[test]
+    fn iteration_is_sorted_membership(lo in any::<u64>(), hi in any::<u64>()) {
+        let (s, members) = set2(lo, hi);
+        // Iteration yields exactly the member list, already sorted.
+        let via_iter: Vec<usize> = s.iter().collect();
+        prop_assert_eq!(&via_iter, &members);
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&via_iter, &sorted);
+        // `contains` agrees with iteration on every index.
+        for i in 0..128 {
+            prop_assert_eq!(s.contains(i), members.binary_search(&i).is_ok());
+        }
+        // IntoIterator sugar matches `iter`.
+        prop_assert_eq!(s.into_iter().collect::<Vec<_>>(), via_iter);
+    }
+
+    #[test]
+    fn insert_without_roundtrip(lo in any::<u64>(), hi in any::<u64>(), i in 0usize..128) {
+        let (s, _) = set2(lo, hi);
+        let mut with = s;
+        with.insert(i);
+        prop_assert!(with.contains(i));
+        prop_assert_eq!(with.without(i).contains(i), false);
+        prop_assert_eq!(with.without(i), s.without(i));
+        prop_assert_eq!(with.count(), s.count() + u32::from(!s.contains(i)));
+        // Singleton is insert-into-empty.
+        prop_assert_eq!(LeafWords::<2>::singleton(i), LeafWords::EMPTY.union(LeafWords::singleton(i)));
+    }
+}

@@ -7,6 +7,10 @@
 //! set (the CI stress pass pins it to 8 with `RUST_TEST_THREADS=1`), the
 //! suite uses that count instead, so the stress run drives exactly the
 //! configuration under test.
+//!
+//! The whole matrix additionally runs at both monomorphized leaf-bitset
+//! widths (K = 1 and forced K = 2): the sharded frontier must find the
+//! same optimum regardless of how wide the per-node leaf masks are.
 
 use mutree::clustersim::ClusterSpec;
 use mutree::core::{CompactPipeline, Executor, MutSolver, SearchBackend, SearchMode};
@@ -42,45 +46,59 @@ fn sequential_parallel_and_cluster_sim_agree() {
             .solve(m)
             .unwrap();
         assert!(seq.is_complete());
-        for workers in worker_counts() {
-            let par = MutSolver::new()
-                .backend(SearchBackend::Parallel { workers })
+        for words in [1usize, 2] {
+            let wseq = MutSolver::new()
+                .leaf_words(words)
+                .backend(SearchBackend::Sequential)
                 .solve(m)
                 .unwrap();
-            assert!(par.is_complete(), "matrix {mi}, workers {workers}");
-            assert!(
-                (par.weight - seq.weight).abs() < 1e-9,
-                "scoped parallel disagrees: matrix {mi}, workers {workers}: {} vs {}",
-                par.weight,
-                seq.weight
-            );
+            // The widths run the same search: same weight, same counters.
+            assert_eq!(wseq.stats.branched, seq.stats.branched, "matrix {mi}");
+            assert!((wseq.weight - seq.weight).abs() < 1e-9, "matrix {mi}");
+            for workers in worker_counts() {
+                let ctx = format!("matrix {mi}, workers {workers}, width {words}");
+                let par = MutSolver::new()
+                    .leaf_words(words)
+                    .backend(SearchBackend::Parallel { workers })
+                    .solve(m)
+                    .unwrap();
+                assert!(par.is_complete(), "{ctx}");
+                assert!(
+                    (par.weight - seq.weight).abs() < 1e-9,
+                    "scoped parallel disagrees: {ctx}: {} vs {}",
+                    par.weight,
+                    seq.weight
+                );
 
-            let pooled = MutSolver::new()
-                .backend(SearchBackend::Parallel { workers })
-                .executor(Executor::new(workers))
-                .solve(m)
-                .unwrap();
-            assert!(pooled.is_complete(), "matrix {mi}, workers {workers}");
-            assert!(
-                (pooled.weight - seq.weight).abs() < 1e-9,
-                "pooled parallel disagrees: matrix {mi}, workers {workers}: {} vs {}",
-                pooled.weight,
-                seq.weight
-            );
+                let pooled = MutSolver::new()
+                    .leaf_words(words)
+                    .backend(SearchBackend::Parallel { workers })
+                    .executor(Executor::new(workers))
+                    .solve(m)
+                    .unwrap();
+                assert!(pooled.is_complete(), "{ctx}");
+                assert!(
+                    (pooled.weight - seq.weight).abs() < 1e-9,
+                    "pooled parallel disagrees: {ctx}: {} vs {}",
+                    pooled.weight,
+                    seq.weight
+                );
 
-            let sim = MutSolver::new()
-                .backend(SearchBackend::SimulatedCluster {
-                    spec: ClusterSpec::with_slaves(workers),
-                })
-                .solve(m)
-                .unwrap();
-            assert!(sim.is_complete(), "matrix {mi}, workers {workers}");
-            assert!(
-                (sim.weight - seq.weight).abs() < 1e-9,
-                "cluster sim disagrees: matrix {mi}, workers {workers}: {} vs {}",
-                sim.weight,
-                seq.weight
-            );
+                let sim = MutSolver::new()
+                    .leaf_words(words)
+                    .backend(SearchBackend::SimulatedCluster {
+                        spec: ClusterSpec::with_slaves(workers),
+                    })
+                    .solve(m)
+                    .unwrap();
+                assert!(sim.is_complete(), "{ctx}");
+                assert!(
+                    (sim.weight - seq.weight).abs() < 1e-9,
+                    "cluster sim disagrees: {ctx}: {} vs {}",
+                    sim.weight,
+                    seq.weight
+                );
+            }
         }
     }
 }
@@ -100,18 +118,21 @@ fn all_optimal_sets_agree_across_drivers() {
         .mode(SearchMode::AllOptimal)
         .solve(&m)
         .unwrap();
-    for workers in worker_counts() {
-        let par = MutSolver::new()
-            .mode(SearchMode::AllOptimal)
-            .backend(SearchBackend::Parallel { workers })
-            .solve(&m)
-            .unwrap();
-        assert!((par.weight - seq.weight).abs() < 1e-9);
-        assert_eq!(
-            par.trees.len(),
-            seq.trees.len(),
-            "co-optimum count differs at {workers} workers"
-        );
+    for words in [1usize, 2] {
+        for workers in worker_counts() {
+            let par = MutSolver::new()
+                .leaf_words(words)
+                .mode(SearchMode::AllOptimal)
+                .backend(SearchBackend::Parallel { workers })
+                .solve(&m)
+                .unwrap();
+            assert!((par.weight - seq.weight).abs() < 1e-9);
+            assert_eq!(
+                par.trees.len(),
+                seq.trees.len(),
+                "co-optimum count differs at {workers} workers, width {words}"
+            );
+        }
     }
 }
 

@@ -1,0 +1,147 @@
+//! Differential agreement between the monomorphized leaf-bitset widths:
+//! on any matrix that fits in one word (n ≤ 64), solving with forced
+//! K = 1 and forced K = 2 must be *the same search* — identical optimum
+//! weight, identical topology, and identical `SearchStats.branched`
+//! (sequentially, the drivers expand the same nodes in the same order;
+//! widening the bitset may not change a single decision).
+//!
+//! Widths are forced two ways: the `MutSolver::leaf_words` builder
+//! (race-free, used for the matrix sweep) and the
+//! `MUTREE_FORCE_LEAF_WORDS` env hook that CI pins to 2 for its wide
+//! full-suite pass (exercised once here, serialized within this file).
+
+use mutree::clustersim::ClusterSpec;
+use mutree::core::{MutSolver, SearchBackend};
+use mutree::distmat::{gen, DistanceMatrix};
+use mutree::seqgen;
+use mutree::tree::compare::robinson_foulds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small sweep of matrix families: random metric, near-ultrametric,
+/// sequence-derived, and the full-word 64-taxon boundary.
+fn matrices() -> Vec<DistanceMatrix> {
+    let mut out = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        out.push(gen::uniform_metric(7 + seed as usize, 1.0, 100.0, &mut rng));
+    }
+    for seed in [21u64, 22] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        out.push(gen::perturbed_ultrametric(9, 50.0, 0.1, &mut rng));
+    }
+    let mut rng = StdRng::seed_from_u64(31);
+    out.push(seqgen::hmdna_like_matrix(10, 120, &mut rng));
+    let mut rng = StdRng::seed_from_u64(64);
+    out.push(gen::random_ultrametric(64, 100.0, &mut rng));
+    out
+}
+
+/// Weight, topology and branch-count agreement on the sequential driver,
+/// where the expansion order is deterministic.
+#[test]
+fn forced_widths_agree_bit_for_bit_sequentially() {
+    for (mi, m) in matrices().iter().enumerate() {
+        let narrow = MutSolver::new().leaf_words(1).solve(m).unwrap();
+        let wide = MutSolver::new().leaf_words(2).solve(m).unwrap();
+        assert!(narrow.is_complete() && wide.is_complete(), "matrix {mi}");
+        assert_eq!(narrow.weight, wide.weight, "matrix {mi}: weight differs");
+        assert_eq!(
+            narrow.stats.branched, wide.stats.branched,
+            "matrix {mi}: branch counts differ"
+        );
+        assert_eq!(
+            narrow.stats.pruned, wide.stats.pruned,
+            "matrix {mi}: prune counts differ"
+        );
+        assert_eq!(
+            robinson_foulds(&narrow.tree, &wide.tree).unwrap(),
+            0,
+            "matrix {mi}: topologies differ"
+        );
+    }
+}
+
+/// The same agreement across the thread-parallel and simulated-cluster
+/// drivers (parallel branch counts are scheduling-dependent, so there the
+/// contract is optimum + completeness; the deterministic sim keeps the
+/// full bit-for-bit contract).
+#[test]
+fn forced_widths_agree_on_all_drivers() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let m = seqgen::hmdna_like_matrix(11, 150, &mut rng);
+    let reference = MutSolver::new().leaf_words(1).solve(&m).unwrap();
+    for words in [1usize, 2] {
+        let par = MutSolver::new()
+            .leaf_words(words)
+            .backend(SearchBackend::Parallel { workers: 4 })
+            .solve(&m)
+            .unwrap();
+        assert!(par.is_complete(), "parallel width {words}");
+        assert!((par.weight - reference.weight).abs() < 1e-9);
+
+        let sim = MutSolver::new()
+            .leaf_words(words)
+            .backend(SearchBackend::SimulatedCluster {
+                spec: ClusterSpec::with_slaves(4),
+            })
+            .solve(&m)
+            .unwrap();
+        assert!(sim.is_complete(), "sim width {words}");
+        assert!((sim.weight - reference.weight).abs() < 1e-9);
+    }
+    let sim1 = MutSolver::new()
+        .leaf_words(1)
+        .backend(SearchBackend::SimulatedCluster {
+            spec: ClusterSpec::with_slaves(4),
+        })
+        .solve(&m)
+        .unwrap();
+    let sim2 = MutSolver::new()
+        .leaf_words(2)
+        .backend(SearchBackend::SimulatedCluster {
+            spec: ClusterSpec::with_slaves(4),
+        })
+        .solve(&m)
+        .unwrap();
+    assert_eq!(sim1.stats.branched, sim2.stats.branched);
+    assert_eq!(robinson_foulds(&sim1.tree, &sim2.tree).unwrap(), 0);
+}
+
+/// The env hook forces the wide path process-wide; the builder overrides
+/// it when both are set, and a forced width can never narrow the dispatch
+/// below what the matrix needs. Env mutation is confined to this one test
+/// (integration-test files run as their own process, and the other tests
+/// in this file use the builder, which wins over the env var — so even
+/// concurrent execution within the file stays correct).
+#[test]
+fn env_hook_forces_wide_path() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let m = gen::uniform_metric(8, 1.0, 100.0, &mut rng);
+    let solver = MutSolver::new();
+    // CI's wide pass pins the variable for the whole process; save and
+    // restore it so this test is valid in any ambient configuration.
+    let prior = std::env::var("MUTREE_FORCE_LEAF_WORDS").ok();
+    std::env::remove_var("MUTREE_FORCE_LEAF_WORDS");
+    assert_eq!(solver.dispatch_leaf_words(m.len()), Some(1));
+
+    std::env::set_var("MUTREE_FORCE_LEAF_WORDS", "2");
+    assert_eq!(solver.dispatch_leaf_words(m.len()), Some(2));
+    let forced = solver.solve(&m).unwrap();
+    // Builder beats env; a narrower forced width than needed is ignored.
+    assert_eq!(solver.clone().leaf_words(4).dispatch_leaf_words(8), Some(4));
+    std::env::set_var("MUTREE_FORCE_LEAF_WORDS", "1");
+    assert_eq!(solver.dispatch_leaf_words(65), Some(2));
+    // Junk values mean no override.
+    std::env::set_var("MUTREE_FORCE_LEAF_WORDS", "3");
+    assert_eq!(solver.dispatch_leaf_words(m.len()), Some(1));
+    match prior {
+        Some(v) => std::env::set_var("MUTREE_FORCE_LEAF_WORDS", v),
+        None => std::env::remove_var("MUTREE_FORCE_LEAF_WORDS"),
+    }
+
+    let baseline = MutSolver::new().leaf_words(1).solve(&m).unwrap();
+    assert_eq!(forced.weight, baseline.weight);
+    assert_eq!(forced.stats.branched, baseline.stats.branched);
+    assert_eq!(robinson_foulds(&forced.tree, &baseline.tree).unwrap(), 0);
+}

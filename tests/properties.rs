@@ -96,7 +96,7 @@ proptest! {
     #[test]
     fn root_lower_bound_is_admissible(m in metric_matrix(9)) {
         let pm = m.maxmin_permutation().apply(&m);
-        let p = MutProblem::new(&pm, ThreeThree::Off, false);
+        let p = MutProblem::<1>::new(&pm, ThreeThree::Off, false);
         let sol = MutSolver::new().solve(&m).unwrap();
         let root = mutree::bnb::Problem::root(&p);
         prop_assert!(root.lower_bound() <= sol.weight + 1e-9);
