@@ -1,0 +1,285 @@
+//! Crash-safe checkpoint files: versioned, checksummed, atomically
+//! replaced snapshots of a search's best incumbent.
+//!
+//! A checkpoint records the best objective value seen so far, an opaque
+//! solution payload produced by
+//! [`Problem::encode_solution`](crate::Problem::encode_solution), and a
+//! compact frontier summary (open-node and branched counters) for
+//! observability. Drivers write snapshots periodically — every
+//! [`CheckpointPolicy::interval`] branch operations — through the shared
+//! expansion kernel, so every driver (sequential, thread-parallel,
+//! pooled, simulated cluster) gets the same behavior.
+//!
+//! # On-disk format (version 1)
+//!
+//! All integers little-endian:
+//!
+//! ```text
+//! magic     8 bytes  "MUTCKPT\0"
+//! version   u32      1
+//! value     f64      best incumbent objective (IEEE-754 bits)
+//! open      u64      open nodes at snapshot time (frontier summary)
+//! branched  u64      branch operations at snapshot time
+//! length    u64      payload length in bytes
+//! payload   [u8]     opaque solution encoding
+//! checksum  u64      FNV-1a over every preceding byte
+//! ```
+//!
+//! Writes go to a uniquely named sibling temporary file first and are
+//! published with an atomic `rename`, so a reader (or a resumed run)
+//! never observes a torn file; a crash mid-write leaves the previous
+//! snapshot intact. Reads verify magic, version and checksum and fail
+//! loudly on any mismatch — a corrupt checkpoint is an error, never a
+//! silently wrong warm start.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File magic for checkpoint files.
+const MAGIC: [u8; 8] = *b"MUTCKPT\0";
+
+/// Current (and only) format version.
+const VERSION: u32 = 1;
+
+/// When and where a search writes incumbent snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Destination file. The parent directory must exist.
+    pub path: PathBuf,
+    /// Branch operations between snapshot attempts (per driver thread;
+    /// clamped up to 1).
+    pub interval: u64,
+}
+
+impl CheckpointPolicy {
+    /// A policy writing to `path` every 512 branch operations.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            path: path.into(),
+            interval: 512,
+        }
+    }
+
+    /// Sets the snapshot cadence in branch operations.
+    pub fn interval(mut self, every: u64) -> Self {
+        self.interval = every.max(1);
+        self
+    }
+}
+
+/// The decoded contents of a checkpoint file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointFile {
+    /// Best objective value at snapshot time.
+    pub best_value: f64,
+    /// Open nodes at snapshot time (frontier summary; informational).
+    pub open_nodes: u64,
+    /// Branch operations performed by the snapshotting driver thread.
+    pub branched: u64,
+    /// Opaque solution payload (see
+    /// [`Problem::encode_solution`](crate::Problem::encode_solution)).
+    pub payload: Vec<u8>,
+}
+
+/// Why a checkpoint could not be read.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The file ends before the declared payload and checksum.
+    Truncated,
+    /// The stored checksum does not match the contents.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a mutree checkpoint file"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit hash — small, dependency-free, and plenty to catch the
+/// torn or bit-rotted files this checksum exists for.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes a checkpoint into its on-disk byte layout.
+pub fn encode(file: &CheckpointFile) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 + 8 * 4 + file.payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&file.best_value.to_bits().to_le_bytes());
+    out.extend_from_slice(&file.open_nodes.to_le_bytes());
+    out.extend_from_slice(&file.branched.to_le_bytes());
+    out.extend_from_slice(&(file.payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&file.payload);
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Parses the on-disk byte layout, verifying magic, version and checksum.
+pub fn decode(bytes: &[u8]) -> Result<CheckpointFile, CheckpointError> {
+    let take = |off: usize, len: usize| -> Result<&[u8], CheckpointError> {
+        off.checked_add(len)
+            .and_then(|end| bytes.get(off..end))
+            .ok_or(CheckpointError::Truncated)
+    };
+    if bytes.len() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let u32le = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4-byte slice"));
+    let u64le = |s: &[u8]| u64::from_le_bytes(s.try_into().expect("8-byte slice"));
+    let version = u32le(take(8, 4)?);
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let best_value = f64::from_bits(u64le(take(12, 8)?));
+    let open_nodes = u64le(take(20, 8)?);
+    let branched = u64le(take(28, 8)?);
+    let len = u64le(take(36, 8)?) as usize;
+    let payload = take(44, len)?.to_vec();
+    let stored = u64le(take(44 + len, 8)?);
+    if fnv1a(&bytes[..44 + len]) != stored {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    Ok(CheckpointFile {
+        best_value,
+        open_nodes,
+        branched,
+        payload,
+    })
+}
+
+/// Writes `file` to `path` atomically: the bytes land in a uniquely named
+/// sibling temporary first and are published with `rename`, so concurrent
+/// writers (parallel workers sharing one path) interleave to
+/// last-writer-wins whole files, never torn ones.
+pub fn write_atomic(path: &Path, file: &CheckpointFile) -> io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(format!(".tmp.{}.{n}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, encode(file))?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Reads and verifies the checkpoint at `path`.
+pub fn read(path: &Path) -> Result<CheckpointFile, CheckpointError> {
+    decode(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointFile {
+        CheckpointFile {
+            best_value: 42.5,
+            open_nodes: 17,
+            branched: 1234,
+            payload: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let f = sample();
+        assert_eq!(decode(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("mutree-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.ckpt");
+        write_atomic(&path, &sample()).unwrap();
+        assert_eq!(read(&path).unwrap(), sample());
+        // A second write replaces, never appends.
+        let mut second = sample();
+        second.best_value = 40.0;
+        write_atomic(&path, &second).unwrap();
+        assert_eq!(read(&path).unwrap(), second);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = encode(&sample());
+        // Flip a payload byte: checksum must catch it.
+        bytes[45] ^= 0xFF;
+        assert!(matches!(
+            decode(&bytes),
+            Err(CheckpointError::ChecksumMismatch)
+        ));
+        // Truncation.
+        let short = &encode(&sample())[..20];
+        assert!(matches!(decode(short), Err(CheckpointError::Truncated)));
+        // Wrong magic.
+        let mut bad = encode(&sample());
+        bad[0] = b'X';
+        assert!(matches!(decode(&bad), Err(CheckpointError::BadMagic)));
+        // Future version.
+        let mut vers = encode(&sample());
+        vers[8] = 9;
+        assert!(matches!(
+            decode(&vers),
+            Err(CheckpointError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn empty_payload_is_valid() {
+        let f = CheckpointFile {
+            best_value: f64::INFINITY,
+            open_nodes: 0,
+            branched: 0,
+            payload: Vec::new(),
+        };
+        assert_eq!(decode(&encode(&f)).unwrap(), f);
+    }
+}

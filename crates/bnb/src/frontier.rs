@@ -57,7 +57,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
-use crate::kernel::{Frontier, SearchEvent, SearchObserver};
+use crate::kernel::{shed_worst_from_stack, Frontier, SearchEvent, SearchObserver};
 
 /// Hard ceiling on the shard count (also the cap for the
 /// `MUTREE_FRONTIER_SHARDS` override). More shards than this buys
@@ -134,6 +134,13 @@ impl<N> ShardedFrontier<N> {
     /// Number of overflow shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Open nodes anywhere right now: queued in shards, on workers'
+    /// local stacks, or mid-expansion. The memory watchdog compares this
+    /// against the configured [`MemoryBudget`](crate::MemoryBudget) cap.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
     }
 
     /// Charges `n` nodes to the in-flight counter *without* queueing them
@@ -403,6 +410,23 @@ impl<'a, N> WorkerFrontier<'a, N> {
     pub fn local_len(&self) -> usize {
         self.local.len()
     }
+
+    /// Memory-watchdog shedding: drops up to `excess` worst-bound nodes
+    /// from the *local* stack and releases their in-flight units. Each
+    /// worker trims its own stack when it notices a budget breach, so
+    /// the global count converges back under the cap without any
+    /// cross-worker coordination; nodes parked in overflow shards are
+    /// trimmed by whichever worker steals them next. Call only between
+    /// expansions (after [`settle`](Self::settle)) — the released units
+    /// may close the frontier if nothing else is in flight.
+    pub fn shed_local(&mut self, excess: usize, lb: &mut dyn FnMut(&N) -> f64) -> usize {
+        debug_assert_eq!(self.pending, 0, "shed_local called mid-expansion");
+        let dropped = shed_worst_from_stack(&mut self.local, excess, lb);
+        for _ in 0..dropped {
+            self.shared.finish_node();
+        }
+        dropped
+    }
 }
 
 impl<N> Frontier<N> for WorkerFrontier<'_, N> {
@@ -426,6 +450,10 @@ impl<N> Frontier<N> for WorkerFrontier<'_, N> {
 
     fn len(&self) -> usize {
         self.local.len()
+    }
+
+    fn shed(&mut self, excess: usize, lb: &mut dyn FnMut(&N) -> f64) -> usize {
+        self.shed_local(excess, lb)
     }
 }
 

@@ -36,6 +36,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
+use crate::checkpoint::{self, CheckpointFile};
 use crate::{Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason};
 
 /// How often (in processed nodes) the drivers look at the wall clock for
@@ -309,6 +310,19 @@ pub enum SearchEvent {
     /// A worker found every shard empty and parked on the frontier's
     /// eventcount until the next donation or the end of the search.
     Parked,
+    /// The memory watchdog dropped `nodes` worst-bound open nodes to get
+    /// back under the configured
+    /// [`MemoryBudget`](crate::MemoryBudget) — the search will finish
+    /// with [`StopReason::MemoryExhausted`].
+    Shed {
+        /// Open nodes dropped (whole subtrees abandoned).
+        nodes: usize,
+    },
+    /// A crash-safe incumbent snapshot was durably written.
+    Checkpointed {
+        /// Open nodes at snapshot time (this driver thread's frontier).
+        open: usize,
+    },
 }
 
 /// Receives [`SearchEvent`]s from the kernel. The unit type `()` is the
@@ -445,6 +459,46 @@ pub trait Frontier<N> {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Drops up to `excess` of the *worst-bound* open nodes (largest
+    /// sanitized lower bound, ties broken deterministically), returning
+    /// how many were dropped. The memory watchdog calls this on budget
+    /// breach; the default — for frontiers that cannot shed — drops
+    /// nothing.
+    fn shed(&mut self, excess: usize, lb: &mut dyn FnMut(&N) -> f64) -> usize {
+        let _ = (excess, lb);
+        0
+    }
+}
+
+/// Removes the `excess` entries of `stack` with the largest bound (ties:
+/// the deeper/later entry sheds first), preserving the relative order of
+/// the survivors. Shared by every stack-shaped frontier's
+/// [`Frontier::shed`].
+pub(crate) fn shed_worst_from_stack<N>(
+    stack: &mut Vec<N>,
+    excess: usize,
+    lb: &mut dyn FnMut(&N) -> f64,
+) -> usize {
+    let len = stack.len();
+    let excess = excess.min(len);
+    if excess == 0 {
+        return 0;
+    }
+    let bounds: Vec<f64> = stack.iter().map(|n| sanitize_lb(lb(n))).collect();
+    let mut order: Vec<usize> = (0..len).collect();
+    order.sort_by(|&a, &b| bounds[b].total_cmp(&bounds[a]).then(b.cmp(&a)));
+    let mut keep = vec![true; len];
+    for &i in order.iter().take(excess) {
+        keep[i] = false;
+    }
+    let mut i = 0;
+    stack.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+    excess
 }
 
 /// LIFO stack: children are inserted in reverse branch order so the
@@ -495,6 +549,10 @@ impl<N> Frontier<N> for DepthFirstFrontier<N> {
 
     fn len(&self) -> usize {
         self.stack.len()
+    }
+
+    fn shed(&mut self, excess: usize, lb: &mut dyn FnMut(&N) -> f64) -> usize {
+        shed_worst_from_stack(&mut self.stack, excess, lb)
     }
 }
 
@@ -573,6 +631,21 @@ impl<N> Frontier<N> for BestFirstFrontier<N> {
     fn len(&self) -> usize {
         self.heap.len()
     }
+
+    fn shed(&mut self, excess: usize, _lb: &mut dyn FnMut(&N) -> f64) -> usize {
+        // The heap already knows every bound; ignore the callback and
+        // rebuild without the least-promising entries (smallest in the
+        // reversed `Ord`, i.e. largest bound, latest insertion first).
+        let excess = excess.min(self.heap.len());
+        if excess == 0 {
+            return 0;
+        }
+        let mut entries: Vec<HeapEntry<N>> = std::mem::take(&mut self.heap).into_vec();
+        entries.sort();
+        let kept = entries.split_off(excess);
+        self.heap = BinaryHeap::from(kept);
+        excess
+    }
 }
 
 /// FIFO queue — the masters' breadth-first *seeding* frontier (children
@@ -646,6 +719,17 @@ pub struct Expander<'a, P: Problem> {
     staged: Vec<(f64, P::Node)>,
     poller: StopPoller,
     stats: SearchStats,
+    ckpt: Option<CkptState>,
+}
+
+/// Per-expander checkpoint bookkeeping: the destination and cadence from
+/// the policy, plus the best already-encoded incumbent this expander has
+/// seen (encoded at accept time, while the solution is still in hand).
+struct CkptState {
+    path: std::path::PathBuf,
+    interval: u64,
+    since: u64,
+    best: Option<(f64, Vec<u8>)>,
 }
 
 impl<'a, P: Problem> Expander<'a, P> {
@@ -658,6 +742,12 @@ impl<'a, P: Problem> Expander<'a, P> {
             staged: Vec::new(),
             poller: StopPoller::new(),
             stats: SearchStats::default(),
+            ckpt: opts.checkpoint.as_ref().map(|c| CkptState {
+                path: c.path.clone(),
+                interval: c.interval.max(1),
+                since: 0,
+                best: None,
+            }),
         }
     }
 
@@ -671,10 +761,71 @@ impl<'a, P: Problem> Expander<'a, P> {
     /// update if it was accepted. NaN hints are dropped.
     pub fn offer_initial<K: IncumbentSink<P::Solution>>(&mut self, sink: &mut K) {
         if let Some((s, v)) = self.problem.initial_incumbent() {
-            if !v.is_nan() && sink.accept(v, s) {
+            if v.is_nan() {
+                return;
+            }
+            let encoded = self.encode_for_ckpt(&s);
+            if sink.accept(v, s) {
                 self.stats.incumbent_updates += 1;
+                self.remember_ckpt(v, encoded);
             }
         }
+    }
+
+    /// Pre-encodes a solution for checkpointing (no-op when checkpoints
+    /// are off), so acceptance can move the solution into the sink.
+    fn encode_for_ckpt(&self, s: &P::Solution) -> Option<Vec<u8>> {
+        if self.ckpt.is_some() {
+            self.problem.encode_solution(s)
+        } else {
+            None
+        }
+    }
+
+    /// Records an accepted incumbent's encoding as the snapshot payload
+    /// if it beats the best this expander has checkpoint-tracked so far.
+    fn remember_ckpt(&mut self, value: f64, encoded: Option<Vec<u8>>) {
+        if let (Some(c), Some(bytes)) = (&mut self.ckpt, encoded) {
+            if c.best.as_ref().is_none_or(|(bv, _)| value < *bv) {
+                c.best = Some((value, bytes));
+            }
+        }
+    }
+
+    /// Writes a snapshot if the cadence says so and an incumbent exists.
+    /// Write errors are swallowed: checkpointing is best-effort and must
+    /// never fail a search that would otherwise succeed.
+    fn maybe_checkpoint<O: SearchObserver>(&mut self, open: usize, observer: &mut O) {
+        let Some(c) = &mut self.ckpt else { return };
+        c.since += 1;
+        if c.since < c.interval {
+            return;
+        }
+        c.since = 0;
+        let Some((value, payload)) = &c.best else {
+            return;
+        };
+        let file = CheckpointFile {
+            best_value: *value,
+            open_nodes: open as u64,
+            branched: self.stats.branched,
+            payload: payload.clone(),
+        };
+        if checkpoint::write_atomic(&c.path, &file).is_ok() {
+            self.stats.checkpoints += 1;
+            observer.on_event(SearchEvent::Checkpointed { open });
+        }
+    }
+
+    /// Records nodes dropped by the memory watchdog: counts them and
+    /// emits a [`SearchEvent::Shed`]. Drivers call this right after a
+    /// successful [`Frontier::shed`].
+    pub fn note_shed<O: SearchObserver>(&mut self, nodes: usize, observer: &mut O) {
+        if nodes == 0 {
+            return;
+        }
+        self.stats.nodes_shed += nodes as u64;
+        observer.on_event(SearchEvent::Shed { nodes });
     }
 
     /// Pushes the root node (with its sanitized bound) into the frontier.
@@ -741,10 +892,12 @@ impl<'a, P: Problem> Expander<'a, P> {
                     improved: false,
                 };
             }
+            let encoded = self.encode_for_ckpt(&s);
             let improved = sink.accept(v, s);
             if improved {
                 self.stats.incumbent_updates += 1;
                 observer.on_event(SearchEvent::IncumbentImproved { value: v });
+                self.remember_ckpt(v, encoded);
             }
             return Step::Solution { value: v, improved };
         }
@@ -783,6 +936,7 @@ impl<'a, P: Problem> Expander<'a, P> {
             children: generated,
             kept,
         });
+        self.maybe_checkpoint(frontier.len(), observer);
         Step::Branched { kept }
     }
 

@@ -88,6 +88,7 @@
 #![warn(missing_docs)]
 
 mod cancel;
+pub mod checkpoint;
 pub mod fault;
 pub mod frontier;
 pub mod kernel;
@@ -99,6 +100,7 @@ mod shared_bound;
 mod trace;
 
 pub use cancel::CancelToken;
+pub use checkpoint::{CheckpointError, CheckpointFile, CheckpointPolicy};
 pub use frontier::{ShardedFrontier, WorkerFrontier};
 pub use kernel::{sanitize_lb, ChildBuf, Incumbents, PruneReason, SearchEvent, SearchObserver};
 pub use parallel::{
@@ -106,7 +108,8 @@ pub use parallel::{
 };
 pub use pool::{PoolJob, WorkerPool};
 pub use problem::{
-    Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason, Strategy,
+    MemoryBudget, Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason,
+    Strategy,
 };
 pub use sequential::{solve_sequential, solve_sequential_observed};
 pub use shared_bound::SharedBound;

@@ -1,5 +1,5 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use crate::frontier::{ShardedFrontier, WorkerFrontier};
@@ -22,6 +22,7 @@ fn encode_stop(r: StopReason) -> u8 {
         StopReason::DeadlineExpired => 2,
         StopReason::Cancelled => 3,
         StopReason::WorkerPanicked => 4,
+        StopReason::MemoryExhausted => 5,
     }
 }
 
@@ -31,6 +32,7 @@ fn decode_stop(v: u8) -> StopReason {
         2 => StopReason::DeadlineExpired,
         3 => StopReason::Cancelled,
         4 => StopReason::WorkerPanicked,
+        5 => StopReason::MemoryExhausted,
         _ => StopReason::Completed,
     }
 }
@@ -44,6 +46,11 @@ struct Shared<N, S> {
     branches: AtomicU64,
     /// First early-stop reason to fire, `STOP_NONE` while running.
     stop: AtomicU8,
+    /// Set once any worker sheds nodes for the memory watchdog: the
+    /// search keeps draining the capped frontier, but a "natural"
+    /// exhaustion afterwards is no longer a proof of optimality, so the
+    /// final stop reason becomes [`StopReason::MemoryExhausted`].
+    shed: AtomicBool,
     /// Incumbents are published here the moment they are accepted, so a
     /// worker that later panics loses none of its finds.
     found: Mutex<Vec<(f64, S)>>,
@@ -56,6 +63,7 @@ impl<N, S> Shared<N, S> {
             bound,
             branches,
             stop: AtomicU8::new(STOP_NONE),
+            shed: AtomicBool::new(false),
             found: Mutex::new(Vec::new()),
         }
     }
@@ -74,12 +82,24 @@ impl<N, S> Shared<N, S> {
         self.frontier.close();
     }
 
+    /// The final stop reason: the first explicit stop to fire, except
+    /// that a run which shed nodes can no longer claim `Completed`.
     fn stop_reason(&self) -> StopReason {
-        decode_stop(self.stop.load(Ordering::Acquire))
+        let stop = decode_stop(self.stop.load(Ordering::Acquire));
+        if matches!(stop, StopReason::Completed) && self.shed.load(Ordering::Acquire) {
+            StopReason::MemoryExhausted
+        } else {
+            stop
+        }
     }
 
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::Acquire) != STOP_NONE
+    }
+
+    /// Marks that the memory watchdog dropped open nodes somewhere.
+    fn note_shed(&self) {
+        self.shed.store(true, Ordering::Release);
     }
 
     fn publish(&self, value: f64, solution: S) {
@@ -615,6 +635,24 @@ fn run_worker<P: Problem, O: SearchObserver>(
             }
             Step::Branched { .. } => {
                 exp.recycle(node);
+                // Memory watchdog: the frontier's in-flight counter is the
+                // exact global open-node count, so checking it here — after
+                // settle, before donating — bounds any overshoot to the
+                // children of one expansion batch per worker. Shedding
+                // drops this worker's worst-bound local nodes; the search
+                // continues on the capped frontier and the incumbent is
+                // untouched, but optimality can no longer be certified.
+                if let Some(mb) = &opts.memory {
+                    let open = shared.frontier.in_flight();
+                    if open > mb.max_open_nodes {
+                        let excess = (open - mb.max_open_nodes) as usize;
+                        let dropped = frontier.shed_local(excess, &mut |n| problem.lower_bound(n));
+                        if dropped > 0 {
+                            exp.note_shed(dropped, observer);
+                            shared.note_shed();
+                        }
+                    }
+                }
                 frontier.maybe_donate(observer);
             }
             _ => exp.recycle(node),

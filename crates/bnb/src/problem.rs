@@ -1,5 +1,6 @@
 use std::time::{Duration, Instant};
 
+use crate::checkpoint::CheckpointPolicy;
 use crate::kernel::ChildBuf;
 use crate::CancelToken;
 
@@ -37,6 +38,14 @@ pub trait Problem: Sync {
     /// An optional heuristic incumbent used as the initial upper bound
     /// (the paper's UPGMM step). Defaults to none.
     fn initial_incumbent(&self) -> Option<(Self::Solution, f64)> {
+        None
+    }
+
+    /// Serializes a solution into an opaque payload for crash-safe
+    /// checkpointing (see [`SearchOptions::checkpoint`]). The default
+    /// returns `None`, which disables periodic snapshots for problems
+    /// that have no durable representation.
+    fn encode_solution(&self, _solution: &Self::Solution) -> Option<Vec<u8>> {
         None
     }
 }
@@ -83,6 +92,11 @@ pub enum StopReason {
     DeadlineExpired,
     /// The [`CancelToken`] was triggered.
     Cancelled,
+    /// The open-node count breached the [`MemoryBudget`]; the watchdog
+    /// shed the worst-bound open nodes and the remaining (capped) search
+    /// drained. The incumbent is the best over the subtrees actually
+    /// explored — a valid upper bound, not a proven optimum.
+    MemoryExhausted,
     /// A parallel worker panicked; the search drained cleanly and kept
     /// every incumbent published before the panic.
     WorkerPanicked,
@@ -103,7 +117,8 @@ impl StopReason {
                 StopReason::BudgetExhausted => 1,
                 StopReason::DeadlineExpired => 2,
                 StopReason::Cancelled => 3,
-                StopReason::WorkerPanicked => 4,
+                StopReason::MemoryExhausted => 4,
+                StopReason::WorkerPanicked => 5,
             }
         }
         if rank(other) > rank(self) {
@@ -121,8 +136,34 @@ impl std::fmt::Display for StopReason {
             StopReason::BudgetExhausted => "branch budget exhausted",
             StopReason::DeadlineExpired => "deadline expired",
             StopReason::Cancelled => "cancelled",
+            StopReason::MemoryExhausted => "memory budget exhausted",
             StopReason::WorkerPanicked => "worker panicked",
         })
+    }
+}
+
+/// A cap on the number of *open* nodes a search may hold at once —
+/// queued in any frontier plus currently expanding.
+///
+/// When the count breaches the cap, the memory watchdog sheds the
+/// worst-bound open nodes back under it (at batch boundaries, so the
+/// overshoot is bounded by one branching batch per worker), keeps the
+/// incumbent, and the run finishes with [`StopReason::MemoryExhausted`]
+/// instead of growing without bound. Shedding drops whole subtrees, so
+/// the result is an anytime upper bound, not a proven optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// Maximum open nodes allowed at once (at least 1).
+    pub max_open_nodes: u64,
+}
+
+impl MemoryBudget {
+    /// A budget of `max_open_nodes` simultaneously open nodes (clamped up
+    /// to 1 — a search always needs room for the node it is expanding).
+    pub fn new(max_open_nodes: u64) -> Self {
+        MemoryBudget {
+            max_open_nodes: max_open_nodes.max(1),
+        }
     }
 }
 
@@ -151,6 +192,12 @@ pub struct SearchOptions {
     /// Cooperative cancellation flag, checked on every node. `None` means
     /// the search cannot be cancelled externally.
     pub cancel: Option<CancelToken>,
+    /// Open-node memory watchdog. `None` means unbounded (the default).
+    pub memory: Option<MemoryBudget>,
+    /// Periodic crash-safe incumbent snapshots. `None` disables them (the
+    /// default). Requires the problem to implement
+    /// [`Problem::encode_solution`].
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl SearchOptions {
@@ -164,6 +211,8 @@ impl SearchOptions {
             max_branches: u64::MAX,
             deadline: None,
             cancel: None,
+            memory: None,
+            checkpoint: None,
         }
     }
 
@@ -194,6 +243,19 @@ impl SearchOptions {
     /// Attaches a cancellation token (keep a clone to trigger it).
     pub fn cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Caps the number of simultaneously open nodes (see [`MemoryBudget`]).
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory = Some(budget);
+        self
+    }
+
+    /// Enables periodic crash-safe incumbent snapshots (see
+    /// [`CheckpointPolicy`]).
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
         self
     }
 
@@ -246,6 +308,14 @@ pub struct SearchStats {
     /// Times a worker parked with every shard empty — high values mean
     /// the search is starved for parallelism, not compute.
     pub parks: u64,
+    /// Stage attempts re-run by the pipeline's retry supervisor (zero for
+    /// plain solves — retries happen at the pipeline layer, not here).
+    pub retries: u64,
+    /// Open nodes dropped by the memory watchdog (see [`MemoryBudget`]).
+    pub nodes_shed: u64,
+    /// Checkpoint snapshots durably written (see
+    /// [`SearchOptions::checkpoint`]).
+    pub checkpoints: u64,
 }
 
 impl SearchStats {
@@ -259,6 +329,9 @@ impl SearchStats {
         self.steals += other.steals;
         self.donations += other.donations;
         self.parks += other.parks;
+        self.retries += other.retries;
+        self.nodes_shed += other.nodes_shed;
+        self.checkpoints += other.checkpoints;
     }
 }
 

@@ -47,6 +47,7 @@ fn drive<P: Problem, F: Frontier<P::Node>, O: SearchObserver>(
     exp.offer_initial(&mut inc);
     exp.push_root(&mut frontier);
     let mut stop = StopReason::Completed;
+    let mut shed_any = false;
     while let Some(node) = frontier.pop() {
         if let Some(reason) = exp.poll_stop(observer) {
             stop = reason;
@@ -59,6 +60,25 @@ fn drive<P: Problem, F: Frontier<P::Node>, O: SearchObserver>(
             }
             _ => exp.recycle(node),
         }
+        // Memory watchdog: checked after every expansion, so the frontier
+        // never exceeds the cap by more than one branching batch. Shedding
+        // drops the worst-bound open nodes; the incumbent is kept and the
+        // search continues on what remains, but exhausting that capped
+        // frontier no longer proves optimality.
+        if let Some(mb) = &opts.memory {
+            let open = frontier.len() as u64;
+            if open > mb.max_open_nodes {
+                let excess = (open - mb.max_open_nodes) as usize;
+                let dropped = frontier.shed(excess, &mut |n| problem.lower_bound(n));
+                if dropped > 0 {
+                    exp.note_shed(dropped, observer);
+                    shed_any = true;
+                }
+            }
+        }
+    }
+    if shed_any && matches!(stop, StopReason::Completed) {
+        stop = StopReason::MemoryExhausted;
     }
     inc.into_outcome(exp.stats(), stop)
 }

@@ -6,7 +6,8 @@ use std::time::{Duration, Instant};
 
 use mutree_bnb::fault::{FaultSpec, FaultyProblem};
 use mutree_bnb::{
-    solve_parallel, solve_sequential, ChildBuf, Problem, SearchMode, SearchOptions, StopReason,
+    solve_parallel, solve_sequential, ChildBuf, MemoryBudget, Problem, SearchMode, SearchOptions,
+    StopReason,
 };
 
 /// Minimize the weighted ones-count over binary strings; the all-false
@@ -157,6 +158,91 @@ fn deadline_interrupts_slow_branches() {
         elapsed < Duration::from_secs(10),
         "deadline ignored: ran {elapsed:?}"
     );
+    assert!(out.best_value.is_some());
+}
+
+/// A worker killed mid-search (every branch call from #k on panics) must
+/// not hang the pool: the survivors drain or the pool unwinds, the stop
+/// reason says `WorkerPanicked`, and the incumbent survives.
+#[test]
+fn killed_worker_does_not_hang_the_pool() {
+    let total: f64 = WeightedBits::new(14).weights.iter().sum();
+    for kill_at in [0u64, 1, 5, 50] {
+        let p = FaultyProblem::new(WeightedBits::new(14), FaultSpec::new(7).kill_after(kill_at));
+        let start = Instant::now();
+        let out = solve_parallel(&p, &SearchOptions::new(SearchMode::BestOne), 4);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "kill at #{kill_at}: hang"
+        );
+        assert_eq!(out.stop, StopReason::WorkerPanicked, "kill at #{kill_at}");
+        let v = out.best_value.expect("incumbent lost");
+        assert!((0.0..=total + 1e-9).contains(&v), "kill at #{kill_at}: {v}");
+    }
+}
+
+/// Memory-pressure injection (duplicated child sets) against the
+/// open-node watchdog: the frontier is inflated on purpose, the budget
+/// forces shedding, and the outcome must say so — with a feasible
+/// incumbent and a nonzero shed counter — instead of ballooning.
+#[test]
+fn memory_pressure_trips_the_watchdog() {
+    let total: f64 = WeightedBits::new(16).weights.iter().sum();
+    let p = FaultyProblem::new(
+        WeightedBits::new(16),
+        FaultSpec::new(11).memory_pressure(0.9, 3),
+    );
+    let opts = SearchOptions::new(SearchMode::BestOne).memory_budget(MemoryBudget::new(8));
+    let out = solve_parallel(&p, &opts, 4);
+    assert_eq!(out.stop, StopReason::MemoryExhausted);
+    assert!(out.stats.nodes_shed > 0, "shedding must be accounted");
+    let v = out.best_value.expect("incumbent lost");
+    assert!((0.0..=total + 1e-9).contains(&v), "infeasible value {v}");
+}
+
+/// Duplicated children are correctness-preserving: without a budget the
+/// pressured search still finds the true optimum, sequentially and in
+/// parallel.
+#[test]
+fn memory_pressure_alone_preserves_the_optimum() {
+    for seed in 0..5u64 {
+        let p = FaultyProblem::new(
+            WeightedBits::new(10),
+            FaultSpec::new(seed).memory_pressure(0.5, 2),
+        );
+        let seq = solve_sequential(&p, &SearchOptions::new(SearchMode::BestOne));
+        assert_eq!(seq.best_value, Some(0.0), "seed {seed} (sequential)");
+        assert!(seq.is_complete());
+        let par = solve_parallel(&p, &SearchOptions::new(SearchMode::BestOne), 4);
+        assert_eq!(par.best_value, Some(0.0), "seed {seed} (parallel)");
+        assert!(par.is_complete());
+    }
+}
+
+/// Long injected sleeps must not blow through a deadline: `FaultSpec`
+/// sleeps in slices and polls its deadline, so a 300 ms stall under a
+/// 50 ms budget returns in far less than one full sleep.
+#[test]
+fn sliced_sleeps_respect_the_deadline_under_a_driver() {
+    let deadline = Instant::now() + Duration::from_millis(50);
+    let p = FaultyProblem::new(
+        WeightedBits::new(22),
+        FaultSpec::new(13)
+            .slow_branches(1.0, Duration::from_millis(300))
+            .deadline(deadline),
+    );
+    let opts = SearchOptions::new(SearchMode::BestOne).deadline(deadline);
+    let start = Instant::now();
+    let out = solve_parallel(&p, &opts, 4);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(5_000),
+        "sleeps ignored the deadline: {elapsed:?}"
+    );
+    assert!(matches!(
+        out.stop,
+        StopReason::DeadlineExpired | StopReason::Completed
+    ));
     assert!(out.best_value.is_some());
 }
 

@@ -22,16 +22,18 @@
 //! | 2    | usage error (bad subcommand, flag, or argument)                |
 //! | 3    | input error (unreadable file, malformed matrix or tree)        |
 //! | 4    | solver error (no feasible output could be produced)            |
-//! | 5    | interrupted but usable: a `--timeout` (or budget) stopped the  |
-//! |      | search early; a feasible tree was still printed                |
+//! | 5    | incomplete but usable: a `--timeout` (or branch budget)        |
+//! |      | stopped the search early, `--max-open-nodes` shed frontier     |
+//! |      | nodes, or a pipeline stage degraded (retries exhausted); a     |
+//! |      | feasible tree was still printed                                |
 
 use std::io::Read;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use mutree_core::{
-    CompactPipeline, Executor, LoggingObserver, MutSolver, SearchBackend, SearchMode, ThreeThree,
-    TraceLevel,
+    CompactPipeline, Executor, LoggingObserver, MemoryBudget, MutError, MutSolver, RetryPolicy,
+    SearchBackend, SearchMode, ThreeThree, TraceLevel,
 };
 use mutree_distmat::{io as mio, DistanceMatrix};
 use mutree_graph::CompactSets;
@@ -77,9 +79,12 @@ mutree — minimum ultrametric evolutionary trees (PaCT 2005 reproduction)
 USAGE:
   mutree solve <matrix.phy> [--backend seq|par:N|sim:N] [--all] [--33 off|initial|full]
                [--timeout SECS] [--threads N] [--trace-search incumbents|all]
+               [--max-open-nodes N] [--checkpoint FILE] [--checkpoint-interval B]
+               [--resume FILE]
         Exact minimum ultrametric tree via branch-and-bound.
   mutree fast <matrix.phy> [--threshold K] [--linkage max|min|avg] [--timeout SECS]
-               [--threads N] [--trace-search incumbents|all]
+               [--threads N] [--trace-search incumbents|all] [--retries N]
+               [--max-open-nodes N]
         Near-optimal tree via compact-set decomposition (the fast technique).
   mutree sets <matrix.phy>
         List the compact sets of the distance graph.
@@ -105,9 +110,22 @@ USAGE:
   --trace-search logs structured search events to stderr: 'incumbents'
   prints incumbent updates and stops, 'all' adds every expansion/prune.
 
+  --max-open-nodes caps the live search frontier: past the cap the search
+  sheds its worst-bound open nodes, keeps the best tree found and exits 5.
+
+  --checkpoint periodically snapshots the best tree to FILE (crash-safe:
+  written atomically, checksummed); --checkpoint-interval sets the branch
+  period (default 512). --resume warm-starts from such a snapshot, so an
+  interrupted run picks up its incumbent instead of restarting cold.
+
+  --retries re-attempts a panicked or errored pipeline stage up to N
+  times (with deterministic exponential backoff) before it degrades to
+  the agglomerative fallback.
+
 EXIT CODES:
   0  success            2  usage error       3  bad input
-  4  solver failed      5  interrupted, but a feasible tree was printed
+  4  solver failed      5  incomplete (early stop, shed nodes, or a
+                           degraded stage), but a feasible tree was printed
 ";
 
 fn main() -> ExitCode {
@@ -212,6 +230,29 @@ fn parse_trace(args: &[String]) -> Result<Option<LoggingObserver>, CliError> {
     Ok(Some(LoggingObserver::new(level)))
 }
 
+/// Parses an optional numeric flag (`--flag <N>`), rejecting a trailing
+/// flag with no value and non-numeric values.
+fn parse_count(args: &[String], flag: &str) -> Result<Option<u64>, CliError> {
+    let Some(spec) = flag_value(args, flag) else {
+        if args.iter().any(|a| a == flag) {
+            return Err(usage(format!("{flag} requires a value")));
+        }
+        return Ok(None);
+    };
+    spec.parse::<u64>()
+        .map(Some)
+        .map_err(|_| usage(format!("bad {flag} value {spec:?}")))
+}
+
+/// Parses the watchdog cap: `--max-open-nodes <N>` (N ≥ 1).
+fn parse_memory_budget(args: &[String]) -> Result<Option<MemoryBudget>, CliError> {
+    match parse_count(args, "--max-open-nodes")? {
+        None => Ok(None),
+        Some(0) => Err(usage("--max-open-nodes must be at least 1")),
+        Some(n) => Ok(Some(MemoryBudget::new(n))),
+    }
+}
+
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == flag)
@@ -253,6 +294,25 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
     if let Some(timeout) = parse_timeout(args)? {
         solver = solver.timeout(timeout);
     }
+    if let Some(budget) = parse_memory_budget(args)? {
+        solver = solver.memory_budget(budget);
+    }
+    if let Some(path) = flag_value(args, "--checkpoint") {
+        solver = solver.checkpoint_to(path);
+    } else if args.iter().any(|a| a == "--checkpoint") {
+        return Err(usage("--checkpoint requires a file path"));
+    }
+    if let Some(every) = parse_count(args, "--checkpoint-interval")? {
+        if flag_value(args, "--checkpoint").is_none() {
+            return Err(usage("--checkpoint-interval needs --checkpoint <file>"));
+        }
+        solver = solver.checkpoint_interval(every);
+    }
+    if let Some(path) = flag_value(args, "--resume") {
+        solver = solver.resume_from(path);
+    } else if args.iter().any(|a| a == "--resume") {
+        return Err(usage("--resume requires a file path"));
+    }
     // Which leaf-bitset width the dispatcher picked (or was forced to via
     // MUTREE_FORCE_LEAF_WORDS), against the engine's taxa ceiling.
     let words = solver.dispatch_leaf_words(m.len()).ok_or_else(|| {
@@ -262,9 +322,11 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
             solver.max_taxa()
         ))
     })?;
-    let sol = solver
-        .solve(&m)
-        .map_err(|e| CliError::Solver(e.to_string()))?;
+    let sol = solver.solve(&m).map_err(|e| match e {
+        // A bad snapshot is an input problem, not a search failure.
+        MutError::Checkpoint { .. } => CliError::Input(e.to_string()),
+        e => CliError::Solver(e.to_string()),
+    })?;
     println!("weight: {}", sol.weight);
     println!(
         "leaf words: {words}  ({} of {} taxa, engine limit {})",
@@ -286,6 +348,12 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
     println!(
         "steals: {}  donations: {}  parks: {}",
         sol.stats.steals, sol.stats.donations, sol.stats.parks
+    );
+    // Supervision counters: watchdog sheds and checkpoint snapshots
+    // (retries only move for pipeline runs; printed for line parity).
+    println!(
+        "retries: {}  nodes shed: {}  checkpoints: {}",
+        sol.stats.retries, sol.stats.nodes_shed, sol.stats.checkpoints
     );
     if let Some(sim) = &sol.sim {
         println!(
@@ -335,6 +403,21 @@ fn fast(args: &[String]) -> Result<ExitCode, CliError> {
     if let Some(observer) = parse_trace(args)? {
         solver = solver.trace(observer);
     }
+    if let Some(budget) = parse_memory_budget(args)? {
+        solver = solver.memory_budget(budget);
+    }
+    // Undocumented test hook for the exit-code contract tests: makes
+    // every n-taxon stage solve panic, exercising the retry/degrade path.
+    if let Some(n) = parse_count(args, "--inject-panic-taxa")? {
+        solver = solver.panic_on_taxa(n as usize);
+    }
+    if let Some(retries) = parse_count(args, "--retries")? {
+        if retries > 0 {
+            let retries = u32::try_from(retries)
+                .map_err(|_| usage(format!("--retries value {retries} is too large")))?;
+            pipeline = pipeline.retry(RetryPolicy::new().max_attempts(retries + 1));
+        }
+    }
     if let Some(threads) = parse_threads(args)? {
         // One shared pool for everything: the pipeline fans its stage
         // tasks out on it, and each stage's thread-parallel search
@@ -357,6 +440,10 @@ fn fast(args: &[String]) -> Result<ExitCode, CliError> {
         })
         .collect();
     println!("groups: {}", groups.join(" "));
+    println!(
+        "retries: {}  nodes shed: {}  checkpoints: {}",
+        sol.stats.retries, sol.stats.nodes_shed, sol.stats.checkpoints
+    );
     println!("{}", newick::to_newick_with(&sol.tree, |t| m.label(t)));
     let slowest: Vec<String> = sol
         .slowest_stages(3)

@@ -308,3 +308,137 @@ fn zero_threads_is_a_usage_error() {
     assert_eq!(code, Some(2));
     assert!(stderr.contains("at least one thread"), "{stderr}");
 }
+
+/// A deterministic 10-taxon matrix noisy enough that the exact search
+/// keeps a nontrivial open frontier (the 4-taxon MATRIX above can be
+/// solved without ever holding two open nodes).
+fn gen_matrix() -> String {
+    let (stdout, _, ok) = run(&["gen", "random", "10", "--seed", "3"]);
+    assert!(ok, "gen must succeed");
+    stdout
+}
+
+#[test]
+fn memory_budget_sheds_nodes_and_exits_5() {
+    let m = gen_matrix();
+    let (stdout, stderr, code) = run_full(&["solve", "-", "--max-open-nodes", "1"], &m);
+    assert_eq!(code, Some(5), "shedding is an incomplete search\n{stderr}");
+    assert!(stdout.contains("weight:"), "{stdout}");
+    assert!(
+        stdout.contains(";"),
+        "a feasible tree must still be printed"
+    );
+    assert!(stderr.contains("memory budget exhausted"), "{stderr}");
+    let shed: u64 = stdout
+        .lines()
+        .find(|l| l.starts_with("retries:"))
+        .and_then(|l| l.split("nodes shed:").nth(1))
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("stats line carries nodes shed");
+    assert!(shed > 0, "watchdog must report shed nodes:\n{stdout}");
+}
+
+#[test]
+fn zero_max_open_nodes_is_a_usage_error() {
+    let (_, stderr, code) = run_full(&["solve", "-", "--max-open-nodes", "0"], MATRIX);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--max-open-nodes"), "{stderr}");
+}
+
+#[test]
+fn checkpoint_and_resume_round_trip_preserves_the_weight() {
+    let dir = std::env::temp_dir().join(format!("mutree-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("solve.ckpt");
+    let ckpt = ckpt.to_str().unwrap();
+    let m = gen_matrix();
+
+    let (first, stderr, code) = run_full(&["solve", "-", "--checkpoint", ckpt], &m);
+    assert_eq!(code, Some(0), "{stderr}");
+    let weight_line = |out: &str| {
+        out.lines()
+            .find(|l| l.starts_with("weight:"))
+            .map(str::to_owned)
+            .expect("weight line")
+    };
+    let ckpts: u64 = first
+        .lines()
+        .find(|l| l.starts_with("retries:"))
+        .and_then(|l| l.split("checkpoints:").nth(1))
+        .and_then(|s| s.trim().parse().ok())
+        .expect("stats line carries checkpoints");
+    assert!(
+        ckpts >= 1,
+        "at least the final snapshot is written:\n{first}"
+    );
+
+    let (resumed, stderr, code) = run_full(&["solve", "-", "--resume", ckpt], &m);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert_eq!(
+        weight_line(&first),
+        weight_line(&resumed),
+        "resume must reach the identical optimum"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_resume_file_is_an_input_error() {
+    let dir = std::env::temp_dir().join(format!("mutree-ckpt-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("garbage.ckpt");
+    std::fs::write(&ckpt, b"not a checkpoint at all").unwrap();
+    let (_, stderr, code) = run_full(&["solve", "-", "--resume", ckpt.to_str().unwrap()], MATRIX);
+    assert_eq!(
+        code,
+        Some(3),
+        "corrupt snapshots are input errors\n{stderr}"
+    );
+    assert!(stderr.contains("checkpoint"), "{stderr}");
+    assert!(!stderr.contains("USAGE"), "data errors stay one-line");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_interval_without_checkpoint_is_a_usage_error() {
+    let (_, stderr, code) = run_full(&["solve", "-", "--checkpoint-interval", "64"], MATRIX);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--checkpoint"), "{stderr}");
+}
+
+#[test]
+fn retry_exhausted_stage_degrades_and_exits_5() {
+    // threshold 2 leaves a 2-taxon condensed meta solve; injecting a panic
+    // there with one retry exhausts the policy and degrades the stage.
+    let (stdout, stderr, code) = run_full(
+        &[
+            "fast",
+            "-",
+            "--threshold",
+            "2",
+            "--inject-panic-taxa",
+            "2",
+            "--retries",
+            "1",
+        ],
+        MATRIX,
+    );
+    assert_eq!(code, Some(5), "retry-exhausted is incomplete\n{stderr}");
+    assert!(
+        stdout.contains(";"),
+        "a feasible tree must still be printed"
+    );
+    assert!(stderr.contains("solver panicked"), "{stderr}");
+    assert!(
+        stdout.contains("retries: 1"),
+        "the spent retry must be reported:\n{stdout}"
+    );
+}
+
+#[test]
+fn retried_fast_run_stays_exit_0_when_the_fault_is_absent() {
+    let (stdout, stderr, code) = run_full(&["fast", "-", "--retries", "2"], MATRIX);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("retries: 0"), "{stdout}");
+}

@@ -1,0 +1,153 @@
+//! Byte codec for ultrametric trees in checkpoint payloads.
+//!
+//! Checkpoint files (see [`mutree_bnb::checkpoint`]) carry an opaque
+//! solution payload; for MUT solves that payload is an
+//! [`UltrametricTree`] in the **original** matrix indexing, serialized by
+//! this module. The encoding is a pre-order walk: a leaf is a tag byte
+//! plus its taxon as `u64` little-endian; an internal node is a tag byte,
+//! its height as IEEE-754 bits little-endian, then the two child
+//! encodings. Bit-exact heights round-trip, so a resumed search warm
+//! starts from *exactly* the incumbent the interrupted run had.
+//!
+//! The decoder validates structure (join heights must dominate subtree
+//! heights, taxa must be distinct) and returns `None` rather than
+//! panicking on malformed bytes — the checksum in the checkpoint file
+//! catches corruption first, but the decoder never trusts that.
+
+use mutree_tree::{NodeId, NodeKind, UltrametricTree};
+
+const TAG_LEAF: u8 = 0;
+const TAG_INTERNAL: u8 = 1;
+
+/// Serializes `tree` into the checkpoint payload byte layout.
+pub fn encode_tree(tree: &UltrametricTree) -> Vec<u8> {
+    fn enc(tree: &UltrametricTree, id: NodeId, out: &mut Vec<u8>) {
+        match tree.kind(id) {
+            NodeKind::Leaf(taxon) => {
+                out.push(TAG_LEAF);
+                out.extend_from_slice(&(taxon as u64).to_le_bytes());
+            }
+            NodeKind::Internal(a, b) => {
+                out.push(TAG_INTERNAL);
+                out.extend_from_slice(&tree.height_of(id).to_bits().to_le_bytes());
+                enc(tree, a, out);
+                enc(tree, b, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    enc(tree, tree.root(), &mut out);
+    out
+}
+
+/// Parses a payload produced by [`encode_tree`]. Returns `None` on any
+/// structural problem: truncation, trailing bytes, unknown tags, a join
+/// height below a subtree height, or duplicate taxa.
+pub fn decode_tree(bytes: &[u8]) -> Option<UltrametricTree> {
+    fn dec(bytes: &[u8], pos: &mut usize) -> Option<UltrametricTree> {
+        let tag = *bytes.get(*pos)?;
+        *pos += 1;
+        let mut take8 = || -> Option<[u8; 8]> {
+            let s = bytes.get(*pos..*pos + 8)?;
+            *pos += 8;
+            s.try_into().ok()
+        };
+        match tag {
+            TAG_LEAF => {
+                let taxon = u64::from_le_bytes(take8()?);
+                Some(UltrametricTree::leaf(usize::try_from(taxon).ok()?))
+            }
+            TAG_INTERNAL => {
+                let height = f64::from_bits(u64::from_le_bytes(take8()?));
+                let left = dec(bytes, pos)?;
+                let right = dec(bytes, pos)?;
+                // `join` would panic on these; the decoder refuses instead.
+                if !(height >= left.height() && height >= right.height()) {
+                    return None;
+                }
+                if left.taxa().any(|t| right.leaf_of(t).is_some()) {
+                    return None;
+                }
+                Some(UltrametricTree::join(left, right, height))
+            }
+            _ => None,
+        }
+    }
+    let mut pos = 0;
+    let tree = dec(bytes, &mut pos)?;
+    (pos == bytes.len()).then_some(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> UltrametricTree {
+        UltrametricTree::join(
+            UltrametricTree::cherry(0, 3, 1.5),
+            UltrametricTree::join(
+                UltrametricTree::cherry(1, 4, 0.25),
+                UltrametricTree::leaf(2),
+                2.0,
+            ),
+            7.125,
+        )
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let t = sample();
+        let decoded = decode_tree(&encode_tree(&t)).unwrap();
+        assert_eq!(decoded.weight().to_bits(), t.weight().to_bits());
+        assert_eq!(decoded.height().to_bits(), t.height().to_bits());
+        assert_eq!(
+            decoded.taxa().collect::<Vec<_>>(),
+            t.taxa().collect::<Vec<_>>()
+        );
+        for a in t.taxa() {
+            for b in t.taxa().filter(|&b| b > a) {
+                assert_eq!(
+                    decoded.leaf_distance(a, b).unwrap().to_bits(),
+                    t.leaf_distance(a, b).unwrap().to_bits(),
+                    "distance ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_round_trips() {
+        let t = UltrametricTree::leaf(7);
+        let decoded = decode_tree(&encode_tree(&t)).unwrap();
+        assert_eq!(decoded.taxa().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected_not_panicked() {
+        let good = encode_tree(&sample());
+        // Truncations at every prefix length.
+        for len in 0..good.len() {
+            assert!(decode_tree(&good[..len]).is_none(), "prefix {len}");
+        }
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_tree(&long).is_none());
+        // Unknown tag.
+        let mut bad = good.clone();
+        bad[0] = 9;
+        assert!(decode_tree(&bad).is_none());
+        // A join height below its subtrees (flip sign bit of the root
+        // height) must be refused, not panicked on.
+        let mut neg = good;
+        neg[8] ^= 0x80;
+        assert!(decode_tree(&neg).is_none());
+        // Duplicate taxa.
+        let dup = encode_tree(&UltrametricTree::cherry(0, 1, 1.0));
+        let mut twice = vec![TAG_INTERNAL];
+        twice.extend_from_slice(&2.0f64.to_bits().to_le_bytes());
+        twice.extend_from_slice(&dup);
+        twice.extend_from_slice(&dup);
+        assert!(decode_tree(&twice).is_none());
+    }
+}

@@ -35,6 +35,13 @@ pub enum MutError {
         /// Why the search stopped.
         reason: mutree_bnb::StopReason,
     },
+    /// A checkpoint file could not be read, verified or decoded for a
+    /// resume — corrupt or truncated files refuse loudly rather than
+    /// silently warm-starting from wrong data.
+    Checkpoint {
+        /// What went wrong (I/O failure, checksum mismatch, bad payload…).
+        message: String,
+    },
     /// An underlying matrix error.
     Matrix(MatrixError),
     /// An underlying tree error.
@@ -57,6 +64,7 @@ impl fmt::Display for MutError {
                     "search stopped ({reason}) before any feasible tree was found"
                 )
             }
+            MutError::Checkpoint { message } => write!(f, "checkpoint error: {message}"),
             MutError::Matrix(e) => write!(f, "matrix error: {e}"),
             MutError::Tree(e) => write!(f, "tree error: {e}"),
         }

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod codec;
 mod error;
 pub mod exec;
 mod leafset;
@@ -57,7 +58,9 @@ pub use error::MutError;
 pub use exec::{Executor, TaskDag};
 pub use leafset::{LeafIter, LeafWords};
 pub use node::PartialTree;
-pub use pipeline::{CompactPipeline, DegradeReason, DegradedGroup, PipelineSolution, StageTiming};
+pub use pipeline::{
+    CompactPipeline, DegradeReason, DegradedGroup, PipelineSolution, RetryPolicy, StageTiming,
+};
 pub use problem::{MutProblem, ThreeThree};
 pub use solver::{
     leaf_words_for, solution_newick, MutSolution, MutSolver, SearchBackend, LEAF_WIDTHS,
@@ -65,7 +68,7 @@ pub use solver::{
 };
 
 pub use mutree_bnb::{
-    CancelToken, LoggingObserver, SearchMode, SearchStats, StopReason, Strategy, TraceLevel,
-    WorkerPool,
+    CancelToken, CheckpointError, CheckpointFile, CheckpointPolicy, LoggingObserver, MemoryBudget,
+    SearchMode, SearchStats, StopReason, Strategy, TraceLevel, WorkerPool,
 };
 pub use mutree_tree::Linkage;

@@ -40,8 +40,9 @@
 //! its degradation records and its merged statistics are deterministic.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mutree_bnb::StopReason;
 use mutree_distmat::DistanceMatrix;
@@ -50,6 +51,99 @@ use mutree_tree::{cluster, Linkage, UltrametricTree};
 
 use crate::exec::{Executor, TaskDag, TaskId};
 use crate::{MutError, MutSolver, SearchStats};
+
+/// Retry-with-backoff for faulted pipeline stages.
+///
+/// A stage whose exact solve **panics** or **errors** may be transient
+/// (a poisoned worker thread, a flaky filesystem under a checkpoint); the
+/// pipeline can re-attempt it before dropping down the degradation
+/// ladder. Deterministic stops — deadline, cancellation, branch budget —
+/// are *never* retried: re-running them would fail identically and burn
+/// wall-clock the caller bounded on purpose.
+///
+/// Backoff between attempts is exponential with deterministic jitter:
+/// attempt `a` of stage `s` sleeps
+/// `base·2^(a−1) · (0.5 + 0.5·u(seed, s, a))` where `u` hashes the seed,
+/// the stage path and the attempt number — so a given configuration
+/// retries at identical times on every run, and no two stages thundering
+/// herd on the same schedule.
+///
+/// Retries are bounded twice: [`max_attempts`](RetryPolicy::max_attempts)
+/// per stage, and [`budget`](RetryPolicy::budget) total retries per
+/// pipeline run (shared across all stages, including recursive meta
+/// solves), so a systematically broken solver cannot multiply work
+/// unboundedly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per stage, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further attempt
+    /// (capped at 64× to keep sleeps sane).
+    pub base_backoff: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+    /// Total retries (not attempts) the whole pipeline run may spend.
+    pub budget: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new()
+    }
+}
+
+impl RetryPolicy {
+    /// Three attempts per stage, 1 ms base backoff, a 32-retry pipeline
+    /// budget.
+    pub fn new() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            seed: 0,
+            budget: 32,
+        }
+    }
+
+    /// Sets the per-stage attempt cap (clamped up to 1).
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the base backoff duration.
+    pub fn base_backoff(mut self, base: Duration) -> Self {
+        self.base_backoff = base;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the pipeline-wide retry budget.
+    pub fn budget(mut self, budget: u32) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The deterministic backoff before retrying `stage` after `attempt`
+    /// failed attempts.
+    fn backoff(&self, stage: &str, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(6);
+        let base = self.base_backoff.saturating_mul(1 << exp);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in stage.as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut z = (h ^ self.seed ^ u64::from(attempt)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let frac = ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        base.mul_f64(0.5 + 0.5 * frac)
+    }
+}
 
 /// Why a pipeline stage fell short of a proven-optimal exact solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +188,10 @@ pub struct DegradedGroup {
     pub stage: String,
     /// What happened.
     pub reason: DegradeReason,
+    /// How many solve attempts the stage made before degrading (1 when
+    /// no [`RetryPolicy`] was configured or the first attempt's outcome
+    /// was non-retryable).
+    pub attempts: u32,
 }
 
 /// Wall-clock time one pipeline stage took.
@@ -102,8 +200,12 @@ pub struct StageTiming {
     /// Depth-qualified stage path (same scheme as
     /// [`DegradedGroup::stage`]), plus `merge` for the join stage.
     pub stage: String,
-    /// Seconds the stage ran for.
+    /// Seconds the stage ran for (including any retry backoff).
     pub seconds: f64,
+    /// Solve attempts the stage made (1 unless a [`RetryPolicy`]
+    /// re-attempted a panicked or errored solve). Always 1 for the
+    /// `merge` join, which is not a solve.
+    pub attempts: u32,
 }
 
 /// A solved pipeline instance.
@@ -168,6 +270,11 @@ pub struct CompactPipeline {
     solver: MutSolver,
     max_depth: usize,
     executor: Option<Executor>,
+    retry: Option<RetryPolicy>,
+    /// Remaining pipeline-wide retry budget for the current run. Shared
+    /// (via `Clone`) with the recursive meta pipelines of the same run;
+    /// re-armed by [`solve`](CompactPipeline::solve).
+    retry_budget: Arc<AtomicU32>,
 }
 
 impl Default for CompactPipeline {
@@ -205,6 +312,8 @@ impl CompactPipeline {
             solver: MutSolver::new(),
             max_depth: 8,
             executor: env_executor(),
+            retry: None,
+            retry_budget: Arc::new(AtomicU32::new(0)),
         }
     }
 
@@ -248,6 +357,14 @@ impl CompactPipeline {
         self.executor.as_ref()
     }
 
+    /// Retries panicked or errored stage solves under `policy` before
+    /// they degrade down the fallback ladder. Off by default: without a
+    /// policy every failure degrades immediately, exactly as before.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
     /// The solver clone handed to each stage task: when the pipeline has
     /// an executor and the solver does not, the solver borrows the
     /// pipeline's pool (a no-op for non-Parallel backends).
@@ -270,7 +387,13 @@ impl CompactPipeline {
     /// 256 with the widest monomorphized leaf bitset), and any error from
     /// the underlying solver.
     pub fn solve(&self, m: &DistanceMatrix) -> Result<PipelineSolution, MutError> {
-        self.solve_at_depth(m, 0, "")
+        // Re-arm the pipeline-wide retry budget for this run; the clone
+        // shares the armed counter with every recursive meta pipeline.
+        let mut run = self.clone();
+        run.retry_budget = Arc::new(AtomicU32::new(
+            run.retry.as_ref().map_or(0, |policy| policy.budget),
+        ));
+        run.solve_at_depth(m, 0, "")
     }
 
     fn solve_at_depth(
@@ -296,10 +419,18 @@ impl CompactPipeline {
             }
             let stage = format!("{prefix}whole");
             let started = Instant::now();
-            let st = solve_stage(&self.task_solver(), m, None, &stage);
+            let st = solve_stage(
+                &self.task_solver(),
+                m,
+                None,
+                &stage,
+                self.retry.as_ref(),
+                &self.retry_budget,
+            );
             let timings = vec![StageTiming {
                 stage,
                 seconds: started.elapsed().as_secs_f64(),
+                attempts: st.attempts,
             }];
             let mut tree = st.tree;
             let weight = tree.fit_heights(m);
@@ -360,8 +491,17 @@ impl CompactPipeline {
                     let task_sub = Arc::clone(&sub);
                     let task_group = group.clone();
                     let task_stage = stage.clone();
+                    let retry = self.retry.clone();
+                    let budget = Arc::clone(&self.retry_budget);
                     let id = dag.add(stage, &[], move |_| {
-                        let mut st = solve_stage(&solver, &task_sub, Some(gi), &task_stage);
+                        let mut st = solve_stage(
+                            &solver,
+                            &task_sub,
+                            Some(gi),
+                            &task_stage,
+                            retry.as_ref(),
+                            &budget,
+                        );
                         // Solver taxa are submatrix-relative; map back.
                         st.tree.map_taxa(|local| task_group[local]);
                         StageData::Group(st)
@@ -406,20 +546,33 @@ impl CompactPipeline {
                             })
                             .collect(),
                         timings: rec.timings,
+                        // The recursion's own stages carry their attempt
+                        // counts; the wrapping meta task made one "attempt".
+                        attempts: 1,
                     }
                 }))
             })
         } else {
             let solver = task_solver.clone();
             let task_stage = meta_stage.clone();
+            let retry = self.retry.clone();
+            let budget = Arc::clone(&self.retry_budget);
             dag.add(meta_stage, &[], move |_| {
-                let st = solve_stage(&solver, &condensed, None, &task_stage);
+                let st = solve_stage(
+                    &solver,
+                    &condensed,
+                    None,
+                    &task_stage,
+                    retry.as_ref(),
+                    &budget,
+                );
                 StageData::Meta(Ok(MetaOut {
                     tree: st.tree,
                     stats: st.stats,
                     stop: st.stop,
                     degraded: st.degraded,
                     timings: Vec::new(),
+                    attempts: st.attempts,
                 }))
             })
         };
@@ -500,14 +653,21 @@ impl CompactPipeline {
             timings.push(StageTiming {
                 stage: report.label.clone(),
                 seconds: report.elapsed.as_secs_f64(),
+                attempts: 1,
             });
             match report.result {
                 Some(StageData::Group(st)) => {
+                    if let Some(t) = timings.last_mut() {
+                        t.attempts = st.attempts;
+                    }
                     stats.merge(&st.stats);
                     stop = stop.worst(st.stop);
                     degraded.extend(st.degraded);
                 }
                 Some(StageData::Meta(Ok(out))) => {
+                    if let Some(t) = timings.last_mut() {
+                        t.attempts = out.attempts;
+                    }
                     stats.merge(&out.stats);
                     stop = stop.worst(out.stop);
                     degraded.extend(out.degraded);
@@ -523,6 +683,7 @@ impl CompactPipeline {
                             group: Some(gi),
                             stage: report.label,
                             reason: DegradeReason::Panicked,
+                            attempts: 1,
                         });
                     }
                 }
@@ -561,6 +722,7 @@ struct StageTree {
     stats: SearchStats,
     stop: StopReason,
     degraded: Vec<DegradedGroup>,
+    attempts: u32,
 }
 
 /// The meta stage's payload: an exact solve's [`StageTree`] fields, or a
@@ -571,6 +733,7 @@ struct MetaOut {
     stop: StopReason,
     degraded: Vec<DegradedGroup>,
     timings: Vec<StageTiming>,
+    attempts: u32,
 }
 
 /// The merge join's payload.
@@ -614,25 +777,39 @@ struct MergeSlot {
 /// (with `group` as the top-level group index, `None` for
 /// meta/whole-matrix stages, and `stage` as the depth-qualified path) and
 /// folded into the returned `stop` reason.
+///
+/// With a [`RetryPolicy`], a panicked or errored attempt is re-run (after
+/// the policy's deterministic backoff) *before* step 3's agglomerative
+/// fallback, as long as the per-stage attempt cap and the shared
+/// pipeline-wide `budget` both permit. Deterministic stops — deadline,
+/// cancellation, branch budget — are never retried. A retried stage that
+/// eventually succeeds reports its attempt count but is **not** degraded.
 fn solve_stage(
     solver: &MutSolver,
     sub: &DistanceMatrix,
     group: Option<usize>,
     stage: &str,
+    retry: Option<&RetryPolicy>,
+    budget: &AtomicU32,
 ) -> StageTree {
     let mut stats = SearchStats::default();
     let mut stop = StopReason::Completed;
     let mut degraded = Vec::new();
-    let tree = 'tree: {
+    let mut attempts: u32 = 0;
+    let tree = 'tree: loop {
+        // Re-checked every attempt: a deadline or cancellation that fires
+        // during backoff must not trigger another doomed solve.
         if let Some(reason) = solver.stop_requested() {
             stop = stop.worst(reason);
             degraded.push(DegradedGroup {
                 group,
                 stage: stage.to_string(),
                 reason: DegradeReason::Stopped(reason),
+                attempts: attempts.max(1),
             });
             break 'tree cluster(sub, Linkage::Maximum);
         }
+        attempts += 1;
         let reason = match catch_unwind(AssertUnwindSafe(|| solver.solve(sub))) {
             Ok(Ok(sol)) => {
                 stats.merge(&sol.stats);
@@ -642,6 +819,7 @@ fn solve_stage(
                         group,
                         stage: stage.to_string(),
                         reason: DegradeReason::Stopped(sol.stop),
+                        attempts,
                     });
                 }
                 break 'tree sol.tree;
@@ -653,23 +831,42 @@ fn solve_stage(
                 DegradeReason::Stopped(reason)
             }
             Ok(Err(e)) => DegradeReason::Error(e.to_string()),
-            Err(_) => {
-                stop = stop.worst(StopReason::WorkerPanicked);
-                DegradeReason::Panicked
-            }
+            Err(_) => DegradeReason::Panicked,
         };
+        // Panics and solver errors may be transient; deterministic stops
+        // are not. Retry the former — under both the per-stage cap and
+        // the pipeline-wide budget — before degrading.
+        if matches!(reason, DegradeReason::Panicked | DegradeReason::Error(_)) {
+            if let Some(policy) = retry {
+                let budgeted = || {
+                    budget
+                        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| b.checked_sub(1))
+                        .is_ok()
+                };
+                if attempts < policy.max_attempts && budgeted() {
+                    std::thread::sleep(policy.backoff(stage, attempts));
+                    continue;
+                }
+            }
+        }
+        if matches!(reason, DegradeReason::Panicked) {
+            stop = stop.worst(StopReason::WorkerPanicked);
+        }
         degraded.push(DegradedGroup {
             group,
             stage: stage.to_string(),
             reason,
+            attempts,
         });
-        cluster(sub, Linkage::Maximum)
+        break 'tree cluster(sub, Linkage::Maximum);
     };
+    stats.retries += u64::from(attempts.saturating_sub(1));
     StageTree {
         tree,
         stats,
         stop,
         degraded,
+        attempts: attempts.max(1),
     }
 }
 
@@ -956,6 +1153,139 @@ mod tests {
         assert!(nested.iter().all(|d| d.group.is_none()));
         // And the recursion's stage timings are flattened into ours.
         assert!(pipe.timings.iter().any(|t| t.stage.starts_with("meta[1]/")));
+    }
+
+    #[test]
+    fn retried_stage_that_recovers_is_not_degraded() {
+        let m = structured6();
+        // threshold(4) splits structured6 into {0,1,2,4} and {3,5}: only
+        // the 4-taxon group solve hits the fueled fault. Two units of
+        // fuel, three attempts per stage: both panics are retried away
+        // and the third attempt succeeds.
+        let solver = MutSolver::new().panic_on_taxa_times(4, 2);
+        let pipe = CompactPipeline::new()
+            .threshold(4)
+            .solver(solver)
+            .retry(RetryPolicy::new().base_backoff(Duration::from_micros(100)))
+            .solve(&m)
+            .unwrap();
+        assert!(pipe.is_complete(), "degraded: {:?}", pipe.degraded);
+        assert_eq!(pipe.stop, StopReason::Completed);
+        assert!(pipe.tree.is_feasible_for(&m, 1e-9));
+        assert_eq!(pipe.stats.retries, 2, "both injected panics retried");
+        let extra: u32 = pipe.timings.iter().map(|t| t.attempts - 1).sum();
+        assert_eq!(extra, 2, "timings carry the attempt counts");
+        // And the result matches a fault-free run.
+        let clean = CompactPipeline::new().threshold(4).solve(&m).unwrap();
+        assert!((pipe.weight - clean.weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_attempts_degrade_exactly_like_no_retry() {
+        let m = structured6();
+        let faulty = || MutSolver::new().panic_on_taxa(4);
+        let with_retry = CompactPipeline::new()
+            .threshold(4)
+            .solver(faulty())
+            .retry(
+                RetryPolicy::new()
+                    .max_attempts(2)
+                    .base_backoff(Duration::from_micros(100)),
+            )
+            .solve(&m)
+            .unwrap();
+        let without = CompactPipeline::new()
+            .threshold(4)
+            .solver(faulty())
+            .solve(&m)
+            .unwrap();
+        // Same fallback trees, same degradation records (bar the attempt
+        // counts), same worst stop.
+        assert!((with_retry.weight - without.weight).abs() < 1e-9);
+        assert_eq!(with_retry.stop, StopReason::WorkerPanicked);
+        assert_eq!(with_retry.degraded.len(), without.degraded.len());
+        for (a, b) in with_retry.degraded.iter().zip(&without.degraded) {
+            assert_eq!(a.stage, b.stage);
+            assert_eq!(a.reason, b.reason);
+            assert_eq!(a.attempts, 2, "retry policy spent its attempt cap");
+            assert_eq!(b.attempts, 1, "no policy means a single attempt");
+        }
+        assert!(with_retry.tree.is_feasible_for(&m, 1e-9));
+    }
+
+    #[test]
+    fn retry_budget_caps_total_pipeline_retries() {
+        let m = structured6();
+        // Permanent fault, generous per-stage cap, but only one retry in
+        // the whole pipeline's budget.
+        let pipe = CompactPipeline::new()
+            .threshold(4)
+            .solver(MutSolver::new().panic_on_taxa(4))
+            .retry(
+                RetryPolicy::new()
+                    .max_attempts(5)
+                    .budget(1)
+                    .base_backoff(Duration::from_micros(100)),
+            )
+            .solve(&m)
+            .unwrap();
+        assert_eq!(pipe.stats.retries, 1, "budget bounds retries, not stages");
+        assert!(pipe.tree.is_feasible_for(&m, 1e-9));
+    }
+
+    #[test]
+    fn retry_runs_are_deterministic() {
+        let m = structured6();
+        let run = || {
+            CompactPipeline::new()
+                .threshold(4)
+                .solver(MutSolver::new().panic_on_taxa(4))
+                .retry(
+                    RetryPolicy::new()
+                        .seed(42)
+                        .base_backoff(Duration::from_micros(100)),
+                )
+                .solve(&m)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert!((a.weight - b.weight).abs() < 1e-12);
+        assert_eq!(a.degraded, b.degraded);
+        assert_eq!(a.stats.retries, b.stats.retries);
+    }
+
+    #[test]
+    fn stopped_outcomes_are_never_retried() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let m = gen::perturbed_ultrametric(16, 70.0, 0.08, &mut rng);
+        // Budget exhaustion is deterministic: re-running would stop at the
+        // same branch count, so the policy must not burn retries on it.
+        let pipe = CompactPipeline::new()
+            .threshold(6)
+            .solver(MutSolver::new().without_upgmm().max_branches(0))
+            .retry(RetryPolicy::new())
+            .solve(&m)
+            .unwrap();
+        assert_eq!(pipe.stats.retries, 0);
+        assert!(pipe
+            .degraded
+            .iter()
+            .all(|d| d.attempts == 1 && matches!(d.reason, DegradeReason::Stopped(_))));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let p = RetryPolicy::new()
+            .seed(7)
+            .base_backoff(Duration::from_millis(2));
+        assert_eq!(p.backoff("group 1", 1), p.backoff("group 1", 1));
+        assert_ne!(p.backoff("group 1", 1), p.backoff("group 2", 1));
+        for attempt in 1..4 {
+            let d = p.backoff("meta", attempt);
+            let base = Duration::from_millis(2) * (1 << (attempt - 1));
+            assert!(d >= base / 2 && d <= base, "attempt {attempt}: {d:?}");
+        }
     }
 
     #[test]

@@ -58,6 +58,16 @@ pub struct MutProblem<const K: usize = 1> {
     close_pairs: Vec<u8>,
     three_three: ThreeThree,
     use_upgmm: bool,
+    /// Permuted-index → original-index taxon map for checkpoint payloads;
+    /// `None` means the identity (no maxmin relabeling was applied).
+    /// Checkpoints always store original indexing so a resumed run is
+    /// independent of the relabeling that produced the snapshot.
+    taxon_map: Option<Vec<usize>>,
+    /// A warm-start incumbent recovered from a checkpoint, already in
+    /// *permuted* indexing. Competes with the UPGMM tree in
+    /// [`initial_incumbent`](Problem::initial_incumbent); the better
+    /// bound wins.
+    resume: Option<(UltrametricTree, f64)>,
 }
 
 /// No strict close pair: the triple constrains nothing.
@@ -124,12 +134,30 @@ impl<const K: usize> MutProblem<K> {
             close_pairs,
             three_three,
             use_upgmm,
+            taxon_map: None,
+            resume: None,
         }
     }
 
     /// The matrix this problem searches over.
     pub fn matrix(&self) -> &DistanceMatrix {
         &self.m
+    }
+
+    /// Sets the permuted→original taxon map applied when encoding
+    /// checkpoint payloads (see [`Problem::encode_solution`]). Without it,
+    /// payloads use the problem's own (permuted) indexing.
+    pub fn set_taxon_map(&mut self, map: Vec<usize>) {
+        self.taxon_map = Some(map);
+    }
+
+    /// Injects a checkpoint-recovered incumbent (in this problem's own,
+    /// i.e. permuted, indexing). It competes with the UPGMM heuristic in
+    /// [`Problem::initial_incumbent`]; whichever bound is lower seeds the
+    /// search, so a resume can only tighten the warm start, never loosen
+    /// it.
+    pub fn set_resume_incumbent(&mut self, tree: UltrametricTree, weight: f64) {
+        self.resume = Some((tree, weight));
     }
 
     fn bound_of(&self, t: &PartialTree<K>) -> f64 {
@@ -208,16 +236,34 @@ impl<const K: usize> Problem for MutProblem<K> {
     }
 
     fn initial_incumbent(&self) -> Option<(UltrametricTree, f64)> {
-        if !self.use_upgmm {
-            return None;
-        }
         // Paper-faithful: the UPGMM tree with its complete-linkage heights
         // (Wu–Chao–Tang Step 3 uses the heuristic's own cost as UB; the
         // search quickly re-derives the minimal heights for good
         // topologies anyway).
-        let t = cluster(&self.m, Linkage::Maximum);
-        let w = t.weight();
-        Some((t, w))
+        let upgmm = self.use_upgmm.then(|| {
+            let t = cluster(&self.m, Linkage::Maximum);
+            let w = t.weight();
+            (t, w)
+        });
+        // A checkpoint-recovered incumbent competes with the heuristic:
+        // the lower bound wins, so resuming never weakens the warm start.
+        match (upgmm, self.resume.clone()) {
+            (Some(u), Some(r)) => Some(if r.1 < u.1 { r } else { u }),
+            (u, r) => u.or(r),
+        }
+    }
+
+    fn encode_solution(&self, solution: &UltrametricTree) -> Option<Vec<u8>> {
+        // Checkpoints store original taxon indexing: remap before
+        // serializing when the matrix was maxmin-relabeled.
+        match &self.taxon_map {
+            Some(map) => {
+                let mut t = solution.clone();
+                t.map_taxa(|permuted| map[permuted]);
+                Some(crate::codec::encode_tree(&t))
+            }
+            None => Some(crate::codec::encode_tree(solution)),
+        }
     }
 }
 

@@ -1,9 +1,12 @@
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mutree_bnb::{
-    solve_parallel_observed, solve_parallel_pooled, solve_sequential_observed, CancelToken,
-    LoggingObserver, SearchMode, SearchOptions, SearchStats, StopReason, Strategy,
+    checkpoint, solve_parallel_observed, solve_parallel_pooled, solve_sequential_observed,
+    CancelToken, CheckpointFile, CheckpointPolicy, LoggingObserver, MemoryBudget, SearchMode,
+    SearchOptions, SearchStats, StopReason, Strategy,
 };
 use mutree_clustersim::{ClusterSpec, SimReport};
 use mutree_distmat::DistanceMatrix;
@@ -118,7 +121,11 @@ pub struct MutSolver {
     executor: Option<Executor>,
     trace: Option<LoggingObserver>,
     panic_on_taxa: Option<usize>,
+    panic_fuel: Option<(usize, Arc<AtomicU64>)>,
     leaf_words: Option<usize>,
+    memory: Option<MemoryBudget>,
+    checkpoint: Option<CheckpointPolicy>,
+    resume: Option<PathBuf>,
 }
 
 impl Default for MutSolver {
@@ -145,7 +152,11 @@ impl MutSolver {
             executor: None,
             trace: None,
             panic_on_taxa: None,
+            panic_fuel: None,
             leaf_words: None,
+            memory: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 
@@ -207,6 +218,59 @@ impl MutSolver {
         self.deadline
     }
 
+    /// Caps the number of simultaneously open search nodes (the dominant
+    /// memory consumer). On breach the watchdog sheds the worst-bound
+    /// open nodes and the solve finishes with
+    /// [`StopReason::MemoryExhausted`]: the tree returned is the best
+    /// found, an upper bound rather than a proven optimum. Applies to the
+    /// sequential and thread-parallel backends; the simulated cluster
+    /// models the paper's machines, which had no such guard.
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory = Some(budget);
+        self
+    }
+
+    /// Writes crash-safe snapshots of the best incumbent to `path` while
+    /// solving, plus one final snapshot when the solve returns. A later
+    /// run can warm-start from the file via
+    /// [`resume_from`](MutSolver::resume_from). See
+    /// [`mutree_bnb::checkpoint`] for the file format.
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        self.checkpoint = Some(match self.checkpoint {
+            Some(p) => CheckpointPolicy { path, ..p },
+            None => CheckpointPolicy::new(path),
+        });
+        self
+    }
+
+    /// Sets the snapshot cadence in branch operations (default 512).
+    /// Only meaningful together with [`checkpoint_to`](MutSolver::checkpoint_to).
+    pub fn checkpoint_interval(mut self, every: u64) -> Self {
+        if let Some(p) = self.checkpoint.take() {
+            self.checkpoint = Some(p.interval(every));
+        } else {
+            // Remember the cadence for a later `checkpoint_to`.
+            self.checkpoint = Some(CheckpointPolicy::new(PathBuf::new()).interval(every));
+        }
+        self
+    }
+
+    /// Warm-starts the solve from a checkpoint written by a previous run
+    /// (same matrix): the snapshot's incumbent seeds the upper bound, so
+    /// the resumed search prunes at least as hard as the interrupted one
+    /// did. The optimum found is bit-identical to an uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// [`MutError::Checkpoint`](crate::MutError::Checkpoint) from
+    /// [`solve`](MutSolver::solve) when the file is missing, corrupt, or
+    /// encodes a tree over different taxa than the matrix.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
     /// Whether an attached deadline or cancel token already demands a
     /// stop. The pipeline uses this to skip doomed exact solves and jump
     /// straight to the agglomerative fallback.
@@ -249,6 +313,17 @@ impl MutSolver {
     #[doc(hidden)]
     pub fn panic_on_taxa(mut self, n: usize) -> Self {
         self.panic_on_taxa = Some(n);
+        self
+    }
+
+    /// Test-only fault injection with *fuel*: the first `times` solves of
+    /// an `n`-taxon matrix panic, later ones succeed. The fuel counter is
+    /// shared across clones of this solver — exactly what a pipeline
+    /// stage sees — so retry tests can fail a stage a fixed number of
+    /// times and then let it recover.
+    #[doc(hidden)]
+    pub fn panic_on_taxa_times(mut self, n: usize, times: u64) -> Self {
+        self.panic_fuel = Some((n, Arc::new(AtomicU64::new(times))));
         self
     }
 
@@ -335,6 +410,15 @@ impl MutSolver {
         if self.panic_on_taxa == Some(n) {
             panic!("injected fault: {n}-taxon solve");
         }
+        if let Some((taxa, fuel)) = &self.panic_fuel {
+            if *taxa == n
+                && fuel
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |f| f.checked_sub(1))
+                    .is_ok()
+            {
+                panic!("injected fault: {n}-taxon solve (fueled)");
+            }
+        }
 
         // Step 1: maxmin relabeling. When the permutation is the identity
         // (the matrix is already in maxmin order) there is nothing to
@@ -353,12 +437,49 @@ impl MutSolver {
             (m, None)
         };
 
-        let problem = MutProblem::<K>::new(pm, self.three_three, self.use_upgmm);
+        let mut problem = MutProblem::<K>::new(pm, self.three_three, self.use_upgmm);
+        if let Some(order) = &order {
+            problem.set_taxon_map(order.clone());
+        }
+        if let Some(path) = &self.resume {
+            let ckpt = checkpoint::read(path).map_err(|e| MutError::Checkpoint {
+                message: e.to_string(),
+            })?;
+            let mut tree =
+                crate::codec::decode_tree(&ckpt.payload).ok_or_else(|| MutError::Checkpoint {
+                    message: "payload does not decode to an ultrametric tree".into(),
+                })?;
+            if tree.leaf_count() != n || tree.taxa().any(|t| t >= n) {
+                return Err(MutError::Checkpoint {
+                    message: format!(
+                        "checkpoint tree has {} leaves, matrix has {n} taxa",
+                        tree.leaf_count()
+                    ),
+                });
+            }
+            // The payload is in original indexing; the problem searches the
+            // permuted matrix, so map through the inverse permutation.
+            if let Some(order) = &order {
+                let mut inv = vec![0usize; n];
+                for (permuted, &original) in order.iter().enumerate() {
+                    inv[original] = permuted;
+                }
+                tree.map_taxa(|original| inv[original]);
+            }
+            problem.set_resume_incumbent(tree, ckpt.best_value);
+        }
         let mut opts = SearchOptions::new(self.mode)
             .max_branches(self.max_branches)
             .strategy(self.strategy);
         opts.deadline = self.deadline;
         opts.cancel = self.cancel.clone();
+        opts.memory = self.memory;
+        // A cadence set before any destination was given has an empty
+        // path; never hand that to the drivers.
+        opts.checkpoint = self
+            .checkpoint
+            .clone()
+            .filter(|p| !p.path.as_os_str().is_empty());
 
         let (outcome, sim) = match &self.backend {
             SearchBackend::Sequential => (
@@ -409,11 +530,26 @@ impl MutSolver {
         }
         assert!(!trees.is_empty(), "search returned a value but no tree");
         let tree = trees[0].clone();
+        let mut stats = outcome.stats;
+        // One final durable snapshot after the solve, whatever stopped it:
+        // covers runs too short (or too interrupted) for a periodic write
+        // to have fired, so `--resume` always has the latest incumbent.
+        if let Some(policy) = opts.checkpoint.as_ref() {
+            let file = CheckpointFile {
+                best_value: weight,
+                open_nodes: 0,
+                branched: stats.branched,
+                payload: crate::codec::encode_tree(&tree),
+            };
+            if checkpoint::write_atomic(&policy.path, &file).is_ok() {
+                stats.checkpoints += 1;
+            }
+        }
         Ok(MutSolution {
             tree,
             weight,
             trees,
-            stats: outcome.stats,
+            stats,
             stop: outcome.stop,
             sim,
         })
