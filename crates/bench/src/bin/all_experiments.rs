@@ -1,5 +1,5 @@
 //! Runs every experiment in sequence (the full evaluation).
-use mutree_bench::experiments::{ablations, frontier, hpcasia, leafwords, pact};
+use mutree_bench::experiments::{ablations, bound_kernel, frontier, hpcasia, leafwords, pact};
 
 fn main() {
     let tables = [
@@ -28,6 +28,7 @@ fn main() {
         ablations::exp_taskgraph(),
         frontier::exp_frontier(),
         leafwords::exp_leafwords(),
+        bound_kernel::exp_bound_kernel(),
     ];
     for t in tables {
         t.emit(None).expect("write results");

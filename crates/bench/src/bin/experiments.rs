@@ -11,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use mutree_bench::experiments::{ablations, frontier, hpcasia, leafwords, pact};
+use mutree_bench::experiments::{ablations, bound_kernel, frontier, hpcasia, leafwords, pact};
 use mutree_bench::report::Table;
 
 /// Builds the `NAMES` table and the dispatch function in one place, so a
@@ -55,6 +55,7 @@ experiments! {
     "exp_taskgraph" => ablations::exp_taskgraph,
     "exp_frontier" => frontier::exp_frontier,
     "exp_leafwords" => leafwords::exp_leafwords,
+    "exp_bound_kernel" => bound_kernel::exp_bound_kernel,
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,168 @@
+//! `exp_bound_kernel` — the lane-oriented bound path against the scalar
+//! packed-triangle reference.
+//!
+//! The bound arithmetic (masked row maxima during insertion, column-min
+//! prefixes, 3-3 close-pair codes) now runs through
+//! `mutree_bnb::bound`'s fixed-lane kernels over a blocked, cache-line
+//! aligned `SolverMatrix` copy of the relabeled matrix. This experiment
+//! prices that against the historical scalar path on the same 400-solve
+//! clustered batch as `exp_frontier`/`exp_leafwords`, once per
+//! monomorphized leaf width K = 1, 2, 4 (widths forced wide where the
+//! matrices would dispatch narrower, so the width cost and the kernel
+//! win are measured on the same instances).
+//!
+//! Throughput is nodes per second over branched nodes — and because the
+//! two kernels run bit-identical searches (asserted per instance via
+//! `same_optimum`/`same_branched`), the node counts are common to both
+//! columns and the throughput ratio *is* the time ratio. The closing
+//! `k2/k1` rows report the price of doubling the leafset width under
+//! each kernel: the lane path reads rows at the mask-word stride, so
+//! widening the bitset should cost visibly less than it does on the
+//! scalar path.
+
+use std::time::Instant;
+
+use mutree_bnb::{solve_sequential, BoundKernel, SearchMode, SearchOptions};
+use mutree_core::{MutProblem, ThreeThree};
+
+use crate::data;
+use crate::report::{fmt_secs, Table};
+
+/// Instances per batch — identical mix to `exp_frontier` (20 sixteen-taxon
+/// + 380 twelve-taxon), so the experiments watch the same hot path.
+const BATCH: usize = 400;
+
+/// Interleaved repetitions; each kernel's cell is the best of its reps,
+/// and the kernels alternate within a rep so slow host phases hit both
+/// equally.
+const REPS: usize = 4;
+
+/// Per-width measurement: best-of-REPS batch seconds per kernel, the
+/// common branched-node total, and the agreement verdicts.
+struct WidthRun {
+    scalar_s: f64,
+    lanes_s: f64,
+    nodes: u64,
+    same_optimum: bool,
+    same_branched: bool,
+}
+
+/// Runs the batch at one monomorphized width, both kernels interleaved.
+fn bench_width<const K: usize>(matrices: &[mutree_distmat::DistanceMatrix]) -> WidthRun {
+    let opts = SearchOptions::new(SearchMode::BestOne);
+    let scalar: Vec<MutProblem<K>> = matrices
+        .iter()
+        .map(|pm| MutProblem::<K>::with_kernel(pm, ThreeThree::Off, true, BoundKernel::Scalar))
+        .collect();
+    let lanes: Vec<MutProblem<K>> = matrices
+        .iter()
+        .map(|pm| MutProblem::<K>::with_kernel(pm, ThreeThree::Off, true, BoundKernel::Lanes))
+        .collect();
+
+    let (mut scalar_s, mut lanes_s) = (f64::INFINITY, f64::INFINITY);
+    let mut scalar_out: Vec<(Option<f64>, u64)> = Vec::new();
+    let mut lanes_out: Vec<(Option<f64>, u64)> = Vec::new();
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        scalar_out = scalar
+            .iter()
+            .map(|p| {
+                let out = solve_sequential(p, &opts);
+                (out.best_value, out.stats.branched)
+            })
+            .collect();
+        scalar_s = scalar_s.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        lanes_out = lanes
+            .iter()
+            .map(|p| {
+                let out = solve_sequential(p, &opts);
+                (out.best_value, out.stats.branched)
+            })
+            .collect();
+        lanes_s = lanes_s.min(t0.elapsed().as_secs_f64());
+    }
+
+    let same_optimum = scalar_out
+        .iter()
+        .zip(&lanes_out)
+        .all(|((a, _), (b, _))| match (a, b) {
+            (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+            _ => false,
+        });
+    let same_branched = scalar_out
+        .iter()
+        .zip(&lanes_out)
+        .all(|((_, a), (_, b))| a == b);
+    WidthRun {
+        scalar_s,
+        lanes_s,
+        nodes: lanes_out.iter().map(|(_, b)| b).sum(),
+        same_optimum,
+        same_branched,
+    }
+}
+
+/// `exp_bound_kernel` — scalar vs lane bound arithmetic at K = 1, 2, 4 on
+/// the 400-solve clustered batch (sequential driver, interleaved best of
+/// 4), plus the leaf-width overhead under each kernel.
+pub fn exp_bound_kernel() -> Table {
+    let mut t = Table::new(
+        "exp_bound_kernel",
+        "bound kernel: scalar packed-triangle vs blocked lane path at K=1/2/4 on the 400-solve clustered batch (sequential, interleaved best of 4)",
+        &[
+            "k",
+            "scalar",
+            "lanes",
+            "speedup",
+            "scalar_knodes_s",
+            "lanes_knodes_s",
+            "same_optimum",
+            "same_branched",
+        ],
+    );
+
+    // The exp_frontier workload, maxmin-relabeled (the production bound
+    // configuration), shared across every width and kernel.
+    let matrices: Vec<_> = (0..20)
+        .map(|i| data::clustered_matrix(4, 4, 0x5eed + i as u64))
+        .chain((0..380).map(|i| data::clustered_matrix(4, 3, 0xfade + i as u64)))
+        .map(|m| m.maxmin_permutation().apply(&m))
+        .collect();
+    assert_eq!(matrices.len(), BATCH);
+
+    let runs = [
+        (1usize, bench_width::<1>(&matrices)),
+        (2, bench_width::<2>(&matrices)),
+        (4, bench_width::<4>(&matrices)),
+    ];
+    for (k, run) in &runs {
+        t.push(vec![
+            k.to_string(),
+            fmt_secs(run.scalar_s),
+            fmt_secs(run.lanes_s),
+            format!("{:.3}", run.scalar_s / run.lanes_s.max(1e-12)),
+            format!("{:.1}", run.nodes as f64 / run.scalar_s.max(1e-12) / 1e3),
+            format!("{:.1}", run.nodes as f64 / run.lanes_s.max(1e-12) / 1e3),
+            run.same_optimum.to_string(),
+            run.same_branched.to_string(),
+        ]);
+    }
+
+    // The width-overhead rows: forced K=2 over native K=1, per kernel.
+    // The lane path's stride-shared layout is what this refactor buys;
+    // the scalar column is the historical 9–12% band for reference.
+    let (k1, k2) = (&runs[0].1, &runs[1].1);
+    t.push(vec![
+        "k2/k1".into(),
+        format!("{:.3}", k2.scalar_s / k1.scalar_s.max(1e-12)),
+        format!("{:.3}", k2.lanes_s / k1.lanes_s.max(1e-12)),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t
+}

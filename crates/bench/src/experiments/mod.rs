@@ -13,8 +13,12 @@
 //! * [`leafwords`] — the const-generic leaf-bitset widths: K=1 vs K=2 on
 //!   the frontier batch (hot-path regression watch), plus the 80-taxon
 //!   wide solve the width dispatcher unlocked.
+//! * [`bound_kernel`] — the lane-oriented bound path over the blocked
+//!   solver matrix against the scalar packed-triangle reference, at
+//!   every monomorphized leaf width.
 
 pub mod ablations;
+pub mod bound_kernel;
 pub mod frontier;
 pub mod hpcasia;
 pub mod leafwords;

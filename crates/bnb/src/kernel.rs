@@ -31,6 +31,13 @@
 //! children and consumed parents are retired into a spare pool that
 //! [`Problem::branch`] implementations can [`recycle`](ChildBuf::recycle)
 //! into the next generation of children instead of allocating fresh nodes.
+//!
+//! The kernel deliberately owns *no* bound arithmetic: it consumes
+//! whatever [`Problem::lower_bound`] cached on the node during
+//! branching. The numeric layer below it — blocked solver-matrix rows
+//! plus the lane kernels in [`bound`](crate::bound) — is where the
+//! per-node math lives, so all three drivers inherit a faster bound path
+//! without a single driver-side change.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};

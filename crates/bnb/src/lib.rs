@@ -87,6 +87,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bound;
 mod cancel;
 pub mod checkpoint;
 pub mod fault;
@@ -99,6 +100,7 @@ mod sequential;
 mod shared_bound;
 mod trace;
 
+pub use bound::BoundKernel;
 pub use cancel::CancelToken;
 pub use checkpoint::{CheckpointError, CheckpointFile, CheckpointPolicy};
 pub use frontier::{ShardedFrontier, WorkerFrontier};

@@ -11,6 +11,16 @@ use crate::CancelToken;
 /// and [`lower_bound`](Problem::lower_bound) must never exceed the value of
 /// any complete solution reachable from the node (admissibility) — pruning
 /// correctness depends on it.
+///
+/// Bound arithmetic is the hot path of every driver: profiles of the
+/// minimum-ultrametric problem put it ahead of frontier bookkeeping at
+/// every thread count. Implementations should therefore treat
+/// `lower_bound` as a *cached read* — compute the bound once while
+/// branching (where the problem's data structures are already hot) and
+/// store it on the node. The [`bound`](crate::bound) module provides
+/// lane-oriented kernels for exactly that arithmetic, fed by a blocked
+/// solver-matrix layout; `lower_bound` itself should never re-derive
+/// anything per call.
 pub trait Problem: Sync {
     /// A partial solution.
     type Node: Clone + Send;

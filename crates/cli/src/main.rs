@@ -334,6 +334,17 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
         64 * words,
         solver.max_taxa()
     );
+    // Which bound arithmetic ran (MUTREE_FORCE_BOUND_KERNEL overrides the
+    // lane default) and the matrix layout it read.
+    println!(
+        "bound kernel: {}  (matrix layout: {})",
+        solver.dispatch_bound_kernel(),
+        match solver.dispatch_bound_kernel() {
+            mutree_core::BoundKernel::Scalar => "packed triangle".to_string(),
+            mutree_core::BoundKernel::Lanes =>
+                format!("blocked rows, stride {} lanes", m.len().div_ceil(64) * 64),
+        }
+    );
     println!(
         "branched: {}  pruned: {}  solutions seen: {}  incumbent updates: {}  peak pool: {}",
         sol.stats.branched,

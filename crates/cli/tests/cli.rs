@@ -67,6 +67,12 @@ fn solve_reads_stdin_and_prints_newick() {
     assert!(stdout.contains("weight: 11"));
     assert!(stdout.contains("alpha"));
     assert!(stdout.contains(";"));
+    // Diagnostics name both the leaf width and the bound kernel in play
+    // (exact values depend on the ambient MUTREE_FORCE_* hooks CI pins,
+    // so assert the lines, not the dispatch).
+    assert!(stdout.contains("leaf words: "), "{stdout}");
+    assert!(stdout.contains("bound kernel: "), "{stdout}");
+    assert!(stdout.contains("matrix layout: "), "{stdout}");
 }
 
 #[test]

@@ -1,0 +1,209 @@
+//! The distance source a [`PartialTree`](crate::PartialTree) insertion
+//! reads from — the seam between tree surgery and the bound layer.
+//!
+//! Inserting a species updates heights along its root path, and every
+//! update needs one masked row maximum: `max_{y ∈ mask} M[s, y]` over
+//! the leaf set of a sibling subtree. That maximum *is* the hot bound
+//! arithmetic, so the search monomorphizes the insertion path over two
+//! sources:
+//!
+//! * [`DistanceMatrix`] — the scalar reference: packed-triangle
+//!   `get(s, y)` per mask bit, exactly the historical code path. Kept
+//!   as the `MUTREE_FORCE_BOUND_KERNEL=scalar` baseline the
+//!   differential tests compare against.
+//! * [`LaneDist`] — a [`SolverMatrix`] view: each masked maximum is one
+//!   call into the fixed-lane kernels of [`mutree_bnb::bound`] over a
+//!   contiguous, cache-line-aligned row, with the leaf-mask words
+//!   selecting lanes at the shared 64-lane-per-word stride.
+//!
+//! Every masked maximum within one insertion reads the *same* species'
+//! row (the one being inserted), so the trait hands out a per-species
+//! [`RowMax`] cursor: the insertion walk fetches it once and the
+//! per-ancestor calls pay no row lookup — for the lane path that turns
+//! each height update into a peel over an already-resolved `&[f64]`.
+//!
+//! Both sources produce bit-identical heights: a floating-point `max`
+//! over the same set of values does not depend on evaluation order.
+
+use mutree_bnb::bound;
+use mutree_distmat::{DistanceMatrix, SolverMatrix};
+
+use crate::leafset::LeafWords;
+
+/// A resolved row cursor for one species: repeated masked maxima against
+/// `M[s, ·]` with the row lookup already paid.
+pub trait RowMax {
+    /// `max_{y ∈ mask} M[s, y]`, floored at `0.0` (distances are
+    /// non-negative; the floor matches the historical accumulator and
+    /// makes the empty mask well-defined).
+    fn max_to_mask<const K: usize>(&self, mask: &LeafWords<K>) -> f64;
+}
+
+/// Pairwise distances as consumed by the insertion/bound hot path.
+///
+/// Implementations must agree with the underlying matrix bit for bit;
+/// the solver dispatches between them per
+/// [`BoundKernel`](mutree_bnb::BoundKernel), and the differential suite
+/// asserts the searches are indistinguishable.
+pub trait DistSource {
+    /// The per-species cursor [`row_max`](DistSource::row_max) resolves.
+    type Row<'a>: RowMax + Copy
+    where
+        Self: 'a;
+
+    /// Number of taxa.
+    fn taxa(&self) -> usize;
+
+    /// Distance between taxa `i` and `j` (zero when `i == j`).
+    fn dist(&self, i: usize, j: usize) -> f64;
+
+    /// Resolves the cursor for species `s` — fetch once per insertion,
+    /// then take masked maxima per ancestor.
+    fn row_max(&self, s: usize) -> Self::Row<'_>;
+
+    /// One-shot convenience: `max_{y ∈ mask} M[s, y]` without keeping
+    /// the cursor.
+    #[inline]
+    fn max_to_mask<const K: usize>(&self, s: usize, mask: &LeafWords<K>) -> f64 {
+        self.row_max(s).max_to_mask(mask)
+    }
+}
+
+/// The scalar cursor: peel mask bits lowest-first, one packed-triangle
+/// lookup each — the exact loop the bound math shipped with, preserved
+/// as the differential baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarRowMax<'a> {
+    m: &'a DistanceMatrix,
+    s: usize,
+}
+
+impl RowMax for ScalarRowMax<'_> {
+    #[inline]
+    fn max_to_mask<const K: usize>(&self, mask: &LeafWords<K>) -> f64 {
+        let mut best = 0.0f64;
+        for y in mask.iter() {
+            best = best.max(self.m.get(self.s, y));
+        }
+        best
+    }
+}
+
+impl DistSource for DistanceMatrix {
+    type Row<'a> = ScalarRowMax<'a>;
+
+    #[inline]
+    fn taxa(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.get(i, j)
+    }
+
+    #[inline]
+    fn row_max(&self, s: usize) -> ScalarRowMax<'_> {
+        ScalarRowMax { m: self, s }
+    }
+}
+
+/// A [`SolverMatrix`] viewed as a [`DistSource`]: masked row maxima run
+/// through the lane kernels of [`mutree_bnb::bound`].
+#[derive(Debug, Clone, Copy)]
+pub struct LaneDist<'a> {
+    sm: &'a SolverMatrix,
+}
+
+impl<'a> LaneDist<'a> {
+    /// Wraps a solver matrix (a cheap reference view; build the matrix
+    /// once per solve).
+    #[inline]
+    pub fn new(sm: &'a SolverMatrix) -> Self {
+        LaneDist { sm }
+    }
+
+    /// The underlying blocked matrix.
+    #[inline]
+    pub fn solver_matrix(&self) -> &'a SolverMatrix {
+        self.sm
+    }
+}
+
+/// The lane cursor: the species' blocked row, already resolved to one
+/// contiguous aligned slice.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneRowMax<'a> {
+    row: &'a [f64],
+}
+
+impl RowMax for LaneRowMax<'_> {
+    #[inline]
+    fn max_to_mask<const K: usize>(&self, mask: &LeafWords<K>) -> f64 {
+        bound::max_in_mask(self.row, mask.words())
+    }
+}
+
+impl DistSource for LaneDist<'_> {
+    type Row<'b>
+        = LaneRowMax<'b>
+    where
+        Self: 'b;
+
+    #[inline]
+    fn taxa(&self) -> usize {
+        self.sm.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.sm.get(i, j)
+    }
+
+    #[inline]
+    fn row_max(&self, s: usize) -> LaneRowMax<'_> {
+        LaneRowMax {
+            row: self.sm.row(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_lane_sources_agree_bit_for_bit() {
+        let m = DistanceMatrix::from_rows(&[
+            vec![0.0, 9.0, 4.0, 6.0, 5.0],
+            vec![9.0, 0.0, 7.0, 8.0, 6.0],
+            vec![4.0, 7.0, 0.0, 3.0, 5.0],
+            vec![6.0, 8.0, 3.0, 0.0, 5.0],
+            vec![5.0, 6.0, 5.0, 5.0, 0.0],
+        ])
+        .unwrap();
+        let sm = SolverMatrix::new(&m);
+        let lanes = LaneDist::new(&sm);
+        assert_eq!(lanes.taxa(), m.taxa());
+        for s in 0..5 {
+            let scalar_row = m.row_max(s);
+            let lane_row = lanes.row_max(s);
+            for bits in 0u64..32 {
+                let mut mask = LeafWords::<2>::EMPTY;
+                for y in 0..5 {
+                    if bits & (1 << y) != 0 && y != s {
+                        mask.insert(y);
+                    }
+                }
+                let a = scalar_row.max_to_mask(&mask);
+                let b = lane_row.max_to_mask(&mask);
+                assert_eq!(a.to_bits(), b.to_bits(), "s = {s}, mask = {mask:?}");
+                assert_eq!(a.to_bits(), m.max_to_mask(s, &mask).to_bits());
+                assert_eq!(b.to_bits(), lanes.max_to_mask(s, &mask).to_bits());
+            }
+            for j in 0..5 {
+                assert_eq!(m.get(s, j).to_bits(), lanes.dist(s, j).to_bits());
+            }
+        }
+    }
+}

@@ -45,6 +45,7 @@
 
 mod cluster;
 pub mod codec;
+mod dist;
 mod error;
 pub mod exec;
 mod leafset;
@@ -54,6 +55,7 @@ mod problem;
 mod solver;
 
 pub use cluster::{solve_simulated, solve_simulated_observed, SimCost, SimulatedOutcome};
+pub use dist::{DistSource, LaneDist, LaneRowMax, RowMax, ScalarRowMax};
 pub use error::MutError;
 pub use exec::{Executor, TaskDag};
 pub use leafset::{LeafIter, LeafWords};
@@ -68,7 +70,7 @@ pub use solver::{
 };
 
 pub use mutree_bnb::{
-    CancelToken, CheckpointError, CheckpointFile, CheckpointPolicy, LoggingObserver, MemoryBudget,
-    SearchMode, SearchStats, StopReason, Strategy, TraceLevel, WorkerPool,
+    BoundKernel, CancelToken, CheckpointError, CheckpointFile, CheckpointPolicy, LoggingObserver,
+    MemoryBudget, SearchMode, SearchStats, StopReason, Strategy, TraceLevel, WorkerPool,
 };
 pub use mutree_tree::Linkage;

@@ -1,6 +1,6 @@
-use mutree_distmat::DistanceMatrix;
 use mutree_tree::UltrametricTree;
 
+use crate::dist::{DistSource, RowMax};
 use crate::leafset::LeafWords;
 
 const NONE: u32 = u32::MAX;
@@ -80,13 +80,19 @@ impl<const K: usize> PartialTree<K> {
     /// The root BBT node: the unique topology over taxa `{0, 1}`, with
     /// height `M[0,1] / 2`.
     ///
+    /// Generic over the [`DistSource`]: pass the plain
+    /// [`DistanceMatrix`](mutree_distmat::DistanceMatrix) for the scalar
+    /// reference path, or a [`LaneDist`](crate::LaneDist) view of the
+    /// blocked [`SolverMatrix`](mutree_distmat::SolverMatrix) for the
+    /// lane-kernel path — both produce bit-identical trees.
+    ///
     /// # Panics
     ///
     /// Panics when the matrix exceeds [`MAX_TAXA`](Self::MAX_TAXA) taxa
     /// (enforce via [`MutSolver`](crate::MutSolver), which dispatches to a
     /// wide-enough width and returns an error beyond the widest).
-    pub fn cherry(m: &DistanceMatrix) -> Self {
-        let n = m.len();
+    pub fn cherry<S: DistSource>(m: &S) -> Self {
+        let n = m.taxa();
         assert!(
             n <= Self::MAX_TAXA,
             "PartialTree with {K} leaf words supports at most {} taxa, got {n}",
@@ -114,8 +120,8 @@ impl<const K: usize> PartialTree<K> {
         t.parent[0] = r as u32;
         t.parent[1] = r as u32;
         t.leafset[r] = LeafWords::singleton(0).union(LeafWords::singleton(1));
-        t.height[r] = m.get(0, 1) / 2.0;
-        t.weight = m.get(0, 1);
+        t.height[r] = m.dist(0, 1) / 2.0;
+        t.weight = m.dist(0, 1);
         t
     }
 
@@ -166,7 +172,7 @@ impl<const K: usize> PartialTree<K> {
     ///
     /// Panics (in debug builds) when the tree is already complete or
     /// `site` is not a live node.
-    pub fn insert_next(&self, m: &DistanceMatrix, site: u32) -> PartialTree<K> {
+    pub fn insert_next<S: DistSource>(&self, m: &S, site: u32) -> PartialTree<K> {
         let mut t = self.clone();
         t.insert_in_place(m, site);
         t
@@ -176,16 +182,20 @@ impl<const K: usize> PartialTree<K> {
     /// into `scratch` (typically a retired sibling from the same search)
     /// instead of allocating a fresh tree. With a warmed-up scratch this is
     /// allocation-free: `clone_from` reuses the arena vectors in place.
-    pub fn insert_next_into(&self, m: &DistanceMatrix, site: u32, scratch: &mut PartialTree<K>) {
+    pub fn insert_next_into<S: DistSource>(&self, m: &S, site: u32, scratch: &mut PartialTree<K>) {
         scratch.clone_from(self);
         scratch.insert_in_place(m, site);
     }
 
     /// Inserts the next species above `site`, mutating `self` (which must
-    /// be a copy of the parent node).
-    fn insert_in_place(&mut self, m: &DistanceMatrix, site: u32) {
+    /// be a copy of the parent node). The masked row maxima feeding each
+    /// ancestor's height all read the inserted taxon's row, so the cursor
+    /// from [`row_max`](DistSource::row_max) is fetched once up front —
+    /// the bound-kernel seam.
+    fn insert_in_place<S: DistSource>(&mut self, m: &S, site: u32) {
         debug_assert!(!self.is_complete(), "tree is already complete");
         let s = self.k as usize; // the taxon being inserted
+        let srow = m.row_max(s);
         let n = self.n as usize;
         let e = site as usize;
         debug_assert!(
@@ -202,7 +212,7 @@ impl<const K: usize> PartialTree<K> {
         self.parent[e] = j as u32;
         self.parent[s] = j as u32;
         self.leafset[j] = self.leafset[e].union(sbit);
-        let cand = self.max_dist_to_mask(m, s, self.leafset[e]) / 2.0;
+        let cand = srow.max_to_mask(&self.leafset[e]) / 2.0;
         self.height[j] = self.height[e].max(cand);
         if p == NONE {
             self.root = j as u32;
@@ -229,7 +239,7 @@ impl<const K: usize> PartialTree<K> {
             } else {
                 self.left[ai]
             } as usize;
-            let cand = self.max_dist_to_mask(m, s, self.leafset[sibling]) / 2.0;
+            let cand = srow.max_to_mask(&self.leafset[sibling]) / 2.0;
             self.height[ai] = self.height[ai].max(self.height[child]).max(cand);
             child = ai;
             a = self.parent[ai];
@@ -237,14 +247,6 @@ impl<const K: usize> PartialTree<K> {
 
         self.k += 1;
         self.weight = self.recompute_weight();
-    }
-
-    fn max_dist_to_mask(&self, m: &DistanceMatrix, s: usize, mask: LeafWords<K>) -> f64 {
-        let mut best = 0.0f64;
-        for y in mask.iter() {
-            best = best.max(m.get(s, y));
-        }
-        best
     }
 
     fn recompute_weight(&self) -> f64 {
@@ -321,6 +323,7 @@ impl<const K: usize> PartialTree<K> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mutree_distmat::DistanceMatrix;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -1,7 +1,11 @@
-use mutree_bnb::{ChildBuf, Problem};
-use mutree_distmat::DistanceMatrix;
+use mutree_bnb::bound::{
+    self, triple_index, CLOSE_EARLIER, CLOSE_NONE, CLOSE_WITH_HIGH, CLOSE_WITH_LOW,
+};
+use mutree_bnb::{BoundKernel, ChildBuf, Problem};
+use mutree_distmat::{DistanceMatrix, SolverMatrix};
 use mutree_tree::{cluster, triples, Linkage, UltrametricTree};
 
+use crate::dist::{DistSource, LaneDist};
 use crate::PartialTree;
 
 /// How aggressively to apply the 3-3 relationship rule during branching.
@@ -43,10 +47,25 @@ pub enum ThreeThree {
 /// * **Initial incumbent** — the UPGMM tree (complete-linkage
 ///   agglomeration) with its own linkage heights, whose distances
 ///   dominate the matrix — exactly the paper's Step 3 upper bound.
+///
+/// The bound arithmetic itself runs through a [`BoundKernel`]: `Scalar`
+/// keeps the historical packed-triangle loops as the differential
+/// baseline; `Lanes` (the default) reads a blocked, cache-line-aligned
+/// [`SolverMatrix`] copy through the fixed-lane kernels in
+/// [`mutree_bnb::bound`]. Both produce bit-identical lower bounds — the
+/// only reordered operations are floating-point `min`/`max` reductions,
+/// and the one summation (the pendant-edge suffix) uses the shared
+/// [`bound::pendant_suffix`] accumulation order.
 pub struct MutProblem<const K: usize = 1> {
     /// Owned so a problem can be `Arc`-shared across executor tasks whose
     /// lifetimes outlive the caller's stack frame (see `mutree_core::exec`).
     m: DistanceMatrix,
+    /// Blocked row-major copy of `m` (padded rows, cache-line-aligned,
+    /// stride shared with the `LeafWords` mask words) — built once per
+    /// solve, read by the `Lanes` kernel on every insertion.
+    sm: SolverMatrix,
+    /// Which bound arithmetic the searches dispatch through.
+    kernel: BoundKernel,
     /// `suffix[k]` = Σ_{t=k}^{n−1} min_{i<t} M[i,t] / 2; `suffix[n]` = 0.
     suffix: Vec<f64>,
     /// Memoized 3-3 close pairs, one byte per triple `i < j < s` at index
@@ -70,24 +89,6 @@ pub struct MutProblem<const K: usize = 1> {
     resume: Option<(UltrametricTree, f64)>,
 }
 
-/// No strict close pair: the triple constrains nothing.
-const CLOSE_NONE: u8 = 0;
-/// The close pair is `(i, j)` — the earlier two species.
-const CLOSE_EARLIER: u8 = 1;
-/// The close pair is `(i, s)` — the newest species with the lower one.
-const CLOSE_WITH_LOW: u8 = 2;
-/// The close pair is `(j, s)` — the newest species with the higher one.
-const CLOSE_WITH_HIGH: u8 = 3;
-
-/// Flat index of the sorted triple `i < j < s`: triples with maximum
-/// element `< s` occupy the first `C(s,3)` slots, those with maximum `s`
-/// and middle `< j` the next `C(j,2)`, then `i` picks the slot.
-#[inline]
-fn triple_index(i: usize, j: usize, s: usize) -> usize {
-    debug_assert!(i < j && j < s);
-    s * (s - 1) * (s - 2) / 6 + j * (j - 1) / 2 + i
-}
-
 impl<const K: usize> MutProblem<K> {
     /// Wraps a (relabeled) matrix. `use_upgmm` controls whether the UPGMM
     /// heuristic seeds the upper bound (disable to ablate Step 3).
@@ -98,31 +99,71 @@ impl<const K: usize> MutProblem<K> {
     /// bitsets can hold ([`MutSolver`](crate::MutSolver) dispatches to a
     /// wide-enough width automatically).
     pub fn new(m: &DistanceMatrix, three_three: ThreeThree, use_upgmm: bool) -> Self {
+        let kernel = BoundKernel::from_env().unwrap_or_default();
+        Self::with_kernel(m, three_three, use_upgmm, kernel)
+    }
+
+    /// Like [`new`](Self::new) but with an explicit [`BoundKernel`],
+    /// bypassing the `MUTREE_FORCE_BOUND_KERNEL` environment hook —
+    /// the entry point the solver's builder and the differential tests
+    /// use.
+    pub fn with_kernel(
+        m: &DistanceMatrix,
+        three_three: ThreeThree,
+        use_upgmm: bool,
+        kernel: BoundKernel,
+    ) -> Self {
         let n = m.len();
         assert!(
             n <= PartialTree::<K>::MAX_TAXA,
             "MutProblem with {K} leaf words supports at most {} taxa, got {n}",
             PartialTree::<K>::MAX_TAXA
         );
-        let mut suffix = vec![0.0; n + 1];
-        for t in (2..n).rev() {
-            let minrow = (0..t).map(|i| m.get(i, t)).fold(f64::INFINITY, f64::min);
-            suffix[t] = suffix[t + 1] + minrow / 2.0;
+        let sm = SolverMatrix::new(m);
+        // minrow[t] = min_{i<t} M[i,t]; entries below t = 2 stay 0 and are
+        // never read by the suffix recurrence.
+        let mut minrow = vec![0.0; n];
+        for (t, slot) in minrow.iter_mut().enumerate().skip(2) {
+            *slot = match kernel {
+                BoundKernel::Scalar => (0..t).map(|i| m.get(i, t)).fold(f64::INFINITY, f64::min),
+                BoundKernel::Lanes => bound::min_prefix(sm.row(t), t),
+            };
         }
+        let suffix = bound::pendant_suffix(&minrow);
         let close_pairs = if matches!(three_three, ThreeThree::Off) {
             Vec::new()
         } else {
-            let mut table = vec![CLOSE_NONE; n * n.saturating_sub(1) * n.saturating_sub(2) / 6];
-            for s in 2..n {
-                for j in 1..s {
-                    for i in 0..j {
-                        table[triple_index(i, j, s)] =
-                            match triples::close_pair_in_matrix(m, i, j, s) {
-                                None => CLOSE_NONE,
-                                Some(cp) if cp == (i, j) => CLOSE_EARLIER,
-                                Some(cp) if cp == (i, s) => CLOSE_WITH_LOW,
-                                Some(_) => CLOSE_WITH_HIGH,
-                            };
+            let mut table = vec![CLOSE_NONE; bound::close_pair_table_len(n)];
+            match kernel {
+                BoundKernel::Scalar => {
+                    for s in 2..n {
+                        for j in 1..s {
+                            for i in 0..j {
+                                table[triple_index(i, j, s)] =
+                                    match triples::close_pair_in_matrix(m, i, j, s) {
+                                        None => CLOSE_NONE,
+                                        Some(cp) if cp == (i, j) => CLOSE_EARLIER,
+                                        Some(cp) if cp == (i, s) => CLOSE_WITH_LOW,
+                                        Some(_) => CLOSE_WITH_HIGH,
+                                    };
+                            }
+                        }
+                    }
+                }
+                BoundKernel::Lanes => {
+                    // triple_index is linear in i, so the codes for a fixed
+                    // (j, s) land in one contiguous slice of the table.
+                    for s in 2..n {
+                        let row_s = sm.row(s);
+                        for j in 1..s {
+                            let base = triple_index(0, j, s);
+                            bound::close_pair_row(
+                                sm.row(j),
+                                row_s,
+                                row_s[j],
+                                &mut table[base..base + j],
+                            );
+                        }
                     }
                 }
             }
@@ -130,6 +171,8 @@ impl<const K: usize> MutProblem<K> {
         };
         MutProblem {
             m: m.clone(),
+            sm,
+            kernel,
             suffix,
             close_pairs,
             three_three,
@@ -142,6 +185,23 @@ impl<const K: usize> MutProblem<K> {
     /// The matrix this problem searches over.
     pub fn matrix(&self) -> &DistanceMatrix {
         &self.m
+    }
+
+    /// The blocked solver-matrix copy the `Lanes` kernel reads.
+    pub fn solver_matrix(&self) -> &SolverMatrix {
+        &self.sm
+    }
+
+    /// Which bound arithmetic this problem dispatches through.
+    pub fn bound_kernel(&self) -> BoundKernel {
+        self.kernel
+    }
+
+    /// The precomputed bound tables `(suffix, close_pairs)` — exposed for
+    /// the differential suite to assert kernel-independence bit for bit.
+    #[doc(hidden)]
+    pub fn bound_tables(&self) -> (&[f64], &[u8]) {
+        (&self.suffix, &self.close_pairs)
     }
 
     /// Sets the permuted→original taxon map applied when encoding
@@ -187,6 +247,40 @@ impl<const K: usize> MutProblem<K> {
         }
         true
     }
+
+    /// The branching body, monomorphized over the distance source so the
+    /// insertion hot path inlines the chosen kernel's masked maxima with
+    /// no per-call dispatch.
+    fn branch_with<S: DistSource>(
+        &self,
+        m: &S,
+        node: &PartialTree<K>,
+        out: &mut ChildBuf<PartialTree<K>>,
+    ) {
+        let filter = match self.three_three {
+            ThreeThree::Off => false,
+            ThreeThree::InitialOnly => node.leaves_inserted() == 2,
+            ThreeThree::Full => true,
+        };
+        for site in node.insertion_sites() {
+            // Overwrite a retired sibling when one is available: after the
+            // pool warms up, branching allocates nothing.
+            let mut child = match out.recycle() {
+                Some(mut scratch) => {
+                    node.insert_next_into(m, site, &mut scratch);
+                    scratch
+                }
+                None => node.insert_next(m, site),
+            };
+            if filter && !self.three_three_ok(&child) {
+                out.retire(child);
+                continue;
+            }
+            let lb = self.bound_of(&child);
+            child.set_lower_bound(lb);
+            out.push(child);
+        }
+    }
 }
 
 impl<const K: usize> Problem for MutProblem<K> {
@@ -194,7 +288,10 @@ impl<const K: usize> Problem for MutProblem<K> {
     type Solution = UltrametricTree;
 
     fn root(&self) -> PartialTree<K> {
-        let mut t = PartialTree::<K>::cherry(&self.m);
+        let mut t = match self.kernel {
+            BoundKernel::Scalar => PartialTree::<K>::cherry(&self.m),
+            BoundKernel::Lanes => PartialTree::<K>::cherry(&LaneDist::new(&self.sm)),
+        };
         let lb = self.bound_of(&t);
         t.set_lower_bound(lb);
         t
@@ -210,28 +307,9 @@ impl<const K: usize> Problem for MutProblem<K> {
     }
 
     fn branch(&self, node: &PartialTree<K>, out: &mut ChildBuf<PartialTree<K>>) {
-        let filter = match self.three_three {
-            ThreeThree::Off => false,
-            ThreeThree::InitialOnly => node.leaves_inserted() == 2,
-            ThreeThree::Full => true,
-        };
-        for site in node.insertion_sites() {
-            // Overwrite a retired sibling when one is available: after the
-            // pool warms up, branching allocates nothing.
-            let mut child = match out.recycle() {
-                Some(mut scratch) => {
-                    node.insert_next_into(&self.m, site, &mut scratch);
-                    scratch
-                }
-                None => node.insert_next(&self.m, site),
-            };
-            if filter && !self.three_three_ok(&child) {
-                out.retire(child);
-                continue;
-            }
-            let lb = self.bound_of(&child);
-            child.set_lower_bound(lb);
-            out.push(child);
+        match self.kernel {
+            BoundKernel::Scalar => self.branch_with(&self.m, node, out),
+            BoundKernel::Lanes => self.branch_with(&LaneDist::new(&self.sm), node, out),
         }
     }
 

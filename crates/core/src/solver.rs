@@ -5,8 +5,8 @@ use std::time::{Duration, Instant};
 
 use mutree_bnb::{
     checkpoint, solve_parallel_observed, solve_parallel_pooled, solve_sequential_observed,
-    CancelToken, CheckpointFile, CheckpointPolicy, LoggingObserver, MemoryBudget, SearchMode,
-    SearchOptions, SearchStats, StopReason, Strategy,
+    BoundKernel, CancelToken, CheckpointFile, CheckpointPolicy, LoggingObserver, MemoryBudget,
+    SearchMode, SearchOptions, SearchStats, StopReason, Strategy,
 };
 use mutree_clustersim::{ClusterSpec, SimReport};
 use mutree_distmat::DistanceMatrix;
@@ -123,6 +123,7 @@ pub struct MutSolver {
     panic_on_taxa: Option<usize>,
     panic_fuel: Option<(usize, Arc<AtomicU64>)>,
     leaf_words: Option<usize>,
+    bound_kernel: Option<BoundKernel>,
     memory: Option<MemoryBudget>,
     checkpoint: Option<CheckpointPolicy>,
     resume: Option<PathBuf>,
@@ -154,6 +155,7 @@ impl MutSolver {
             panic_on_taxa: None,
             panic_fuel: None,
             leaf_words: None,
+            bound_kernel: None,
             memory: None,
             checkpoint: None,
             resume: None,
@@ -347,6 +349,28 @@ impl MutSolver {
         self
     }
 
+    /// Forces the bound-arithmetic kernel instead of the default
+    /// dispatch: [`BoundKernel::Lanes`] (the blocked solver-matrix path)
+    /// unless `MUTREE_FORCE_BOUND_KERNEL` says otherwise. This builder
+    /// wins over the environment hook; the two kernels produce
+    /// bit-identical searches, so forcing one is a benchmarking and
+    /// differential-testing affordance, never a correctness knob.
+    pub fn bound_kernel(mut self, kernel: BoundKernel) -> Self {
+        self.bound_kernel = Some(kernel);
+        self
+    }
+
+    /// The bound kernel [`solve`](MutSolver::solve) will dispatch
+    /// through: the builder override when set, else the
+    /// `MUTREE_FORCE_BOUND_KERNEL` environment hook (read per solve, not
+    /// cached), else [`BoundKernel::Lanes`]. The CLI reports this in its
+    /// diagnostics.
+    pub fn dispatch_bound_kernel(&self) -> BoundKernel {
+        self.bound_kernel
+            .or_else(BoundKernel::from_env)
+            .unwrap_or_default()
+    }
+
     /// The dispatcher's taxa ceiling for one exact solve
     /// ([`MAX_EXACT_TAXA`]). The compact-set pipeline reads the limit from
     /// here instead of hard-coding it.
@@ -437,7 +461,12 @@ impl MutSolver {
             (m, None)
         };
 
-        let mut problem = MutProblem::<K>::new(pm, self.three_three, self.use_upgmm);
+        let mut problem = MutProblem::<K>::with_kernel(
+            pm,
+            self.three_three,
+            self.use_upgmm,
+            self.dispatch_bound_kernel(),
+        );
         if let Some(order) = &order {
             problem.set_taxon_map(order.clone());
         }
@@ -762,6 +791,26 @@ mod tests {
         assert!(sol.is_complete());
         assert_eq!(sol.tree.leaf_count(), 65);
         assert_eq!(sol.tree.distance_matrix().max_relative_deviation(&m), 0.0);
+    }
+
+    /// Scalar and lane bound kernels must run indistinguishable searches:
+    /// same weight to the bit, same branch and prune counts.
+    #[test]
+    fn forced_bound_kernels_agree_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for m in [m5(), gen::uniform_metric(10, 0.0, 100.0, &mut rng)] {
+            let scalar = MutSolver::new()
+                .bound_kernel(BoundKernel::Scalar)
+                .solve(&m)
+                .unwrap();
+            let lanes = MutSolver::new()
+                .bound_kernel(BoundKernel::Lanes)
+                .solve(&m)
+                .unwrap();
+            assert_eq!(scalar.weight.to_bits(), lanes.weight.to_bits());
+            assert_eq!(scalar.stats.branched, lanes.stats.branched);
+            assert_eq!(scalar.stats.pruned, lanes.stats.pruned);
+        }
     }
 
     /// Forcing a wider width than needed must not change the result.

@@ -11,6 +11,9 @@
 //!   relabeling required by the Wu–Chao–Tang branch-and-bound lower bound,
 //! * slicing — [`DistanceMatrix::submatrix`] and
 //!   [`DistanceMatrix::permute`], used by the compact-set decomposition,
+//! * solver layout — [`SolverMatrix`], the blocked row-major, padded,
+//!   cache-line-aligned copy the branch-and-bound bound kernels read
+//!   (built once per solve, after the maxmin relabeling),
 //! * I/O — PHYLIP-style square matrix parsing and formatting ([`io`]),
 //! * workload generation — random metric and perturbed-ultrametric matrices
 //!   ([`gen`]), matching the paper's "randomly generated species matrix"
@@ -37,6 +40,7 @@
 mod error;
 mod matrix;
 mod ops;
+mod solver;
 
 pub mod gen;
 pub mod io;
@@ -44,3 +48,4 @@ pub mod io;
 pub use error::MatrixError;
 pub use matrix::DistanceMatrix;
 pub use ops::MaxminPermutation;
+pub use solver::{SolverMatrix, LANE_BLOCK, WORD_LANES};

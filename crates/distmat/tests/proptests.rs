@@ -1,6 +1,6 @@
 //! Property tests of the distance-matrix invariants.
 
-use mutree_distmat::{gen, io, DistanceMatrix, MaxminPermutation};
+use mutree_distmat::{gen, io, DistanceMatrix, MaxminPermutation, SolverMatrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -100,5 +100,40 @@ proptest! {
         let m = gen::random_ultrametric(n, 30.0, &mut rng);
         prop_assert!(m.is_ultrametric(1e-9));
         prop_assert!(m.is_metric(1e-9));
+    }
+
+    /// A solver matrix built from the maxmin-permuted matrix round-trips
+    /// bit-for-bit under the inverse permutation: `sm[i][j]` of the
+    /// permuted copy equals `m[order[i]][order[j]]` of the original. Its
+    /// padding lanes stay poisoned (NaN in debug builds) / zeroed
+    /// (release) and never leak into the payload columns.
+    #[test]
+    fn solver_matrix_roundtrips_under_inverse_maxmin(m in arb_matrix(70)) {
+        let n = m.len();
+        let perm = m.maxmin_permutation();
+        let pm = perm.apply(&m);
+        let sm = SolverMatrix::new(&pm);
+        let order = perm.order();
+        prop_assert_eq!(sm.len(), n);
+        prop_assert_eq!(sm.stride() % 64, 0);
+        prop_assert!(sm.stride() >= n);
+        for i in 0..n {
+            let row = sm.row(i);
+            prop_assert_eq!(row.len(), sm.stride());
+            for j in 0..n {
+                // Three ways to the same bits: blocked row, blocked
+                // getter, original matrix through the inverse relabeling.
+                prop_assert_eq!(row[j].to_bits(), sm.get(i, j).to_bits());
+                prop_assert_eq!(row[j].to_bits(), pm.get(i, j).to_bits());
+                prop_assert_eq!(row[j].to_bits(), m.get(order[i], order[j]).to_bits());
+            }
+            for pad in &row[n..] {
+                if cfg!(debug_assertions) {
+                    prop_assert!(pad.is_nan(), "padding must stay poisoned");
+                } else {
+                    prop_assert_eq!(pad.to_bits(), 0.0f64.to_bits());
+                }
+            }
+        }
     }
 }

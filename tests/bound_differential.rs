@@ -1,0 +1,195 @@
+//! Differential agreement between the two bound-arithmetic kernels: the
+//! historical scalar packed-triangle path and the lane-oriented path over
+//! the blocked solver matrix must run *the same search* — identical
+//! optimum weight to the bit, identical topology, identical
+//! `SearchStats.branched`/`pruned` wherever expansion order is
+//! deterministic, and identical precomputed bound tables.
+//!
+//! The contract holds at every monomorphized leaf width (the lane kernels
+//! consume `LeafWords<K>` mask words directly, so width and kernel
+//! compose), and on all three drivers. Kernels are forced two ways: the
+//! `MutSolver::bound_kernel` builder (race-free, used for the sweeps) and
+//! the `MUTREE_FORCE_BOUND_KERNEL` env hook CI pins for its full-suite
+//! passes (exercised once here, serialized within this file).
+
+use mutree::clustersim::ClusterSpec;
+use mutree::core::{BoundKernel, MutProblem, MutSolver, SearchBackend, ThreeThree};
+use mutree::distmat::{gen, DistanceMatrix};
+use mutree::seqgen;
+use mutree::tree::compare::robinson_foulds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small sweep of matrix families: random metric, near-ultrametric,
+/// sequence-derived, and the full-word 64-taxon boundary.
+fn matrices() -> Vec<DistanceMatrix> {
+    let mut out = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        out.push(gen::uniform_metric(7 + seed as usize, 1.0, 100.0, &mut rng));
+    }
+    for seed in [21u64, 22] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        out.push(gen::perturbed_ultrametric(9, 50.0, 0.1, &mut rng));
+    }
+    let mut rng = StdRng::seed_from_u64(31);
+    out.push(seqgen::hmdna_like_matrix(10, 120, &mut rng));
+    let mut rng = StdRng::seed_from_u64(64);
+    out.push(gen::random_ultrametric(64, 100.0, &mut rng));
+    out
+}
+
+/// Bit-for-bit sequential agreement, at both leaf widths that fit these
+/// matrices: widening the bitset or swapping the kernel may not change a
+/// single search decision.
+#[test]
+fn forced_kernels_agree_bit_for_bit_sequentially() {
+    for (mi, m) in matrices().iter().enumerate() {
+        for words in [1usize, 2] {
+            let scalar = MutSolver::new()
+                .leaf_words(words)
+                .bound_kernel(BoundKernel::Scalar)
+                .solve(m)
+                .unwrap();
+            let lanes = MutSolver::new()
+                .leaf_words(words)
+                .bound_kernel(BoundKernel::Lanes)
+                .solve(m)
+                .unwrap();
+            assert!(
+                scalar.is_complete() && lanes.is_complete(),
+                "matrix {mi}, K = {words}"
+            );
+            assert_eq!(
+                scalar.weight.to_bits(),
+                lanes.weight.to_bits(),
+                "matrix {mi}, K = {words}: weight differs"
+            );
+            assert_eq!(
+                scalar.stats.branched, lanes.stats.branched,
+                "matrix {mi}, K = {words}: branch counts differ"
+            );
+            assert_eq!(
+                scalar.stats.pruned, lanes.stats.pruned,
+                "matrix {mi}, K = {words}: prune counts differ"
+            );
+            assert_eq!(
+                robinson_foulds(&scalar.tree, &lanes.tree).unwrap(),
+                0,
+                "matrix {mi}, K = {words}: topologies differ"
+            );
+        }
+    }
+}
+
+/// The same agreement across the thread-parallel and simulated-cluster
+/// drivers (parallel branch counts are scheduling-dependent, so there the
+/// contract is optimum + completeness; the deterministic sim keeps the
+/// full bit-for-bit contract).
+#[test]
+fn forced_kernels_agree_on_all_drivers() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let m = seqgen::hmdna_like_matrix(11, 150, &mut rng);
+    let reference = MutSolver::new()
+        .bound_kernel(BoundKernel::Scalar)
+        .solve(&m)
+        .unwrap();
+    for kernel in [BoundKernel::Scalar, BoundKernel::Lanes] {
+        let par = MutSolver::new()
+            .bound_kernel(kernel)
+            .backend(SearchBackend::Parallel { workers: 4 })
+            .solve(&m)
+            .unwrap();
+        assert!(par.is_complete(), "parallel, {kernel}");
+        assert!((par.weight - reference.weight).abs() < 1e-9);
+    }
+    let sim = |kernel| {
+        MutSolver::new()
+            .bound_kernel(kernel)
+            .backend(SearchBackend::SimulatedCluster {
+                spec: ClusterSpec::with_slaves(4),
+            })
+            .solve(&m)
+            .unwrap()
+    };
+    let sim_scalar = sim(BoundKernel::Scalar);
+    let sim_lanes = sim(BoundKernel::Lanes);
+    assert!(sim_scalar.is_complete() && sim_lanes.is_complete());
+    assert_eq!(sim_scalar.weight.to_bits(), sim_lanes.weight.to_bits());
+    assert_eq!(sim_scalar.stats.branched, sim_lanes.stats.branched);
+    assert_eq!(sim_scalar.stats.pruned, sim_lanes.stats.pruned);
+    assert_eq!(
+        robinson_foulds(&sim_scalar.tree, &sim_lanes.tree).unwrap(),
+        0
+    );
+}
+
+/// The precomputed bound tables — pendant-edge suffix sums and the 3-3
+/// close-pair codes — must come out identical whichever kernel built
+/// them: same suffix bits (the lane path reuses the reference summation
+/// order), same close-pair byte per triple.
+#[test]
+fn bound_tables_are_kernel_independent() {
+    for (mi, m) in matrices().iter().enumerate() {
+        let scalar = MutProblem::<2>::with_kernel(m, ThreeThree::Full, false, BoundKernel::Scalar);
+        let lanes = MutProblem::<2>::with_kernel(m, ThreeThree::Full, false, BoundKernel::Lanes);
+        let (suffix_s, close_s) = scalar.bound_tables();
+        let (suffix_l, close_l) = lanes.bound_tables();
+        assert_eq!(suffix_s.len(), suffix_l.len(), "matrix {mi}");
+        for (t, (a, b)) in suffix_s.iter().zip(suffix_l).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "matrix {mi}: suffix[{t}] differs: {a} vs {b}"
+            );
+        }
+        assert_eq!(close_s, close_l, "matrix {mi}: close-pair tables differ");
+    }
+}
+
+/// The env hook forces the kernel process-wide; the builder overrides it
+/// when both are set, and junk values mean no override. Env mutation is
+/// confined to this one test (integration-test files run as their own
+/// process, and the other tests in this file use the builder, which wins
+/// over the env var — so even concurrent execution within the file stays
+/// correct).
+#[test]
+fn env_hook_forces_kernel() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let m = gen::uniform_metric(8, 1.0, 100.0, &mut rng);
+    let solver = MutSolver::new();
+    // CI's forced passes pin the variable for the whole process; save and
+    // restore it so this test is valid in any ambient configuration.
+    let prior = std::env::var("MUTREE_FORCE_BOUND_KERNEL").ok();
+    std::env::remove_var("MUTREE_FORCE_BOUND_KERNEL");
+    assert_eq!(solver.dispatch_bound_kernel(), BoundKernel::Lanes);
+
+    std::env::set_var("MUTREE_FORCE_BOUND_KERNEL", "scalar");
+    assert_eq!(solver.dispatch_bound_kernel(), BoundKernel::Scalar);
+    let forced = solver.solve(&m).unwrap();
+    // Builder beats env.
+    assert_eq!(
+        solver
+            .clone()
+            .bound_kernel(BoundKernel::Lanes)
+            .dispatch_bound_kernel(),
+        BoundKernel::Lanes
+    );
+    std::env::set_var("MUTREE_FORCE_BOUND_KERNEL", "lanes");
+    assert_eq!(solver.dispatch_bound_kernel(), BoundKernel::Lanes);
+    // Junk values mean no override.
+    std::env::set_var("MUTREE_FORCE_BOUND_KERNEL", "avx-512");
+    assert_eq!(solver.dispatch_bound_kernel(), BoundKernel::Lanes);
+    match prior {
+        Some(v) => std::env::set_var("MUTREE_FORCE_BOUND_KERNEL", v),
+        None => std::env::remove_var("MUTREE_FORCE_BOUND_KERNEL"),
+    }
+
+    let baseline = MutSolver::new()
+        .bound_kernel(BoundKernel::Lanes)
+        .solve(&m)
+        .unwrap();
+    assert_eq!(forced.weight.to_bits(), baseline.weight.to_bits());
+    assert_eq!(forced.stats.branched, baseline.stats.branched);
+    assert_eq!(robinson_foulds(&forced.tree, &baseline.tree).unwrap(), 0);
+}
