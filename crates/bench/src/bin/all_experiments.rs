@@ -1,5 +1,7 @@
 //! Runs every experiment in sequence (the full evaluation).
-use mutree_bench::experiments::{ablations, bound_kernel, frontier, hpcasia, leafwords, pact};
+use mutree_bench::experiments::{
+    ablations, bound_kernel, cache, frontier, hpcasia, leafwords, pact,
+};
 
 fn main() {
     let tables = [
@@ -29,6 +31,7 @@ fn main() {
         frontier::exp_frontier(),
         leafwords::exp_leafwords(),
         bound_kernel::exp_bound_kernel(),
+        cache::exp_cache(),
     ];
     for t in tables {
         t.emit(None).expect("write results");

@@ -11,7 +11,9 @@
 
 use std::process::ExitCode;
 
-use mutree_bench::experiments::{ablations, bound_kernel, frontier, hpcasia, leafwords, pact};
+use mutree_bench::experiments::{
+    ablations, bound_kernel, cache, frontier, hpcasia, leafwords, pact,
+};
 use mutree_bench::report::Table;
 
 /// Builds the `NAMES` table and the dispatch function in one place, so a
@@ -56,6 +58,7 @@ experiments! {
     "exp_frontier" => frontier::exp_frontier,
     "exp_leafwords" => leafwords::exp_leafwords,
     "exp_bound_kernel" => bound_kernel::exp_bound_kernel,
+    "exp_cache" => cache::exp_cache,
 }
 
 fn main() -> ExitCode {

@@ -16,9 +16,13 @@
 //! * [`bound_kernel`] — the lane-oriented bound path over the blocked
 //!   solver matrix against the scalar packed-triangle reference, at
 //!   every monomorphized leaf width.
+//! * [`cache`] — the content-addressed group-solve cache: the frontier
+//!   batch solved cold then replayed warm through cache-enabled solve
+//!   plans (hit rate, replay speedup, bit-identity).
 
 pub mod ablations;
 pub mod bound_kernel;
+pub mod cache;
 pub mod frontier;
 pub mod hpcasia;
 pub mod leafwords;

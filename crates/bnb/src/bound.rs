@@ -45,13 +45,12 @@ pub enum BoundKernel {
 }
 
 impl BoundKernel {
-    /// Reads the `MUTREE_FORCE_BOUND_KERNEL` override: `scalar` or
-    /// `lanes` forces every solve in the process onto that path (the CI
-    /// matrix runs the full suite once per value). Unset, empty or
-    /// unrecognized values mean no override. Read per solve, not
-    /// cached, so tests can toggle it.
-    pub fn from_env() -> Option<BoundKernel> {
-        match std::env::var("MUTREE_FORCE_BOUND_KERNEL").ok()?.trim() {
+    /// Parses a kernel name: `scalar` or `lanes` (whitespace trimmed).
+    /// Unrecognized values mean no kernel. This is the pure half of the
+    /// `MUTREE_FORCE_BOUND_KERNEL` override, whose environment read lives
+    /// with every other env hook in the engine crate's plan resolution.
+    pub fn parse(spec: &str) -> Option<BoundKernel> {
+        match spec.trim() {
             "scalar" => Some(BoundKernel::Scalar),
             "lanes" => Some(BoundKernel::Lanes),
             _ => None,
@@ -369,15 +368,10 @@ mod tests {
     }
 
     #[test]
-    fn env_override_parses_known_values_only() {
-        // Serialized within this test: set, read, restore.
-        std::env::set_var("MUTREE_FORCE_BOUND_KERNEL", "scalar");
-        assert_eq!(BoundKernel::from_env(), Some(BoundKernel::Scalar));
-        std::env::set_var("MUTREE_FORCE_BOUND_KERNEL", "lanes");
-        assert_eq!(BoundKernel::from_env(), Some(BoundKernel::Lanes));
-        std::env::set_var("MUTREE_FORCE_BOUND_KERNEL", "simd512");
-        assert_eq!(BoundKernel::from_env(), None);
-        std::env::remove_var("MUTREE_FORCE_BOUND_KERNEL");
-        assert_eq!(BoundKernel::from_env(), None);
+    fn kernel_names_parse_known_values_only() {
+        assert_eq!(BoundKernel::parse("scalar"), Some(BoundKernel::Scalar));
+        assert_eq!(BoundKernel::parse(" lanes\n"), Some(BoundKernel::Lanes));
+        assert_eq!(BoundKernel::parse("simd512"), None);
+        assert_eq!(BoundKernel::parse(""), None);
     }
 }

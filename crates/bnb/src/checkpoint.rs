@@ -36,6 +36,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::hash::fnv1a;
+
 /// File magic for checkpoint files.
 const MAGIC: [u8; 8] = *b"MUTCKPT\0";
 
@@ -124,17 +126,6 @@ impl From<io::Error> for CheckpointError {
     fn from(e: io::Error) -> Self {
         CheckpointError::Io(e)
     }
-}
-
-/// FNV-1a 64-bit hash — small, dependency-free, and plenty to catch the
-/// torn or bit-rotted files this checksum exists for.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// Serializes a checkpoint into its on-disk byte layout.

@@ -13,8 +13,9 @@
 //!   per-node expansion fast path acquires **no mutex at all**;
 //! * surplus nodes are **donated in batches** to one of `S` sharded
 //!   overflow pools (`S` chosen from the worker count, overridable via
-//!   the `MUTREE_FRONTIER_SHARDS` environment variable), and only when a
-//!   peer is actually parked waiting for work;
+//!   [`SearchOptions::frontier_shards`](crate::SearchOptions::frontier_shards),
+//!   which callers resolve from the `MUTREE_FRONTIER_SHARDS` environment
+//!   hook), and only when a peer is actually parked waiting for work;
 //! * a starved worker sweeps the shards in a **randomized victim order**
 //!   (seeded deterministically from its worker ordinal) and **steals half
 //!   a victim's batch** in one lock acquisition;
@@ -60,8 +61,9 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use crate::kernel::{shed_worst_from_stack, Frontier, SearchEvent, SearchObserver};
 
 /// Hard ceiling on the shard count (also the cap for the
-/// `MUTREE_FRONTIER_SHARDS` override). More shards than this buys
-/// nothing: steals sweep every shard, so the sweep cost is linear in it.
+/// [`SearchOptions::frontier_shards`](crate::SearchOptions::frontier_shards)
+/// override). More shards than this buys nothing: steals sweep every
+/// shard, so the sweep cost is linear in it.
 const MAX_SHARDS: usize = 64;
 
 /// A worker only donates when its local stack holds at least this many
@@ -123,12 +125,17 @@ impl<N> ShardedFrontier<N> {
 
     /// A frontier sized for `workers` threads: the next power of two ≥
     /// `workers`, capped at 16 — enough that donors rarely collide on a
-    /// shard, small enough that a steal sweep stays cheap. The
-    /// `MUTREE_FRONTIER_SHARDS` environment variable overrides the count
-    /// (clamped to `1..=64`), which CI uses to force maximum sharding
-    /// under stress.
+    /// shard, small enough that a steal sweep stays cheap.
     pub fn for_workers(workers: usize) -> Self {
-        ShardedFrontier::new(shard_count(workers))
+        ShardedFrontier::for_workers_with(workers, None)
+    }
+
+    /// [`for_workers`](Self::for_workers) with an explicit shard-count
+    /// override (clamped to `1..=64`; zero means no override). Drivers
+    /// pass [`SearchOptions::frontier_shards`](crate::SearchOptions::frontier_shards)
+    /// here, which CI forces to the maximum to stress sharding.
+    pub fn for_workers_with(workers: usize, shards: Option<usize>) -> Self {
+        ShardedFrontier::new(shard_count_with(shards, workers))
     }
 
     /// Number of overflow shards.
@@ -238,24 +245,14 @@ impl<N> ShardedFrontier<N> {
     }
 }
 
-/// Shard count policy: `MUTREE_FRONTIER_SHARDS` override, else the next
-/// power of two ≥ `workers`, capped at 16.
-fn shard_count(workers: usize) -> usize {
-    shard_count_with(
-        std::env::var("MUTREE_FRONTIER_SHARDS").ok().as_deref(),
-        workers,
-    )
-}
-
-/// The pure half of [`shard_count`], split out so the policy is testable
-/// regardless of what `MUTREE_FRONTIER_SHARDS` is set to in the test
-/// environment (CI's stress pass forces it).
-fn shard_count_with(override_var: Option<&str>, workers: usize) -> usize {
-    if let Some(v) = override_var {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n.min(MAX_SHARDS);
-            }
+/// Shard count policy: an explicit override (clamped to `1..=64`; zero
+/// ignored), else the next power of two ≥ `workers`, capped at 16. Pure:
+/// the `MUTREE_FRONTIER_SHARDS` environment hook is resolved into the
+/// override by the engine crate's plan resolution, never here.
+fn shard_count_with(override_shards: Option<usize>, workers: usize) -> usize {
+    if let Some(n) = override_shards {
+        if n >= 1 {
+            return n.min(MAX_SHARDS);
         }
     }
     workers.clamp(1, 16).next_power_of_two()
@@ -468,9 +465,9 @@ mod tests {
         assert_eq!(shard_count_with(None, 3), 4);
         assert_eq!(shard_count_with(None, 8), 8);
         assert_eq!(shard_count_with(None, 100), 16);
-        assert_eq!(shard_count_with(Some("6"), 100), 6);
-        assert_eq!(shard_count_with(Some("9999"), 1), MAX_SHARDS);
-        assert_eq!(shard_count_with(Some("not a number"), 3), 4);
+        assert_eq!(shard_count_with(Some(6), 100), 6);
+        assert_eq!(shard_count_with(Some(9999), 1), MAX_SHARDS);
+        assert_eq!(shard_count_with(Some(0), 3), 4);
         assert_eq!(ShardedFrontier::<u32>::new(0).shard_count(), 1);
         assert_eq!(ShardedFrontier::<u32>::new(1000).shard_count(), 64);
     }

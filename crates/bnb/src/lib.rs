@@ -92,6 +92,7 @@ mod cancel;
 pub mod checkpoint;
 pub mod fault;
 pub mod frontier;
+pub mod hash;
 pub mod kernel;
 mod parallel;
 mod pool;

@@ -297,8 +297,11 @@ where
         lp.reverse();
     }
 
-    let shared: Shared<P::Node, P::Solution> =
-        Shared::new(ShardedFrontier::for_workers(workers), bound, branches);
+    let shared: Shared<P::Node, P::Solution> = Shared::new(
+        ShardedFrontier::for_workers_with(workers, opts.frontier_shards),
+        bound,
+        branches,
+    );
     // Charge the pre-dealt seeds before any worker starts, so the
     // in-flight counter can never transiently read zero mid-search.
     shared.frontier.charge(seed_count);
@@ -418,7 +421,7 @@ where
     seeds.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let shared: Arc<Shared<P::Node, P::Solution>> = Arc::new(Shared::new(
-        ShardedFrontier::for_workers(workers),
+        ShardedFrontier::for_workers_with(workers, opts.frontier_shards),
         bound,
         branches,
     ));

@@ -208,6 +208,11 @@ pub struct SearchOptions {
     /// default). Requires the problem to implement
     /// [`Problem::encode_solution`].
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Overrides the parallel drivers' work-stealing shard count (clamped
+    /// to the frontier's maximum). `None` uses the worker-derived default.
+    /// Callers resolve the `MUTREE_FRONTIER_SHARDS` environment hook into
+    /// this field; this crate itself never reads the environment.
+    pub frontier_shards: Option<usize>,
 }
 
 impl SearchOptions {
@@ -223,6 +228,7 @@ impl SearchOptions {
             cancel: None,
             memory: None,
             checkpoint: None,
+            frontier_shards: None,
         }
     }
 
@@ -266,6 +272,13 @@ impl SearchOptions {
     /// [`CheckpointPolicy`]).
     pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
         self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Overrides the parallel drivers' work-stealing shard count (see
+    /// [`SearchOptions::frontier_shards`]).
+    pub fn frontier_shards(mut self, shards: usize) -> Self {
+        self.frontier_shards = Some(shards);
         self
     }
 
@@ -326,6 +339,19 @@ pub struct SearchStats {
     /// Checkpoint snapshots durably written (see
     /// [`SearchOptions::checkpoint`]).
     pub checkpoints: u64,
+    /// Group solves answered from the content-addressed cache without
+    /// searching (always zero for plain solves — caching happens at the
+    /// pipeline layer, not here).
+    pub cache_hits: u64,
+    /// Group solves that consulted the cache and searched from scratch.
+    pub cache_misses: u64,
+    /// Group solves warm-started from an ε-close cached optimum (counted
+    /// in [`cache_misses`](SearchStats::cache_misses) too: the search
+    /// still ran).
+    pub cache_warm_seeds: u64,
+    /// Cache entries discarded because their checksum no longer matched
+    /// their contents; each one degraded to a cold solve.
+    pub cache_poisoned: u64,
 }
 
 impl SearchStats {
@@ -342,6 +368,10 @@ impl SearchStats {
         self.retries += other.retries;
         self.nodes_shed += other.nodes_shed;
         self.checkpoints += other.checkpoints;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_warm_seeds += other.cache_warm_seeds;
+        self.cache_poisoned += other.cache_poisoned;
     }
 }
 

@@ -28,12 +28,13 @@
 //! |      | feasible tree was still printed                                |
 
 use std::io::Read;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use mutree_core::{
-    CompactPipeline, Executor, LoggingObserver, MemoryBudget, MutError, MutSolver, RetryPolicy,
-    SearchBackend, SearchMode, ThreeThree, TraceLevel,
+    plan_pipeline, plan_solver, solve_plan, BackendSpec, CheckpointPolicy, MemoryBudget, MutError,
+    RetryPolicy, SearchMode, SolvePlan, SolveReport, SolveRequest, ThreeThree, TraceLevel,
 };
 use mutree_distmat::{io as mio, DistanceMatrix};
 use mutree_graph::CompactSets;
@@ -80,11 +81,11 @@ USAGE:
   mutree solve <matrix.phy> [--backend seq|par:N|sim:N] [--all] [--33 off|initial|full]
                [--timeout SECS] [--threads N] [--trace-search incumbents|all]
                [--max-open-nodes N] [--checkpoint FILE] [--checkpoint-interval B]
-               [--resume FILE]
+               [--resume FILE] [--cache]
         Exact minimum ultrametric tree via branch-and-bound.
   mutree fast <matrix.phy> [--threshold K] [--linkage max|min|avg] [--timeout SECS]
                [--threads N] [--trace-search incumbents|all] [--retries N]
-               [--max-open-nodes N]
+               [--max-open-nodes N] [--cache]
         Near-optimal tree via compact-set decomposition (the fast technique).
   mutree sets <matrix.phy>
         List the compact sets of the distance graph.
@@ -121,6 +122,12 @@ USAGE:
   --retries re-attempts a panicked or errored pipeline stage up to N
   times (with deterministic exponential backoff) before it degrades to
   the agglomerative fallback.
+
+  --cache enables the content-addressed group-solve cache: a solve whose
+  canonical matrix bytes match a stored solve is answered from the cache
+  bit for bit, and a near-miss (same quantization bucket) warm-starts
+  the search from the stored tree. MUTREE_CACHE=1 enables it for every
+  run; the flag wins over the environment.
 
 EXIT CODES:
   0  success            2  usage error       3  bad input
@@ -218,16 +225,16 @@ fn parse_threads(args: &[String]) -> Result<Option<usize>, CliError> {
 }
 
 /// Parses an optional `--trace-search <level>` flag.
-fn parse_trace(args: &[String]) -> Result<Option<LoggingObserver>, CliError> {
+fn parse_trace(args: &[String]) -> Result<Option<TraceLevel>, CliError> {
     let Some(spec) = flag_value(args, "--trace-search") else {
         if args.iter().any(|a| a == "--trace-search") {
             return Err(usage("--trace-search requires a level (incumbents | all)"));
         }
         return Ok(None);
     };
-    let level = TraceLevel::parse(spec)
-        .ok_or_else(|| usage(format!("unknown trace level {spec:?} (incumbents | all)")))?;
-    Ok(Some(LoggingObserver::new(level)))
+    TraceLevel::parse(spec)
+        .map(Some)
+        .ok_or_else(|| usage(format!("unknown trace level {spec:?} (incumbents | all)")))
 }
 
 /// Parses an optional numeric flag (`--flag <N>`), rejecting a trailing
@@ -265,54 +272,55 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
         .first()
         .ok_or_else(|| usage("solve needs a matrix file"))?;
     let m = read_matrix(path)?;
-    let mut solver = MutSolver::new();
+    let mut req = SolveRequest::exact(m.clone());
     if let Some(backend) = flag_value(args, "--backend") {
-        solver = solver.backend(parse_backend(backend)?);
+        req = req.backend(parse_backend(backend)?);
     }
     if let Some(threads) = parse_threads(args)? {
         // One shared pool; without an explicit backend, --threads implies
         // the thread-parallel search borrowing from that pool.
         if flag_value(args, "--backend").is_none() {
-            solver = solver.backend(SearchBackend::Parallel { workers: threads });
+            req = req.backend(BackendSpec::Parallel { workers: threads });
         }
-        solver = solver.executor(Executor::new(threads));
+        req = req.threads(threads);
     }
-    if let Some(observer) = parse_trace(args)? {
-        solver = solver.trace(observer);
-    }
+    req.trace = parse_trace(args)?;
     if args.iter().any(|a| a == "--all") {
-        solver = solver.mode(SearchMode::AllOptimal);
+        req = req.mode(SearchMode::AllOptimal);
     }
     if let Some(rule) = flag_value(args, "--33") {
-        solver = solver.three_three(match rule {
+        req.three_three = match rule {
             "off" => ThreeThree::Off,
             "initial" => ThreeThree::InitialOnly,
             "full" => ThreeThree::Full,
             other => return Err(usage(format!("unknown 3-3 mode {other:?}"))),
-        });
+        };
     }
-    if let Some(timeout) = parse_timeout(args)? {
-        solver = solver.timeout(timeout);
-    }
-    if let Some(budget) = parse_memory_budget(args)? {
-        solver = solver.memory_budget(budget);
-    }
+    req.timeout = parse_timeout(args)?;
+    req.memory = parse_memory_budget(args)?;
     if let Some(path) = flag_value(args, "--checkpoint") {
-        solver = solver.checkpoint_to(path);
+        let mut policy = CheckpointPolicy::new(path);
+        if let Some(every) = parse_count(args, "--checkpoint-interval")? {
+            policy = policy.interval(every);
+        }
+        req.checkpoint = Some(policy);
     } else if args.iter().any(|a| a == "--checkpoint") {
         return Err(usage("--checkpoint requires a file path"));
-    }
-    if let Some(every) = parse_count(args, "--checkpoint-interval")? {
-        if flag_value(args, "--checkpoint").is_none() {
-            return Err(usage("--checkpoint-interval needs --checkpoint <file>"));
-        }
-        solver = solver.checkpoint_interval(every);
+    } else if parse_count(args, "--checkpoint-interval")?.is_some() {
+        return Err(usage("--checkpoint-interval needs --checkpoint <file>"));
     }
     if let Some(path) = flag_value(args, "--resume") {
-        solver = solver.resume_from(path);
+        req.resume = Some(PathBuf::from(path));
     } else if args.iter().any(|a| a == "--resume") {
         return Err(usage("--resume requires a file path"));
     }
+    if args.iter().any(|a| a == "--cache") {
+        req = req.cache(true);
+    }
+    // Resolve every environment override in one place, then execute the
+    // plan through the engine spine.
+    let plan = SolvePlan::resolve_from_env(req);
+    let solver = plan_solver(&plan);
     // Which leaf-bitset width the dispatcher picked (or was forced to via
     // MUTREE_FORCE_LEAF_WORDS), against the engine's taxa ceiling.
     let words = solver.dispatch_leaf_words(m.len()).ok_or_else(|| {
@@ -322,12 +330,12 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
             solver.max_taxa()
         ))
     })?;
-    let sol = solver.solve(&m).map_err(|e| match e {
+    let report = solve_plan(&plan).map_err(|e| match e {
         // A bad snapshot is an input problem, not a search failure.
-        MutError::Checkpoint { .. } => CliError::Input(e.to_string()),
+        MutError::Checkpoint { .. } | MutError::Input { .. } => CliError::Input(e.to_string()),
         e => CliError::Solver(e.to_string()),
     })?;
-    println!("weight: {}", sol.weight);
+    println!("weight: {}", report.weight);
     println!(
         "leaf words: {words}  ({} of {} taxa, engine limit {})",
         m.len(),
@@ -336,10 +344,10 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
     );
     // Which bound arithmetic ran (MUTREE_FORCE_BOUND_KERNEL overrides the
     // lane default) and the matrix layout it read.
+    let kernel = report.bound_kernel.unwrap_or_default();
     println!(
-        "bound kernel: {}  (matrix layout: {})",
-        solver.dispatch_bound_kernel(),
-        match solver.dispatch_bound_kernel() {
+        "bound kernel: {kernel}  (matrix layout: {})",
+        match kernel {
             mutree_core::BoundKernel::Scalar => "packed triangle".to_string(),
             mutree_core::BoundKernel::Lanes =>
                 format!("blocked rows, stride {} lanes", m.len().div_ceil(64) * 64),
@@ -347,46 +355,56 @@ fn solve(args: &[String]) -> Result<ExitCode, CliError> {
     );
     println!(
         "branched: {}  pruned: {}  solutions seen: {}  incumbent updates: {}  peak pool: {}",
-        sol.stats.branched,
-        sol.stats.pruned,
-        sol.stats.solutions_seen,
-        sol.stats.incumbent_updates,
-        sol.stats.peak_pool
+        report.stats.branched,
+        report.stats.pruned,
+        report.stats.solutions_seen,
+        report.stats.incumbent_updates,
+        report.stats.peak_pool
     );
     // Work-stealing contention counters (all zero for sequential runs):
     // high park counts mean workers starve, high steal/donation counts
     // mean the load balancer is actually moving batches.
     println!(
         "steals: {}  donations: {}  parks: {}",
-        sol.stats.steals, sol.stats.donations, sol.stats.parks
+        report.stats.steals, report.stats.donations, report.stats.parks
     );
     // Supervision counters: watchdog sheds and checkpoint snapshots
     // (retries only move for pipeline runs; printed for line parity).
     println!(
         "retries: {}  nodes shed: {}  checkpoints: {}",
-        sol.stats.retries, sol.stats.nodes_shed, sol.stats.checkpoints
+        report.stats.retries, report.stats.nodes_shed, report.stats.checkpoints
     );
-    if let Some(sim) = &sol.sim {
+    print_cache_stats(&report);
+    if let Some(sim) = &report.sim {
         println!(
             "virtual makespan: {:.6}s  messages: {}",
             sim.makespan,
             sim.total_messages()
         );
     }
-    for tree in &sol.trees {
+    for tree in &report.trees {
         println!("{}", newick::to_newick_with(tree, |t| m.label(t)));
     }
-    if sol.is_complete() {
+    if report.is_complete() {
         Ok(ExitCode::SUCCESS)
     } else {
         // The tree above is feasible but only an upper bound; tell both
         // the human (stderr) and the script (exit code).
         eprintln!(
             "mutree: warning: search stopped early ({}); weight is an upper bound",
-            sol.stop
+            report.stop
         );
         Ok(ExitCode::from(EXIT_INCOMPLETE))
     }
+}
+
+/// The cache counters, printed for every solve (all zero when no cache
+/// is enabled) so scripts can scrape the line unconditionally.
+fn print_cache_stats(report: &SolveReport) {
+    println!(
+        "cache: hits {}  misses {}  warm-seeds {}",
+        report.stats.cache_hits, report.stats.cache_misses, report.stats.cache_warm_seeds
+    );
 }
 
 fn fast(args: &[String]) -> Result<ExitCode, CliError> {
@@ -394,7 +412,7 @@ fn fast(args: &[String]) -> Result<ExitCode, CliError> {
         .first()
         .ok_or_else(|| usage("fast needs a matrix file"))?;
     let m = read_matrix(path)?;
-    let mut pipeline = CompactPipeline::new();
+    let mut req = SolveRequest::decompose(m.clone());
     if let Some(threshold) = flag_value(args, "--threshold") {
         let k: usize = threshold
             .parse()
@@ -402,48 +420,51 @@ fn fast(args: &[String]) -> Result<ExitCode, CliError> {
         if k < 2 {
             return Err(usage("threshold must be at least 2"));
         }
-        pipeline = pipeline.threshold(k);
+        req.threshold = k;
     }
     if let Some(linkage) = flag_value(args, "--linkage") {
-        pipeline = pipeline.linkage(parse_linkage(linkage)?);
+        req.linkage = parse_linkage(linkage)?;
     }
-    let mut solver = MutSolver::new();
-    if let Some(timeout) = parse_timeout(args)? {
-        solver = solver.timeout(timeout);
-    }
-    if let Some(observer) = parse_trace(args)? {
-        solver = solver.trace(observer);
-    }
-    if let Some(budget) = parse_memory_budget(args)? {
-        solver = solver.memory_budget(budget);
-    }
-    // Undocumented test hook for the exit-code contract tests: makes
-    // every n-taxon stage solve panic, exercising the retry/degrade path.
-    if let Some(n) = parse_count(args, "--inject-panic-taxa")? {
-        solver = solver.panic_on_taxa(n as usize);
-    }
+    req.timeout = parse_timeout(args)?;
+    req.trace = parse_trace(args)?;
+    req.memory = parse_memory_budget(args)?;
     if let Some(retries) = parse_count(args, "--retries")? {
         if retries > 0 {
             let retries = u32::try_from(retries)
                 .map_err(|_| usage(format!("--retries value {retries} is too large")))?;
-            pipeline = pipeline.retry(RetryPolicy::new().max_attempts(retries + 1));
+            req.retry = Some(RetryPolicy::new().max_attempts(retries + 1));
         }
     }
     if let Some(threads) = parse_threads(args)? {
         // One shared pool for everything: the pipeline fans its stage
         // tasks out on it, and each stage's thread-parallel search
         // borrows the same workers.
-        solver = solver.backend(SearchBackend::Parallel { workers: threads });
-        pipeline = pipeline.executor(Executor::new(threads));
+        req = req
+            .backend(BackendSpec::Parallel { workers: threads })
+            .threads(threads);
     }
-    pipeline = pipeline.solver(solver);
-    let sol = pipeline
-        .solve(&m)
-        .map_err(|e| CliError::Solver(e.to_string()))?;
-    println!("weight: {}", sol.weight);
-    println!("compact sets: {}", sol.compact_sets);
-    let groups: Vec<String> = sol
+    if args.iter().any(|a| a == "--cache") {
+        req = req.cache(true);
+    }
+    let plan = SolvePlan::resolve_from_env(req);
+    // Undocumented test hook for the exit-code contract tests: makes
+    // every n-taxon stage solve panic, exercising the retry/degrade
+    // path. A request cannot express it, so this path assembles the
+    // pipeline from the plan's own building blocks instead.
+    let report: SolveReport = match parse_count(args, "--inject-panic-taxa")? {
+        Some(n) => plan_pipeline(&plan)
+            .solver(plan_solver(&plan).panic_on_taxa(n as usize))
+            .solve(&m)
+            .map_err(|e| CliError::Solver(e.to_string()))?
+            .into(),
+        None => solve_plan(&plan).map_err(|e| CliError::Solver(e.to_string()))?,
+    };
+    println!("weight: {}", report.weight);
+    println!("compact sets: {}", report.compact_sets.unwrap_or(0));
+    let groups: Vec<String> = report
         .groups
+        .as_deref()
+        .unwrap_or_default()
         .iter()
         .map(|g| {
             let names: Vec<String> = g.iter().map(|&t| m.label(t)).collect();
@@ -453,25 +474,26 @@ fn fast(args: &[String]) -> Result<ExitCode, CliError> {
     println!("groups: {}", groups.join(" "));
     println!(
         "retries: {}  nodes shed: {}  checkpoints: {}",
-        sol.stats.retries, sol.stats.nodes_shed, sol.stats.checkpoints
+        report.stats.retries, report.stats.nodes_shed, report.stats.checkpoints
     );
-    println!("{}", newick::to_newick_with(&sol.tree, |t| m.label(t)));
-    let slowest: Vec<String> = sol
+    print_cache_stats(&report);
+    println!("{}", newick::to_newick_with(&report.tree, |t| m.label(t)));
+    let slowest: Vec<String> = report
         .slowest_stages(3)
         .iter()
         .map(|t| format!("{} {:.3}s", t.stage, t.seconds))
         .collect();
     eprintln!("mutree: slowest stages: {}", slowest.join(", "));
-    if sol.is_complete() {
+    if report.is_complete() {
         Ok(ExitCode::SUCCESS)
     } else {
         eprintln!(
             "mutree: warning: pipeline degraded ({}; {} stage{} fell back); tree is feasible but heuristic",
-            sol.stop,
-            sol.degraded.len(),
-            if sol.degraded.len() == 1 { "" } else { "s" }
+            report.stop,
+            report.degraded.len(),
+            if report.degraded.len() == 1 { "" } else { "s" }
         );
-        for d in &sol.degraded {
+        for d in &report.degraded {
             eprintln!("mutree: degraded stage {}: {}", d.stage, d.reason);
         }
         Ok(ExitCode::from(EXIT_INCOMPLETE))
@@ -592,9 +614,9 @@ fn gen(args: &[String]) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn parse_backend(spec: &str) -> Result<SearchBackend, CliError> {
+fn parse_backend(spec: &str) -> Result<BackendSpec, CliError> {
     if spec == "seq" {
-        return Ok(SearchBackend::Sequential);
+        return Ok(BackendSpec::Sequential);
     }
     if let Some(workers) = spec.strip_prefix("par:") {
         let w: usize = workers
@@ -603,7 +625,7 @@ fn parse_backend(spec: &str) -> Result<SearchBackend, CliError> {
         if w == 0 {
             return Err(usage("need at least one worker"));
         }
-        return Ok(SearchBackend::Parallel { workers: w });
+        return Ok(BackendSpec::Parallel { workers: w });
     }
     if let Some(slaves) = spec.strip_prefix("sim:") {
         let s: usize = slaves
@@ -612,9 +634,7 @@ fn parse_backend(spec: &str) -> Result<SearchBackend, CliError> {
         if s == 0 {
             return Err(usage("need at least one slave"));
         }
-        return Ok(SearchBackend::SimulatedCluster {
-            spec: mutree_clustersim::ClusterSpec::with_slaves(s),
-        });
+        return Ok(BackendSpec::SimulatedCluster { slaves: s });
     }
     Err(usage(format!(
         "unknown backend {spec:?} (seq | par:N | sim:N)"

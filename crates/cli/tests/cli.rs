@@ -448,3 +448,77 @@ fn retried_fast_run_stays_exit_0_when_the_fault_is_absent() {
     assert_eq!(code, Some(0), "{stderr}");
     assert!(stdout.contains("retries: 0"), "{stdout}");
 }
+
+/// Parses the `cache: hits H  misses M  warm-seeds W` stats line.
+fn cache_counts(stdout: &str) -> (u64, u64, u64) {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("cache:"))
+        .unwrap_or_else(|| panic!("no cache line in:\n{stdout}"));
+    let nums: Vec<u64> = line
+        .split_whitespace()
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    assert_eq!(nums.len(), 3, "malformed cache line: {line}");
+    (nums[0], nums[1], nums[2])
+}
+
+/// Like [`run_with_stdin`] with the ambient cache switch scrubbed, so
+/// the assertion on "no cache" holds even under the CI leg that exports
+/// MUTREE_CACHE=1 for the whole suite.
+fn run_without_ambient_cache(args: &[&str], input: &str) -> (String, bool) {
+    let mut child = mutree()
+        .args(args)
+        .env_remove("MUTREE_CACHE")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mutree");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn solve_cache_flag_reports_the_lookup() {
+    // A fresh process starts with an empty cache: the solve files its
+    // result as one miss, and the answer is still the proven optimum.
+    let (stdout, ok) = run_with_stdin(&["solve", "-", "--cache"], MATRIX);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("weight: 11"), "{stdout}");
+    assert_eq!(cache_counts(&stdout), (0, 1, 0), "{stdout}");
+}
+
+#[test]
+fn solve_without_cache_reports_zero_lookups() {
+    let (stdout, ok) = run_without_ambient_cache(&["solve", "-"], MATRIX);
+    assert!(ok, "{stdout}");
+    assert_eq!(cache_counts(&stdout), (0, 0, 0), "{stdout}");
+}
+
+#[test]
+fn fast_cache_flag_reports_group_lookups() {
+    let (stdout, ok) = run_with_stdin(&["fast", "-", "--threshold", "2", "--cache"], MATRIX);
+    assert!(ok, "{stdout}");
+    let (hits, misses, _) = cache_counts(&stdout);
+    assert!(
+        hits + misses > 0,
+        "cacheable group solves must be counted:\n{stdout}"
+    );
+}
+
+#[test]
+fn fast_without_cache_reports_zero_lookups() {
+    let (stdout, ok) = run_without_ambient_cache(&["fast", "-", "--threshold", "2"], MATRIX);
+    assert!(ok, "{stdout}");
+    assert_eq!(cache_counts(&stdout), (0, 0, 0), "{stdout}");
+}

@@ -42,6 +42,12 @@ pub enum MutError {
         /// What went wrong (I/O failure, checksum mismatch, bad payload…).
         message: String,
     },
+    /// A solve request's input could not be loaded — the matrix file was
+    /// missing or failed to parse, or the request itself was malformed.
+    Input {
+        /// What went wrong.
+        message: String,
+    },
     /// An underlying matrix error.
     Matrix(MatrixError),
     /// An underlying tree error.
@@ -65,6 +71,7 @@ impl fmt::Display for MutError {
                 )
             }
             MutError::Checkpoint { message } => write!(f, "checkpoint error: {message}"),
+            MutError::Input { message } => write!(f, "input error: {message}"),
             MutError::Matrix(e) => write!(f, "matrix error: {e}"),
             MutError::Tree(e) => write!(f, "tree error: {e}"),
         }

@@ -44,7 +44,6 @@
 #![warn(missing_docs)]
 
 mod cluster;
-pub mod codec;
 mod dist;
 mod error;
 pub mod exec;
@@ -52,6 +51,7 @@ mod leafset;
 mod node;
 mod pipeline;
 mod problem;
+mod run;
 mod solver;
 
 pub use cluster::{solve_simulated, solve_simulated_observed, SimCost, SimulatedOutcome};
@@ -60,10 +60,9 @@ pub use error::MutError;
 pub use exec::{Executor, TaskDag};
 pub use leafset::{LeafIter, LeafWords};
 pub use node::PartialTree;
-pub use pipeline::{
-    CompactPipeline, DegradeReason, DegradedGroup, PipelineSolution, RetryPolicy, StageTiming,
-};
-pub use problem::{MutProblem, ThreeThree};
+pub use pipeline::{CompactPipeline, PipelineSolution};
+pub use problem::MutProblem;
+pub use run::{plan_pipeline, plan_solver, solve_plan, solve_request};
 pub use solver::{
     leaf_words_for, solution_newick, MutSolution, MutSolver, SearchBackend, LEAF_WIDTHS,
     MAX_EXACT_TAXA,
@@ -73,4 +72,15 @@ pub use mutree_bnb::{
     BoundKernel, CancelToken, CheckpointError, CheckpointFile, CheckpointPolicy, LoggingObserver,
     MemoryBudget, SearchMode, SearchStats, StopReason, Strategy, TraceLevel, WorkerPool,
 };
+// The bit-exact tree codec (checkpoints, cache payloads) and the shared
+// FNV/splitmix hash primitives live downstack; re-export them at their
+// historical paths.
+pub use mutree_bnb::hash;
+pub use mutree_tree::codec;
 pub use mutree_tree::Linkage;
+// The engine spine: requests, plans, reports, and the group-solve cache.
+pub use mutree_engine::{
+    BackendSpec, CacheOutcome, CacheProbe, CacheQuery, DegradeReason, DegradedGroup, EnvOverrides,
+    GroupCache, MatrixSource, RetryPolicy, SolveKind, SolvePlan, SolveReport, SolveRequest,
+    StageProvenance, StageTiming, ThreeThree,
+};

@@ -42,171 +42,19 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use mutree_bnb::StopReason;
 use mutree_distmat::DistanceMatrix;
+use mutree_engine::{
+    CacheOutcome, DegradeReason, DegradedGroup, GroupCache, RetryPolicy, StageProvenance,
+    StageTiming,
+};
 use mutree_graph::CompactSets;
 use mutree_tree::{cluster, Linkage, UltrametricTree};
 
 use crate::exec::{Executor, TaskDag, TaskId};
 use crate::{MutError, MutSolver, SearchStats};
-
-/// Retry-with-backoff for faulted pipeline stages.
-///
-/// A stage whose exact solve **panics** or **errors** may be transient
-/// (a poisoned worker thread, a flaky filesystem under a checkpoint); the
-/// pipeline can re-attempt it before dropping down the degradation
-/// ladder. Deterministic stops — deadline, cancellation, branch budget —
-/// are *never* retried: re-running them would fail identically and burn
-/// wall-clock the caller bounded on purpose.
-///
-/// Backoff between attempts is exponential with deterministic jitter:
-/// attempt `a` of stage `s` sleeps
-/// `base·2^(a−1) · (0.5 + 0.5·u(seed, s, a))` where `u` hashes the seed,
-/// the stage path and the attempt number — so a given configuration
-/// retries at identical times on every run, and no two stages thundering
-/// herd on the same schedule.
-///
-/// Retries are bounded twice: [`max_attempts`](RetryPolicy::max_attempts)
-/// per stage, and [`budget`](RetryPolicy::budget) total retries per
-/// pipeline run (shared across all stages, including recursive meta
-/// solves), so a systematically broken solver cannot multiply work
-/// unboundedly.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RetryPolicy {
-    /// Total attempts allowed per stage, including the first (≥ 1).
-    pub max_attempts: u32,
-    /// Backoff before the first retry; doubles each further attempt
-    /// (capped at 64× to keep sleeps sane).
-    pub base_backoff: Duration,
-    /// Seed for the deterministic backoff jitter.
-    pub seed: u64,
-    /// Total retries (not attempts) the whole pipeline run may spend.
-    pub budget: u32,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy::new()
-    }
-}
-
-impl RetryPolicy {
-    /// Three attempts per stage, 1 ms base backoff, a 32-retry pipeline
-    /// budget.
-    pub fn new() -> Self {
-        RetryPolicy {
-            max_attempts: 3,
-            base_backoff: Duration::from_millis(1),
-            seed: 0,
-            budget: 32,
-        }
-    }
-
-    /// Sets the per-stage attempt cap (clamped up to 1).
-    pub fn max_attempts(mut self, attempts: u32) -> Self {
-        self.max_attempts = attempts.max(1);
-        self
-    }
-
-    /// Sets the base backoff duration.
-    pub fn base_backoff(mut self, base: Duration) -> Self {
-        self.base_backoff = base;
-        self
-    }
-
-    /// Sets the jitter seed.
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Sets the pipeline-wide retry budget.
-    pub fn budget(mut self, budget: u32) -> Self {
-        self.budget = budget;
-        self
-    }
-
-    /// The deterministic backoff before retrying `stage` after `attempt`
-    /// failed attempts.
-    fn backoff(&self, stage: &str, attempt: u32) -> Duration {
-        let exp = attempt.saturating_sub(1).min(6);
-        let base = self.base_backoff.saturating_mul(1 << exp);
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in stage.as_bytes() {
-            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        let mut z = (h ^ self.seed ^ u64::from(attempt)).wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        let frac = ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        base.mul_f64(0.5 + 0.5 * frac)
-    }
-}
-
-/// Why a pipeline stage fell short of a proven-optimal exact solve.
-#[derive(Debug, Clone, PartialEq)]
-pub enum DegradeReason {
-    /// The exact solve stopped early (budget, deadline, cancellation or a
-    /// worker panic) and its best incumbent — still a feasible subtree —
-    /// was used.
-    Stopped(StopReason),
-    /// The exact solve returned an error; the max-linkage agglomerative
-    /// fallback tree was used instead.
-    Error(String),
-    /// The exact solve panicked; the max-linkage agglomerative fallback
-    /// tree was used instead.
-    Panicked,
-}
-
-impl std::fmt::Display for DegradeReason {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DegradeReason::Stopped(r) => write!(f, "search stopped early: {r}"),
-            DegradeReason::Error(e) => write!(f, "solver error: {e}"),
-            DegradeReason::Panicked => f.write_str("solver panicked"),
-        }
-    }
-}
-
-/// A pipeline stage that did not run to proven optimality.
-///
-/// The merged tree is still feasible — Lemma 2 guarantees any feasible
-/// subtree over a compact group merges under the max-linkage attachment —
-/// but the affected piece is a heuristic, not an optimum.
-#[derive(Debug, Clone, PartialEq)]
-pub struct DegradedGroup {
-    /// Index into [`PipelineSolution::groups`] for a top-level group
-    /// stage, or `None` when the condensed meta-matrix solve, a stage
-    /// below a recursive meta solve, or an undecomposable whole-matrix
-    /// solve was the degraded stage.
-    pub group: Option<usize>,
-    /// Depth-qualified stage path, e.g. `group 3`, `meta`, or
-    /// `meta[1]/group 0` for a stage inside the first recursive condensed
-    /// solve — so recursive degradations are no longer ambiguous.
-    pub stage: String,
-    /// What happened.
-    pub reason: DegradeReason,
-    /// How many solve attempts the stage made before degrading (1 when
-    /// no [`RetryPolicy`] was configured or the first attempt's outcome
-    /// was non-retryable).
-    pub attempts: u32,
-}
-
-/// Wall-clock time one pipeline stage took.
-#[derive(Debug, Clone, PartialEq)]
-pub struct StageTiming {
-    /// Depth-qualified stage path (same scheme as
-    /// [`DegradedGroup::stage`]), plus `merge` for the join stage.
-    pub stage: String,
-    /// Seconds the stage ran for (including any retry backoff).
-    pub seconds: f64,
-    /// Solve attempts the stage made (1 unless a [`RetryPolicy`]
-    /// re-attempted a panicked or errored solve). Always 1 for the
-    /// `merge` join, which is not a solve.
-    pub attempts: u32,
-}
 
 /// A solved pipeline instance.
 #[derive(Debug, Clone)]
@@ -271,6 +119,11 @@ pub struct CompactPipeline {
     max_depth: usize,
     executor: Option<Executor>,
     retry: Option<RetryPolicy>,
+    cache: Option<Arc<GroupCache>>,
+    /// Whether the cache was attached explicitly (builder) rather than
+    /// picked up from the `MUTREE_CACHE` environment override. Only an
+    /// explicit cache memoizes whole pipeline runs.
+    cache_explicit: bool,
     /// Remaining pipeline-wide retry budget for the current run. Shared
     /// (via `Clone`) with the recursive meta pipelines of the same run;
     /// re-armed by [`solve`](CompactPipeline::solve).
@@ -285,20 +138,30 @@ impl Default for CompactPipeline {
 
 /// `MUTREE_PIPELINE_THREADS=N` (N ≥ 1) forces every pipeline onto one
 /// process-wide shared N-thread executor — CI uses it to push the whole
-/// test suite through the task-graph path.
+/// test suite through the task-graph path. The env read itself lives in
+/// [`mutree_engine::plan`] with the rest of the override resolution.
 fn env_executor() -> Option<Executor> {
     static FORCED: OnceLock<Option<Executor>> = OnceLock::new();
     FORCED
-        .get_or_init(|| {
-            std::env::var("MUTREE_PIPELINE_THREADS")
-                .ok()?
-                .trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&t| t > 0)
-                .map(Executor::new)
-        })
+        .get_or_init(|| mutree_engine::plan::env_pipeline_threads().map(Executor::new))
         .clone()
+}
+
+/// `MUTREE_CACHE=1` attaches one process-wide shared [`GroupCache`] to
+/// every pipeline built after the variable is set — CI uses it to replay
+/// the whole test suite through the cache path. Unlike the executor the
+/// variable is re-read per pipeline construction (only the cache instance
+/// is shared), so tests can toggle it. An env-attached cache stays
+/// *ambient*: it memoizes group solves but never whole pipeline runs
+/// (see [`CompactPipeline::cache`]).
+fn env_cache() -> Option<Arc<GroupCache>> {
+    if mutree_engine::plan::env_cache_enabled() != Some(true) {
+        return None;
+    }
+    static GLOBAL: OnceLock<Arc<GroupCache>> = OnceLock::new();
+    Some(Arc::clone(
+        GLOBAL.get_or_init(|| Arc::new(GroupCache::new())),
+    ))
 }
 
 impl CompactPipeline {
@@ -313,6 +176,8 @@ impl CompactPipeline {
             max_depth: 8,
             executor: env_executor(),
             retry: None,
+            cache: env_cache(),
+            cache_explicit: false,
             retry_budget: Arc::new(AtomicU32::new(0)),
         }
     }
@@ -365,6 +230,39 @@ impl CompactPipeline {
         self
     }
 
+    /// Caps the recursive condensed-solve depth (the meta matrix recurses
+    /// through the pipeline while it is larger than the threshold, up to
+    /// this many levels).
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Attaches a content-addressed [`GroupCache`]: every cacheable group
+    /// and meta solve probes it before searching (an exact hit returns
+    /// the memoized optimum, a near-hit warm-seeds the search), and an
+    /// explicitly attached cache additionally memoizes whole pipeline
+    /// runs. Only unconstrained best-one solvers are cacheable — see
+    /// [`MutSolver::cache_sig`] — so deadline/budget/checkpoint runs are
+    /// never served stale answers.
+    pub fn cache(mut self, cache: Arc<GroupCache>) -> Self {
+        self.cache = Some(cache);
+        self.cache_explicit = true;
+        self
+    }
+
+    /// Detaches any cache, including one picked up from `MUTREE_CACHE`.
+    pub fn no_cache(mut self) -> Self {
+        self.cache = None;
+        self.cache_explicit = false;
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache_handle(&self) -> Option<&Arc<GroupCache>> {
+        self.cache.as_ref()
+    }
+
     /// The solver clone handed to each stage task: when the pipeline has
     /// an executor and the solver does not, the solver borrows the
     /// pipeline's pool (a no-op for non-Parallel backends).
@@ -393,7 +291,74 @@ impl CompactPipeline {
         run.retry_budget = Arc::new(AtomicU32::new(
             run.retry.as_ref().map_or(0, |policy| policy.budget),
         ));
+        // Whole-run memoization — explicitly attached caches only, so an
+        // ambient `MUTREE_CACHE=1` can never collapse a run whose caller
+        // wants real per-stage timings and statistics.
+        if run.cache_explicit {
+            if let (Some(cache), Some(solver_sig)) = (run.cache.clone(), run.solver.cache_sig()) {
+                let sig = run.pipeline_sig(solver_sig);
+                let probe = cache.probe(m, sig);
+                let poisoned = probe.poisoned;
+                return match probe.outcome {
+                    CacheOutcome::Hit { tree, weight } => {
+                        let cs = CompactSets::find(m);
+                        let groups = cs.partition(run.threshold.max(2));
+                        let stats = SearchStats {
+                            cache_hits: 1,
+                            cache_poisoned: poisoned,
+                            ..Default::default()
+                        };
+                        Ok(PipelineSolution {
+                            tree,
+                            weight,
+                            groups,
+                            stats,
+                            compact_sets: cs.len(),
+                            stop: StopReason::Completed,
+                            degraded: Vec::new(),
+                            timings: vec![StageTiming {
+                                stage: "cached".to_string(),
+                                seconds: 0.0,
+                                attempts: 1,
+                                provenance: StageProvenance::Cached,
+                            }],
+                        })
+                    }
+                    // A near-hit cannot seed a decomposed run (the stage
+                    // caches handle per-group seeding); treat it as a miss.
+                    CacheOutcome::Seed { query, .. } | CacheOutcome::Miss(query) => {
+                        let mut sol = run.solve_at_depth(m, 0, "")?;
+                        sol.stats.cache_misses += 1;
+                        sol.stats.cache_poisoned += poisoned;
+                        if sol.is_complete() {
+                            cache.insert(query, &sol.tree, sol.weight);
+                        }
+                        Ok(sol)
+                    }
+                };
+            }
+        }
         run.solve_at_depth(m, 0, "")
+    }
+
+    /// The whole-run cache signature: the solver's answer-affecting
+    /// configuration extended with the pipeline knobs that shape the
+    /// decomposition, and a marker separating pipeline entries from plain
+    /// solver entries over the same matrix.
+    fn pipeline_sig(&self, solver_sig: u64) -> u64 {
+        use mutree_bnb::hash::{fnv1a, fnv1a_continue};
+        let mut h = fnv1a(b"mutree-pipeline-sig-v1");
+        h = fnv1a_continue(h, &solver_sig.to_le_bytes());
+        h = fnv1a_continue(h, &(self.threshold as u64).to_le_bytes());
+        h = fnv1a_continue(
+            h,
+            &[match self.linkage {
+                Linkage::Maximum => 0u8,
+                Linkage::Minimum => 1,
+                Linkage::Average => 2,
+            }],
+        );
+        fnv1a_continue(h, &(self.max_depth as u64).to_le_bytes())
     }
 
     fn solve_at_depth(
@@ -426,11 +391,13 @@ impl CompactPipeline {
                 &stage,
                 self.retry.as_ref(),
                 &self.retry_budget,
+                self.cache.as_deref(),
             );
             let timings = vec![StageTiming {
                 stage,
                 seconds: started.elapsed().as_secs_f64(),
                 attempts: st.attempts,
+                provenance: st.provenance,
             }];
             let mut tree = st.tree;
             let weight = tree.fit_heights(m);
@@ -493,6 +460,7 @@ impl CompactPipeline {
                     let task_stage = stage.clone();
                     let retry = self.retry.clone();
                     let budget = Arc::clone(&self.retry_budget);
+                    let task_cache = self.cache.clone();
                     let id = dag.add(stage, &[], move |_| {
                         let mut st = solve_stage(
                             &solver,
@@ -501,6 +469,7 @@ impl CompactPipeline {
                             &task_stage,
                             retry.as_ref(),
                             &budget,
+                            task_cache.as_deref(),
                         );
                         // Solver taxa are submatrix-relative; map back.
                         st.tree.map_taxa(|local| task_group[local]);
@@ -549,6 +518,7 @@ impl CompactPipeline {
                         // The recursion's own stages carry their attempt
                         // counts; the wrapping meta task made one "attempt".
                         attempts: 1,
+                        provenance: StageProvenance::Solved,
                     }
                 }))
             })
@@ -557,6 +527,7 @@ impl CompactPipeline {
             let task_stage = meta_stage.clone();
             let retry = self.retry.clone();
             let budget = Arc::clone(&self.retry_budget);
+            let task_cache = self.cache.clone();
             dag.add(meta_stage, &[], move |_| {
                 let st = solve_stage(
                     &solver,
@@ -565,6 +536,7 @@ impl CompactPipeline {
                     &task_stage,
                     retry.as_ref(),
                     &budget,
+                    task_cache.as_deref(),
                 );
                 StageData::Meta(Ok(MetaOut {
                     tree: st.tree,
@@ -573,6 +545,7 @@ impl CompactPipeline {
                     degraded: st.degraded,
                     timings: Vec::new(),
                     attempts: st.attempts,
+                    provenance: st.provenance,
                 }))
             })
         };
@@ -654,11 +627,13 @@ impl CompactPipeline {
                 stage: report.label.clone(),
                 seconds: report.elapsed.as_secs_f64(),
                 attempts: 1,
+                provenance: StageProvenance::Solved,
             });
             match report.result {
                 Some(StageData::Group(st)) => {
                     if let Some(t) = timings.last_mut() {
                         t.attempts = st.attempts;
+                        t.provenance = st.provenance;
                     }
                     stats.merge(&st.stats);
                     stop = stop.worst(st.stop);
@@ -667,6 +642,7 @@ impl CompactPipeline {
                 Some(StageData::Meta(Ok(out))) => {
                     if let Some(t) = timings.last_mut() {
                         t.attempts = out.attempts;
+                        t.provenance = out.provenance;
                     }
                     stats.merge(&out.stats);
                     stop = stop.worst(out.stop);
@@ -723,6 +699,7 @@ struct StageTree {
     stop: StopReason,
     degraded: Vec<DegradedGroup>,
     attempts: u32,
+    provenance: StageProvenance,
 }
 
 /// The meta stage's payload: an exact solve's [`StageTree`] fields, or a
@@ -734,6 +711,7 @@ struct MetaOut {
     degraded: Vec<DegradedGroup>,
     timings: Vec<StageTiming>,
     attempts: u32,
+    provenance: StageProvenance,
 }
 
 /// The merge join's payload.
@@ -784,6 +762,14 @@ struct MergeSlot {
 /// pipeline-wide `budget` both permit. Deterministic stops — deadline,
 /// cancellation, branch budget — are never retried. A retried stage that
 /// eventually succeeds reports its attempt count but is **not** degraded.
+///
+/// With a [`GroupCache`] and a cacheable solver
+/// ([`MutSolver::cache_sig`] returns `Some`), the stage probes the cache
+/// first: an exact hit skips the solve entirely (provenance `Cached`), a
+/// near-hit seeds the search with the cached tree as an advisory
+/// incumbent (provenance `WarmSeeded`), and any solve that then completes
+/// to proven optimality is inserted back. Degraded or interrupted trees
+/// are never cached.
 fn solve_stage(
     solver: &MutSolver,
     sub: &DistanceMatrix,
@@ -791,11 +777,48 @@ fn solve_stage(
     stage: &str,
     retry: Option<&RetryPolicy>,
     budget: &AtomicU32,
+    cache: Option<&GroupCache>,
 ) -> StageTree {
     let mut stats = SearchStats::default();
     let mut stop = StopReason::Completed;
     let mut degraded = Vec::new();
     let mut attempts: u32 = 0;
+    let mut provenance = StageProvenance::Solved;
+    let mut pending_insert = None;
+    let seeded;
+    let mut solver = solver;
+    if let Some(cache) = cache {
+        if let Some(sig) = solver.cache_sig() {
+            let probe = cache.probe(sub, sig);
+            stats.cache_poisoned += probe.poisoned;
+            match probe.outcome {
+                CacheOutcome::Hit { tree, .. } => {
+                    stats.cache_hits += 1;
+                    return StageTree {
+                        tree,
+                        stats,
+                        stop: StopReason::Completed,
+                        degraded,
+                        attempts: 1,
+                        provenance: StageProvenance::Cached,
+                    };
+                }
+                CacheOutcome::Seed { tree, query, .. } => {
+                    stats.cache_misses += 1;
+                    stats.cache_warm_seeds += 1;
+                    provenance = StageProvenance::WarmSeeded;
+                    seeded = solver.clone().seed_incumbent(tree);
+                    solver = &seeded;
+                    pending_insert = Some(query);
+                }
+                CacheOutcome::Miss(query) => {
+                    stats.cache_misses += 1;
+                    pending_insert = Some(query);
+                }
+            }
+        }
+    }
+    let mut solved_weight = None;
     let tree = 'tree: loop {
         // Re-checked every attempt: a deadline or cancellation that fires
         // during backoff must not trigger another doomed solve.
@@ -821,6 +844,8 @@ fn solve_stage(
                         reason: DegradeReason::Stopped(sol.stop),
                         attempts,
                     });
+                } else {
+                    solved_weight = Some(sol.weight);
                 }
                 break 'tree sol.tree;
             }
@@ -861,12 +886,20 @@ fn solve_stage(
         break 'tree cluster(sub, Linkage::Maximum);
     };
     stats.retries += u64::from(attempts.saturating_sub(1));
+    // Only proven optima are worth memoizing: the insert happens while
+    // the tree is still submatrix-local, matching the probe's indexing.
+    if let (Some(cache), Some(query), Some(weight)) = (cache, pending_insert, solved_weight) {
+        if degraded.is_empty() {
+            cache.insert(query, &tree, weight);
+        }
+    }
     StageTree {
         tree,
         stats,
         stop,
         degraded,
         attempts: attempts.max(1),
+        provenance,
     }
 }
 
@@ -912,6 +945,7 @@ mod tests {
     use mutree_distmat::gen;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::time::Duration;
 
     /// The 6-taxon compact-structured instance from the graph crate tests.
     fn structured6() -> DistanceMatrix {

@@ -5,28 +5,10 @@ use mutree_bnb::{BoundKernel, ChildBuf, Problem};
 use mutree_distmat::{DistanceMatrix, SolverMatrix};
 use mutree_tree::{cluster, triples, Linkage, UltrametricTree};
 
+use mutree_engine::ThreeThree;
+
 use crate::dist::{DistSource, LaneDist};
 use crate::PartialTree;
-
-/// How aggressively to apply the 3-3 relationship rule during branching.
-///
-/// For a species triple the matrix may nominate a strict *close pair*
-/// (one distance smaller than both others); the rule discards topologies
-/// that resolve the triple differently. It is a heuristic: in the
-/// companion paper's experiments the surviving optima coincide with the
-/// unconstrained ones, but no proof guarantees it in general.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ThreeThree {
-    /// Do not use the rule (the PaCT paper's baseline configuration).
-    #[default]
-    Off,
-    /// Apply it only when inserting the third species — the companion
-    /// paper's Step 4.
-    InitialOnly,
-    /// Apply it at every insertion, checking all triples involving the new
-    /// species — the companion paper's proposed future-work extension.
-    Full,
-}
 
 /// The metric minimum ultrametric tree problem as a branch-and-bound
 /// [`Problem`], following Wu–Chao–Tang's Algorithm BBU.
@@ -99,7 +81,7 @@ impl<const K: usize> MutProblem<K> {
     /// bitsets can hold ([`MutSolver`](crate::MutSolver) dispatches to a
     /// wide-enough width automatically).
     pub fn new(m: &DistanceMatrix, three_three: ThreeThree, use_upgmm: bool) -> Self {
-        let kernel = BoundKernel::from_env().unwrap_or_default();
+        let kernel = mutree_engine::plan::env_forced_bound_kernel().unwrap_or_default();
         Self::with_kernel(m, three_three, use_upgmm, kernel)
     }
 

@@ -33,15 +33,15 @@ pub fn leaf_words_for(n: usize) -> Option<usize> {
     LEAF_WIDTHS.iter().copied().find(|&k| n <= 64 * k)
 }
 
-/// Reads the `MUTREE_FORCE_LEAF_WORDS` override: a width from
-/// [`LEAF_WIDTHS`] forces every solve in the process onto at least that
-/// many leaf words (the differential CI pass pins it to 2 so the whole
-/// suite runs the wide path). Unset, empty or unsupported values mean no
-/// override. Read per solve, not cached, so tests can toggle it.
+/// The `MUTREE_FORCE_LEAF_WORDS` override, validated against
+/// [`LEAF_WIDTHS`]: a supported width forces every solve in the process
+/// onto at least that many leaf words (the differential CI pass pins it
+/// to 2 so the whole suite runs the wide path). Unset, empty or
+/// unsupported values mean no override. The raw read lives in
+/// [`mutree_engine::plan`] with the other environment hooks; it happens
+/// per solve, not cached, so tests can toggle it.
 fn env_forced_leaf_words() -> Option<usize> {
-    let v = std::env::var("MUTREE_FORCE_LEAF_WORDS").ok()?;
-    let words: usize = v.trim().parse().ok()?;
-    LEAF_WIDTHS.contains(&words).then_some(words)
+    mutree_engine::plan::env_forced_leaf_words().filter(|w| LEAF_WIDTHS.contains(w))
 }
 
 /// Which execution backend runs the branch-and-bound search.
@@ -124,9 +124,11 @@ pub struct MutSolver {
     panic_fuel: Option<(usize, Arc<AtomicU64>)>,
     leaf_words: Option<usize>,
     bound_kernel: Option<BoundKernel>,
+    frontier_shards: Option<usize>,
     memory: Option<MemoryBudget>,
     checkpoint: Option<CheckpointPolicy>,
     resume: Option<PathBuf>,
+    seed: Option<UltrametricTree>,
 }
 
 impl Default for MutSolver {
@@ -156,9 +158,11 @@ impl MutSolver {
             panic_fuel: None,
             leaf_words: None,
             bound_kernel: None,
+            frontier_shards: None,
             memory: None,
             checkpoint: None,
             resume: None,
+            seed: None,
         }
     }
 
@@ -255,6 +259,30 @@ impl MutSolver {
             // Remember the cadence for a later `checkpoint_to`.
             self.checkpoint = Some(CheckpointPolicy::new(PathBuf::new()).interval(every));
         }
+        self
+    }
+
+    /// Overrides the parallel drivers' work-stealing shard count
+    /// (clamped to the frontier's compiled-in maximum). The
+    /// `MUTREE_FRONTIER_SHARDS` environment variable applies the same
+    /// override process-wide; this builder wins when both are set.
+    pub fn frontier_shards(mut self, shards: usize) -> Self {
+        self.frontier_shards = Some(shards);
+        self
+    }
+
+    /// Seeds the search with a known-feasible incumbent tree (original
+    /// taxon indexing, all `n` taxa). Its heights are re-fit to dominate
+    /// the matrix and it competes with the UPGMM tree for the initial
+    /// upper bound — the better one wins, so a seed can speed the search
+    /// up but never change the optimum. The group-solve cache uses this
+    /// to warm-start ε-near re-solves. Ignored when
+    /// [`resume_from`](MutSolver::resume_from) is also set (a checkpoint
+    /// is a strictly better-informed seed). A seed over the wrong taxa
+    /// is discarded rather than erroring: it is an optimization hint,
+    /// not an input.
+    pub fn seed_incumbent(mut self, tree: UltrametricTree) -> Self {
+        self.seed = Some(tree);
         self
     }
 
@@ -367,7 +395,7 @@ impl MutSolver {
     /// diagnostics.
     pub fn dispatch_bound_kernel(&self) -> BoundKernel {
         self.bound_kernel
-            .or_else(BoundKernel::from_env)
+            .or_else(mutree_engine::plan::env_forced_bound_kernel)
             .unwrap_or_default()
     }
 
@@ -387,6 +415,64 @@ impl MutSolver {
         let needed = leaf_words_for(n)?;
         let forced = self.leaf_words.or_else(env_forced_leaf_words);
         Some(forced.filter(|&w| w >= needed).unwrap_or(needed))
+    }
+
+    /// The content-addressing signature of this solver's *answer*, or
+    /// `None` when its solves must not be cached.
+    ///
+    /// Two solvers with the same signature produce the same optimum for
+    /// the same matrix, so a [`GroupCache`](crate::GroupCache) entry
+    /// filed under one can answer the other. The signature hashes every
+    /// knob that changes *which* answer comes back (the 3-3 rule, the
+    /// maxmin/UPGMM heuristics, the node-selection strategy, the backend
+    /// family) and deliberately omits knobs proven answer-neutral (leaf
+    /// width, bound kernel, worker count — the differential tests pin
+    /// those as bit-identical).
+    ///
+    /// `None` — no caching — whenever a solve is constrained or
+    /// instrumented: anything but a plain unconstrained
+    /// [`SearchMode::BestOne`] search (deadlines, cancellation, branch
+    /// or memory budgets, checkpoints, resume, tracing, fault
+    /// injection) can return a non-optimal incumbent or carries
+    /// side effects a cache hit would silently skip.
+    pub fn cache_sig(&self) -> Option<u64> {
+        let unconstrained = self.mode == SearchMode::BestOne
+            && self.deadline.is_none()
+            && self.cancel.is_none()
+            && self.max_branches == u64::MAX
+            && self.memory.is_none()
+            && self.checkpoint.is_none()
+            && self.resume.is_none()
+            && self.trace.is_none()
+            && self.panic_on_taxa.is_none()
+            && self.panic_fuel.is_none();
+        if !unconstrained {
+            return None;
+        }
+        use mutree_bnb::hash::{fnv1a, fnv1a_continue};
+        let mut h = fnv1a(b"mutree-solver-sig-v1");
+        h = fnv1a_continue(
+            h,
+            &[
+                match self.three_three {
+                    ThreeThree::Off => 0u8,
+                    ThreeThree::InitialOnly => 1,
+                    ThreeThree::Full => 2,
+                },
+                u8::from(self.use_maxmin),
+                u8::from(self.use_upgmm),
+                match self.strategy {
+                    Strategy::DepthFirst => 0,
+                    Strategy::BestFirst => 1,
+                },
+                match self.backend {
+                    SearchBackend::Sequential => 0,
+                    SearchBackend::Parallel { .. } => 1,
+                    SearchBackend::SimulatedCluster { .. } => 2,
+                },
+            ],
+        );
+        Some(h)
     }
 
     /// Disables the maxmin relabeling (ablation; hurts the lower bound).
@@ -496,6 +582,23 @@ impl MutSolver {
                 tree.map_taxa(|original| inv[original]);
             }
             problem.set_resume_incumbent(tree, ckpt.best_value);
+        } else if let Some(seed) = &self.seed {
+            // A cache-provided warm start (original indexing). Unlike a
+            // checkpoint it is advisory: a seed over the wrong taxa is
+            // dropped, and its weight is re-derived by fitting minimal
+            // feasible heights against this matrix rather than trusted.
+            if seed.leaf_count() == n && seed.taxa().all(|t| t < n) {
+                let mut tree = seed.clone();
+                if let Some(order) = &order {
+                    let mut inv = vec![0usize; n];
+                    for (permuted, &original) in order.iter().enumerate() {
+                        inv[original] = permuted;
+                    }
+                    tree.map_taxa(|original| inv[original]);
+                }
+                let w = tree.fit_heights(pm);
+                problem.set_resume_incumbent(tree, w);
+            }
         }
         let mut opts = SearchOptions::new(self.mode)
             .max_branches(self.max_branches)
@@ -503,6 +606,9 @@ impl MutSolver {
         opts.deadline = self.deadline;
         opts.cancel = self.cancel.clone();
         opts.memory = self.memory;
+        opts.frontier_shards = self
+            .frontier_shards
+            .or_else(mutree_engine::plan::env_frontier_shards);
         // A cadence set before any destination was given has an empty
         // path; never hand that to the drivers.
         opts.checkpoint = self

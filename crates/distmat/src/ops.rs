@@ -66,6 +66,19 @@ impl MaxminPermutation {
         m.permute(&self.order)
     }
 
+    /// The inverse permutation: `inverse()[t]` is the relabeled index of
+    /// original taxon `t`. Mapping a tree built in relabeled indexing
+    /// back to original taxa goes through [`order`](Self::order); mapping
+    /// an original-indexed tree *into* relabeled indexing (checkpoint
+    /// resume, cache warm seeds) goes through this.
+    pub fn inverse(&self) -> Vec<usize> {
+        let mut inv = vec![0usize; self.order.len()];
+        for (k, &orig) in self.order.iter().enumerate() {
+            inv[orig] = k;
+        }
+        inv
+    }
+
     /// Checks the maxmin property on a matrix, within additive tolerance
     /// `tol`. Mostly useful in tests.
     pub fn is_maxmin_for(&self, m: &DistanceMatrix, tol: f64) -> bool {
@@ -282,5 +295,14 @@ mod tests {
         let p = m.maxmin_permutation();
         assert!(p.is_maxmin_for(&m, 1e-9));
         assert_eq!(p.order().len(), 2);
+    }
+
+    #[test]
+    fn inverse_inverts_order() {
+        let p = sample().maxmin_permutation();
+        let inv = p.inverse();
+        for (k, &orig) in p.order().iter().enumerate() {
+            assert_eq!(inv[orig], k);
+        }
     }
 }

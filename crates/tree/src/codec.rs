@@ -1,8 +1,9 @@
-//! Byte codec for ultrametric trees in checkpoint payloads.
+//! Byte codec for ultrametric trees in checkpoint and cache payloads.
 //!
-//! Checkpoint files (see [`mutree_bnb::checkpoint`]) carry an opaque
-//! solution payload; for MUT solves that payload is an
-//! [`UltrametricTree`] in the **original** matrix indexing, serialized by
+//! Checkpoint files (`mutree_bnb::checkpoint`) carry an opaque solution
+//! payload, and the engine's group-solve cache stores memoized optima;
+//! for MUT solves both payloads are an [`UltrametricTree`] in the
+//! **original** (respectively canonical) matrix indexing, serialized by
 //! this module. The encoding is a pre-order walk: a leaf is a tag byte
 //! plus its taxon as `u64` little-endian; an internal node is a tag byte,
 //! its height as IEEE-754 bits little-endian, then the two child
@@ -14,7 +15,7 @@
 //! panicking on malformed bytes — the checksum in the checkpoint file
 //! catches corruption first, but the decoder never trusts that.
 
-use mutree_tree::{NodeId, NodeKind, UltrametricTree};
+use crate::{NodeId, NodeKind, UltrametricTree};
 
 const TAG_LEAF: u8 = 0;
 const TAG_INTERNAL: u8 = 1;

@@ -41,6 +41,7 @@ mod cluster;
 mod error;
 mod tree;
 
+pub mod codec;
 pub mod compare;
 pub mod newick;
 pub mod nj;

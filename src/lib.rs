@@ -10,6 +10,11 @@
 //! * [`clustersim`] — a discrete-event PC-cluster simulator used to
 //!   reproduce the paper's 16-node speedup experiments;
 //! * [`seqgen`] — synthetic molecular sequence data and edit distances;
+//! * [`engine`] — the solve spine: serializable
+//!   [`SolveRequest`](engine::SolveRequest)s, environment-resolved
+//!   [`SolvePlan`](engine::SolvePlan)s, unified
+//!   [`SolveReport`](engine::SolveReport)s, and the content-addressed
+//!   group-solve cache;
 //! * [`core`] — the PaCT 2005 contribution: exact minimum-ultrametric-tree
 //!   search (Algorithm BBU, sequential, parallel and simulated-cluster), the
 //!   3-3 relationship pruning rule, and the compact-set decomposition
@@ -40,6 +45,7 @@ pub use mutree_bnb as bnb;
 pub use mutree_clustersim as clustersim;
 pub use mutree_core as core;
 pub use mutree_distmat as distmat;
+pub use mutree_engine as engine;
 pub use mutree_graph as graph;
 pub use mutree_seqgen as seqgen;
 pub use mutree_tree as tree;

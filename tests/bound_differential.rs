@@ -160,7 +160,7 @@ fn env_hook_forces_kernel() {
     let solver = MutSolver::new();
     // CI's forced passes pin the variable for the whole process; save and
     // restore it so this test is valid in any ambient configuration.
-    let prior = std::env::var("MUTREE_FORCE_BOUND_KERNEL").ok();
+    let prior = std::env::var_os("MUTREE_FORCE_BOUND_KERNEL");
     std::env::remove_var("MUTREE_FORCE_BOUND_KERNEL");
     assert_eq!(solver.dispatch_bound_kernel(), BoundKernel::Lanes);
 

@@ -20,12 +20,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn worker_counts() -> Vec<usize> {
-    match std::env::var("MUTREE_PIPELINE_THREADS") {
-        Ok(v) => vec![v
+    match std::env::var_os("MUTREE_PIPELINE_THREADS") {
+        Some(v) => vec![v
+            .to_string_lossy()
             .trim()
             .parse()
             .expect("MUTREE_PIPELINE_THREADS is numeric")],
-        Err(_) => vec![1, 2, 8],
+        None => vec![1, 2, 8],
     }
 }
 

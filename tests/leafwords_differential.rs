@@ -121,7 +121,7 @@ fn env_hook_forces_wide_path() {
     let solver = MutSolver::new();
     // CI's wide pass pins the variable for the whole process; save and
     // restore it so this test is valid in any ambient configuration.
-    let prior = std::env::var("MUTREE_FORCE_LEAF_WORDS").ok();
+    let prior = std::env::var_os("MUTREE_FORCE_LEAF_WORDS");
     std::env::remove_var("MUTREE_FORCE_LEAF_WORDS");
     assert_eq!(solver.dispatch_leaf_words(m.len()), Some(1));
 
