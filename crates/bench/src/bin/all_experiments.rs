@@ -1,6 +1,6 @@
 //! Runs every experiment in sequence (the full evaluation).
 use mutree_bench::experiments::{
-    ablations, bound_kernel, cache, frontier, hpcasia, leafwords, pact,
+    ablations, bound_kernel, cache, frontier, hpcasia, leafwords, pact, propagate,
 };
 
 fn main() {
@@ -32,6 +32,7 @@ fn main() {
         leafwords::exp_leafwords(),
         bound_kernel::exp_bound_kernel(),
         cache::exp_cache(),
+        propagate::exp_propagate(),
     ];
     for t in tables {
         t.emit(None).expect("write results");

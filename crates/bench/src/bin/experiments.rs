@@ -12,9 +12,9 @@
 use std::process::ExitCode;
 
 use mutree_bench::experiments::{
-    ablations, bound_kernel, cache, frontier, hpcasia, leafwords, pact,
+    ablations, bound_kernel, cache, frontier, hpcasia, leafwords, pact, propagate,
 };
-use mutree_bench::report::Table;
+use mutree_bench::report::{results_dir, Table};
 
 /// Builds the `NAMES` table and the dispatch function in one place, so a
 /// new experiment added here is automatically listed and runnable.
@@ -59,6 +59,7 @@ experiments! {
     "exp_leafwords" => leafwords::exp_leafwords,
     "exp_bound_kernel" => bound_kernel::exp_bound_kernel,
     "exp_cache" => cache::exp_cache,
+    "exp_propagate" => propagate::exp_propagate,
 }
 
 fn main() -> ExitCode {
@@ -69,8 +70,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     if args.iter().any(|a| a == "--list") {
+        // Every experiment writes `results/<name>.csv` and `.json` via
+        // `Table::emit`; list the destination next to each name so the
+        // output of a run is discoverable without grepping the sources.
+        let dir = results_dir();
+        let width = NAMES.iter().map(|n| n.len()).max().unwrap_or(0);
         for name in NAMES {
-            println!("{name}");
+            println!(
+                "{name:<width$}  {dir}/{name}.csv  {dir}/{name}.json",
+                dir = dir.display()
+            );
         }
         return ExitCode::SUCCESS;
     }

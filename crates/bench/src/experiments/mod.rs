@@ -19,6 +19,9 @@
 //! * [`cache`] — the content-addressed group-solve cache: the frontier
 //!   batch solved cold then replayed warm through cache-enabled solve
 //!   plans (hit rate, replay speedup, bit-identity).
+//! * [`propagate`] — the constraint-propagation prune stage (height
+//!   floors + triple-domain arm wipeouts) against the weight-only
+//!   baseline on the frontier batch, at 1/4/8 threads.
 
 pub mod ablations;
 pub mod bound_kernel;
@@ -27,3 +30,4 @@ pub mod frontier;
 pub mod hpcasia;
 pub mod leafwords;
 pub mod pact;
+pub mod propagate;

@@ -274,6 +274,10 @@ pub enum PruneReason {
     /// A complete node reported a NaN objective value (unorderable; the
     /// solution is dropped rather than poisoning the bound).
     NanObjective,
+    /// The constraint-propagation stage ([`Problem::propagate`]) proved
+    /// the node dominated: a triple-domain wipeout or a propagated
+    /// height floor fired before the weight bound could.
+    Propagation,
 }
 
 /// A structured event emitted by the kernel as the search runs.
@@ -883,6 +887,19 @@ impl<'a, P: Problem> Expander<'a, P> {
             self.stats.pruned += 1;
             observer.on_event(SearchEvent::Pruned {
                 reason: PruneReason::Node,
+            });
+            return Step::Pruned;
+        }
+        // Second prune stage: constraint propagation. Runs only on nodes
+        // the weight bound kept, so a NaN-sanitized (never-pruning) first
+        // stage cannot be overridden into a prune by accident — the hook
+        // sees the same sanitized incumbent and must apply its own
+        // sanitize_lb before comparing (see bnb::propagate).
+        if self.problem.propagate(node, ub, self.opts) {
+            self.stats.pruned += 1;
+            self.stats.propagation_pruned += 1;
+            observer.on_event(SearchEvent::Pruned {
+                reason: PruneReason::Propagation,
             });
             return Step::Pruned;
         }

@@ -97,6 +97,7 @@ pub mod kernel;
 mod parallel;
 mod pool;
 mod problem;
+pub mod propagate;
 mod sequential;
 mod shared_bound;
 mod trace;
@@ -114,6 +115,7 @@ pub use problem::{
     MemoryBudget, Problem, SearchMode, SearchOptions, SearchOutcome, SearchStats, StopReason,
     Strategy,
 };
+pub use propagate::{PruneStrategy, TripleDomains};
 pub use sequential::{solve_sequential, solve_sequential_observed};
 pub use shared_bound::SharedBound;
 pub use trace::{LoggingObserver, TraceLevel};

@@ -58,6 +58,22 @@ pub trait Problem: Sync {
     fn encode_solution(&self, _solution: &Self::Solution) -> Option<Vec<u8>> {
         None
     }
+
+    /// Second prune stage: constraint propagation (see
+    /// [`propagate`](crate::propagate)). Called by the expansion kernel
+    /// on every node that survived the weight-bound prune, with the
+    /// incumbent value `ub` current at that moment. Returning `true`
+    /// prunes the node (counted in
+    /// [`SearchStats::propagation_pruned`] and reported as
+    /// [`PruneReason::Propagation`](crate::PruneReason::Propagation)).
+    ///
+    /// Implementations must be *sound*: prune only nodes provably unable
+    /// to change the search's answer under `opts.mode`. The default
+    /// never prunes, so problems without a propagation stage are
+    /// unaffected.
+    fn propagate(&self, _node: &Self::Node, _ub: f64, _opts: &SearchOptions) -> bool {
+        false
+    }
 }
 
 /// What to collect during the search.
@@ -316,6 +332,12 @@ pub struct SearchStats {
     /// Children discarded because their lower bound could not beat the
     /// incumbent.
     pub pruned: u64,
+    /// Nodes discarded by the constraint-propagation stage
+    /// ([`Problem::propagate`]): a triple-domain wipeout or a propagated
+    /// height floor beat the weight bound to the prune. Counted in
+    /// [`pruned`](SearchStats::pruned) as well — this field attributes
+    /// the subset the second stage caught.
+    pub propagation_pruned: u64,
     /// Complete solutions encountered (including non-improving ones).
     pub solutions_seen: u64,
     /// Times the incumbent improved.
@@ -359,6 +381,7 @@ impl SearchStats {
     pub fn merge(&mut self, other: &SearchStats) {
         self.branched += other.branched;
         self.pruned += other.pruned;
+        self.propagation_pruned += other.propagation_pruned;
         self.solutions_seen += other.solutions_seen;
         self.incumbent_updates += other.incumbent_updates;
         self.peak_pool = self.peak_pool.max(other.peak_pool);

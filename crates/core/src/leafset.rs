@@ -99,6 +99,12 @@ impl<const K: usize> LeafWords<K> {
         (0..K).all(|w| self.words[w] & other.words[w] == 0)
     }
 
+    /// Whether every member of `self` is also in `other`.
+    #[inline]
+    pub fn is_subset(&self, other: &Self) -> bool {
+        (0..K).all(|w| self.words[w] & !other.words[w] == 0)
+    }
+
     /// Whether the two sets share at least one leaf.
     #[inline]
     pub fn intersects(&self, other: &Self) -> bool {
@@ -220,6 +226,10 @@ mod tests {
         assert_eq!(s.union(t), s);
         assert!(t.intersects(&s));
         assert!(t.is_disjoint(&LeafWords::singleton(64)));
+        assert!(t.is_subset(&s));
+        assert!(!s.is_subset(&t));
+        assert!(s.is_subset(&s));
+        assert!(LeafWords::<4>::EMPTY.is_subset(&t));
     }
 
     #[test]

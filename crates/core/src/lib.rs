@@ -70,7 +70,8 @@ pub use solver::{
 
 pub use mutree_bnb::{
     BoundKernel, CancelToken, CheckpointError, CheckpointFile, CheckpointPolicy, LoggingObserver,
-    MemoryBudget, SearchMode, SearchStats, StopReason, Strategy, TraceLevel, WorkerPool,
+    MemoryBudget, PruneStrategy, SearchMode, SearchStats, StopReason, Strategy, TraceLevel,
+    WorkerPool,
 };
 // The bit-exact tree codec (checkpoints, cache payloads) and the shared
 // FNV/splitmix hash primitives live downstack; re-export them at their

@@ -1,9 +1,71 @@
+use mutree_bnb::bound::triple_index;
+use mutree_bnb::propagate::{Arm, TripleDomains};
 use mutree_tree::UltrametricTree;
 
 use crate::dist::{DistSource, RowMax};
 use crate::leafset::LeafWords;
 
 const NONE: u32 = u32::MAX;
+
+/// The triple-domain arm index: for every leaf pair `(s, u)` with
+/// `s < u`, the partition of the earlier leaves `i < s` by the fixed arm
+/// of triple `(i, s, u)` — one `[Earlier, WithLow, WithHigh]` mask trio
+/// per pair, decoded once per problem from the packed
+/// [`TripleDomains`]. [`prop_advance`](PartialTree::prop_advance) folds
+/// constraints level by level along the new leaf's root path, and every
+/// leaf at one level contributes the *same* region mask per arm, so
+/// three `intersects` tests per level replace a per-triple arm decode
+/// (folding a region twice is idempotent, see the laminar argument at
+/// the fold).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ArmIndex<const K: usize> {
+    masks: Vec<[LeafWords<K>; 3]>,
+}
+
+impl<const K: usize> ArmIndex<K> {
+    /// Decodes the packed domain into per-pair arm masks. An empty
+    /// domain yields an empty (inactive) index.
+    pub(crate) fn build(n: usize, domains: &TripleDomains) -> Self {
+        if domains.is_empty() {
+            return ArmIndex::default();
+        }
+        let mut masks = vec![[LeafWords::EMPTY; 3]; n * n.saturating_sub(1) / 2];
+        for u in 2..n {
+            for s in 1..u {
+                // triple_index is linear in its first argument, so the
+                // codes for fixed (s, u) are contiguous from base.
+                let base = triple_index(0, s, u);
+                let slot = &mut masks[Self::pair(s, u)];
+                for i in 0..s {
+                    match domains.arm(base + i) {
+                        Arm::Open => {}
+                        Arm::Earlier => slot[0].insert(i),
+                        Arm::WithLow => slot[1].insert(i),
+                        Arm::WithHigh => slot[2].insert(i),
+                    }
+                }
+            }
+        }
+        ArmIndex { masks }
+    }
+
+    /// Whether the index carries no pairs (propagation inactive).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    #[inline]
+    fn pair(s: usize, u: usize) -> usize {
+        debug_assert!(s < u);
+        u * (u - 1) / 2 + s
+    }
+
+    /// The `[Earlier, WithLow, WithHigh]` masks of pair `(s, u)`.
+    #[inline]
+    fn masks(&self, s: usize, u: usize) -> &[LeafWords<K>; 3] {
+        &self.masks[Self::pair(s, u)]
+    }
+}
 
 /// A node of the branch-and-bound tree (BBT): an ultrametric tree over the
 /// first `k` species of a (maxmin-relabeled) matrix, with minimal heights.
@@ -36,6 +98,23 @@ pub struct PartialTree<const K: usize = 1> {
     n: u32,
     weight: f64,
     lb: f64,
+    /// Future-leaf confinement masks for the propagation stage, indexed
+    /// by taxon: `prop_inside[u]` is the leafset of the current subtree
+    /// `u` must insert into (its edge included), `prop_outside[u]` the
+    /// leafset of the current subtree `u` must not insert strictly
+    /// inside. `EMPTY` means unconstrained; the vectors are empty — no
+    /// per-node cost at all — when propagation is off for this node.
+    prop_inside: Vec<LeafWords<K>>,
+    prop_outside: Vec<LeafWords<K>>,
+    /// Some future leaf's confinements contradict: every completion of
+    /// this node dies in a later 3-3 check, so the kernel prunes it.
+    prop_wiped: bool,
+    /// Per-level (sibling, ancestor) leafsets along the newest leaf's
+    /// root path — scratch for [`prop_advance`](Self::prop_advance),
+    /// kept on the node so a recycled tree re-fills it without
+    /// allocating. Contents are meaningless between calls, so clones
+    /// don't copy it (and `clone_from` leaves the capacity in place).
+    prop_scratch: Vec<(LeafWords<K>, LeafWords<K>)>,
 }
 
 impl<const K: usize> Clone for PartialTree<K> {
@@ -51,13 +130,19 @@ impl<const K: usize> Clone for PartialTree<K> {
             n: self.n,
             weight: self.weight,
             lb: self.lb,
+            prop_inside: self.prop_inside.clone(),
+            prop_outside: self.prop_outside.clone(),
+            prop_wiped: self.prop_wiped,
+            prop_scratch: Vec::new(),
         }
     }
 
     /// Overwrites `self` without reallocating: the arena vectors of a
     /// retired tree from the same matrix already have the right capacity,
-    /// so this is five `memcpy`s. This is what makes
-    /// [`insert_next_into`](PartialTree::insert_next_into) allocation-free.
+    /// so this is a handful of `memcpy`s — five arena vectors plus the
+    /// two confinement-mask vectors when propagation is on. This is what
+    /// makes [`insert_next_into`](PartialTree::insert_next_into)
+    /// allocation-free.
     fn clone_from(&mut self, source: &Self) {
         self.parent.clone_from(&source.parent);
         self.left.clone_from(&source.left);
@@ -69,6 +154,12 @@ impl<const K: usize> Clone for PartialTree<K> {
         self.n = source.n;
         self.weight = source.weight;
         self.lb = source.lb;
+        self.prop_inside.clone_from(&source.prop_inside);
+        self.prop_outside.clone_from(&source.prop_outside);
+        self.prop_wiped = source.prop_wiped;
+        // prop_scratch deliberately untouched: its contents are dead
+        // between prop_advance calls and the retained capacity is the
+        // point of recycling.
     }
 }
 
@@ -110,6 +201,10 @@ impl<const K: usize> PartialTree<K> {
             n: n as u32,
             weight: 0.0,
             lb: 0.0,
+            prop_inside: Vec::new(),
+            prop_outside: Vec::new(),
+            prop_wiped: false,
+            prop_scratch: Vec::new(),
         };
         for leaf in 0..n {
             t.leafset[leaf] = LeafWords::singleton(leaf);
@@ -304,6 +399,203 @@ impl<const K: usize> PartialTree<K> {
         order
     }
 
+    /// Height of the current root — the tallest node of the partial
+    /// tree. The propagation stage compares it against the precomputed
+    /// per-depth height floors.
+    pub fn root_height(&self) -> f64 {
+        self.height[self.root as usize]
+    }
+
+    /// Whether confinement masks are maintained on this node.
+    pub(crate) fn prop_is_active(&self) -> bool {
+        !self.prop_inside.is_empty()
+    }
+
+    /// Whether a confinement contradiction was detected — every
+    /// completion of this node dies in a later 3-3 check, so the
+    /// kernel's propagation stage prunes it.
+    pub fn prop_wiped(&self) -> bool {
+        self.prop_wiped
+    }
+
+    /// Starts maintaining confinement masks on this node (the search
+    /// root). Masks start unset; [`prop_advance`](Self::prop_advance)
+    /// fills them in as leaves insert.
+    pub(crate) fn prop_activate(&mut self) {
+        self.prop_inside.clear();
+        self.prop_inside.resize(self.n as usize, LeafWords::EMPTY);
+        self.prop_outside.clear();
+        self.prop_outside.resize(self.n as usize, LeafWords::EMPTY);
+        self.prop_wiped = false;
+    }
+
+    /// Whether the confinement masks of the *next* leaf to insert allow
+    /// placing it above arena node `site`. By the time leaf `u` inserts,
+    /// every triple `(i, j, u)` has both earlier leaves placed, so `u`'s
+    /// masks are a complete fold of all its arm constraints — a rejected
+    /// site is a pure look-ahead of the child's own 3-3 check, letting
+    /// the branching skip the arena copy for children the filter would
+    /// discard anyway. (The converse need not hold: an allowed site can
+    /// still fail the check, so the filter keeps running on survivors.)
+    pub(crate) fn prop_allows(&self, site: u32) -> bool {
+        let u = self.k as usize;
+        let lx = self.leafset[site as usize];
+        // Inside: u must insert within the `ins` subtree, its top edge
+        // included — the site's leafset must not escape it.
+        let ins = self.prop_inside[u];
+        if !ins.is_empty() && !lx.is_subset(&ins) {
+            return false;
+        }
+        // Outside: u must not insert strictly inside the `outs`
+        // subtree; its own top edge stays legal.
+        let outs = self.prop_outside[u];
+        !(!outs.is_empty() && lx.is_subset(&outs) && lx != outs)
+    }
+
+    /// Drops the masks — the hybrid strategy's deep tail. Descendants of
+    /// this node skip domain maintenance entirely. `clear` keeps the
+    /// capacity, so a recycled scratch tree flips between active and
+    /// released states without reallocating.
+    pub(crate) fn prop_release(&mut self) {
+        self.prop_inside.clear();
+        self.prop_outside.clear();
+        self.prop_wiped = false;
+    }
+
+    /// Advances the confinement masks after the newest leaf's insertion:
+    /// refreshes the subtree each stored mask names, then folds in the
+    /// constraints of the triples `(i, s, u)` this insertion fixed —
+    /// `s = k − 1` just placed, `i < s` placed earlier, `u > s` future.
+    /// Sets the wiped flag the moment some `u` has no legal region left.
+    ///
+    /// Each mask is the leafset of a *current* node, so the family is
+    /// laminar: two masks are nested or disjoint, which is what the
+    /// intersection (inside) and keep-the-largest (outside) rules and
+    /// the `inside ⊊ outside` wipe test rely on. On insertion of `s`
+    /// above node `e`, exactly the subtrees whose leafsets contain
+    /// `leafset(e)` gain the new leaf. An inside mask names "the i-side
+    /// child of the triple's LCA", a node the insertion *replaces* when
+    /// `e` is that child itself, so inside masks refresh on
+    /// `leafset(e) ⊆ M`; an outside mask names the LCA node, whose
+    /// identity survives an insertion directly above it, so outside
+    /// masks refresh only on the strict `leafset(e) ⊊ M`.
+    pub(crate) fn prop_advance(&mut self, arms: &ArmIndex<K>) {
+        debug_assert!(self.prop_is_active() && !self.prop_wiped);
+        let s = (self.k - 1) as usize;
+        let n = self.n as usize;
+        let joint = self.parent[s] as usize;
+        let e = if self.left[joint] == s as u32 {
+            self.right[joint]
+        } else {
+            self.left[joint]
+        } as usize;
+        let sb = self.leafset[e];
+        let sbit = LeafWords::singleton(s);
+
+        // The new constraints need, per root-path level of s, the
+        // ancestor's leafset and its off-path child subtree: all i at
+        // the same level share LCA(i, s) and therefore the same region
+        // masks. The walk fills the node-recycled scratch, so after the
+        // child pool warms up this whole routine allocates nothing.
+        let mut levels = std::mem::take(&mut self.prop_scratch);
+        levels.clear();
+        levels.push((sb, self.leafset[joint]));
+        let mut child = joint as u32;
+        let mut a = self.parent[joint];
+        while a != NONE {
+            let ai = a as usize;
+            let sibling = if self.left[ai] == child {
+                self.right[ai]
+            } else {
+                self.left[ai]
+            } as usize;
+            levels.push((self.leafset[sibling], self.leafset[ai]));
+            child = a;
+            a = self.parent[ai];
+        }
+
+        // The sibling masks partition the placed leaves `0..s`, and
+        // every leaf at one level contributes the same region mask per
+        // arm, so three intersection tests per level fold exactly what
+        // the per-triple walk would; the fold outcome is
+        // order-independent (the inside chain keeps its minimum, the
+        // outside chain its maximum, a disjoint pair wipes under any
+        // order, and re-folding a region is idempotent).
+        'future: for u in (s + 1)..n {
+            let mut ins = self.prop_inside[u];
+            let mut outs = self.prop_outside[u];
+            // Refresh first: inserting s grew exactly the subtrees whose
+            // leafsets contain `leafset(e)`. An inside mask names a node
+            // the insertion may *replace* (the e-side child of the
+            // triple's LCA), so it refreshes on the non-strict subset;
+            // an outside mask names the LCA itself, whose identity
+            // survives an insertion directly above it, so it refreshes
+            // only on the strict one. Masks of already-placed leaves
+            // (`u ≤ s`) are dead and deliberately skipped.
+            let mut touched = false;
+            if !ins.is_empty() && sb.is_subset(&ins) {
+                ins |= sbit;
+                touched = true;
+            }
+            if !outs.is_empty() && sb.is_subset(&outs) && outs != sb {
+                outs |= sbit;
+                touched = true;
+            }
+
+            let &[earlier, with_low, with_high] = arms.masks(s, u);
+            let constrained = earlier.union(with_low).union(with_high);
+            let mut folded = false;
+            if !constrained.is_empty() {
+                for (lvl, &(sib, anc)) in levels.iter().enumerate() {
+                    if !sib.intersects(&constrained) {
+                        continue;
+                    }
+                    // (i, s) close and both placed: u must not insert
+                    // strictly inside their LCA's subtree. Keep the
+                    // largest such region — it subsumes nested ones.
+                    if sib.intersects(&earlier) && (outs.is_empty() || outs.is_subset(&anc)) {
+                        outs = anc;
+                        folded = true;
+                    }
+                    // (i, u) close ⇒ u inside the i-side child of
+                    // LCA(i, s); (s, u) close ⇒ inside the s-side child.
+                    // Inside regions intersect: laminar, so either
+                    // nested (keep the smaller) or disjoint (wipeout).
+                    let below = if lvl == 0 { sbit } else { levels[lvl - 1].1 };
+                    let folds = [
+                        sib.intersects(&with_low).then_some(sib),
+                        sib.intersects(&with_high).then_some(below),
+                    ];
+                    for m in folds.into_iter().flatten() {
+                        if ins.is_empty() || m.is_subset(&ins) {
+                            ins = m;
+                            folded = true;
+                        } else if !ins.is_subset(&m) {
+                            self.prop_wiped = true;
+                            break 'future;
+                        }
+                    }
+                }
+            }
+            if folded {
+                // Wipe when the required region sits strictly inside
+                // the forbidden one; equality still leaves the site on
+                // the region's own top edge. A refresh alone cannot
+                // create the strict containment, so only a fold needs
+                // the test.
+                if !ins.is_empty() && !outs.is_empty() && ins.is_subset(&outs) && ins != outs {
+                    self.prop_wiped = true;
+                    break 'future;
+                }
+            }
+            if touched || folded {
+                self.prop_inside[u] = ins;
+                self.prop_outside[u] = outs;
+            }
+        }
+        self.prop_scratch = levels;
+    }
+
     /// Converts to a full [`UltrametricTree`] (taxa keep their ids in the
     /// matrix this tree was built against).
     pub fn to_ultrametric(&self) -> UltrametricTree {
@@ -491,6 +783,79 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn prop_masks_track_confinements_across_insertions() {
+        use mutree_bnb::bound::{close_pair_table_len, CLOSE_WITH_HIGH, CLOSE_WITH_LOW};
+        let m = m5();
+        // Hand-built domains: only the (0, 1, u) triples constrain.
+        let mut codes = vec![0u8; close_pair_table_len(5)];
+        codes[triple_index(0, 1, 2)] = CLOSE_WITH_LOW; // 2 inside the 0-side of LCA(0,1)
+        codes[triple_index(0, 1, 3)] = CLOSE_WITH_HIGH; // 3 inside the 1-side of LCA(0,1)
+        let dom = ArmIndex::<1>::build(5, &TripleDomains::pack(&codes));
+
+        let mut t = PartialTree::<1>::cherry(&m);
+        t.prop_activate();
+        t.prop_advance(&dom);
+        assert!(!t.prop_wiped());
+        assert_eq!(t.prop_inside[2], LeafWords::singleton(0));
+        assert_eq!(t.prop_inside[3], LeafWords::singleton(1));
+        assert!(t.prop_inside[4].is_empty());
+
+        // Inserting 2 above leaf 1 replaces leaf 1 — the subtree 3 is
+        // confined to — with the node {1, 2}: the mask must follow.
+        let mut above_leaf = t.insert_next(&m, 1);
+        above_leaf.prop_advance(&dom);
+        assert!(!above_leaf.prop_wiped());
+        let grown = LeafWords::singleton(1).union(LeafWords::singleton(2));
+        assert_eq!(above_leaf.prop_inside[3], grown);
+        assert_eq!(above_leaf.prop_inside[2], LeafWords::singleton(0));
+
+        // Inserting 2 above the root leaves both LCA children intact:
+        // no mask moves.
+        let mut above_root = t.insert_next(&m, 5);
+        above_root.prop_advance(&dom);
+        assert!(!above_root.prop_wiped());
+        assert_eq!(above_root.prop_inside[3], LeafWords::singleton(1));
+        assert_eq!(above_root.prop_inside[2], LeafWords::singleton(0));
+    }
+
+    #[test]
+    fn prop_wipes_on_disjoint_confinements() {
+        use mutree_bnb::bound::{close_pair_table_len, CLOSE_WITH_HIGH, CLOSE_WITH_LOW};
+        let m = m5();
+        let mut codes = vec![0u8; close_pair_table_len(5)];
+        // 3 inside the 0-side of LCA(0,1) = {0} ...
+        codes[triple_index(0, 1, 3)] = CLOSE_WITH_LOW;
+        // ... but also inside the 2-side of LCA(0,2), which after
+        // inserting 2 above leaf 1 is the node {1, 2}: disjoint regions.
+        codes[triple_index(0, 2, 3)] = CLOSE_WITH_HIGH;
+        let dom = ArmIndex::<1>::build(5, &TripleDomains::pack(&codes));
+
+        let mut t = PartialTree::<1>::cherry(&m);
+        t.prop_activate();
+        t.prop_advance(&dom);
+        assert!(!t.prop_wiped());
+        assert_eq!(t.prop_inside[3], LeafWords::singleton(0));
+
+        let mut child = t.insert_next(&m, 1);
+        child.prop_advance(&dom);
+        assert!(child.prop_wiped());
+    }
+
+    #[test]
+    fn prop_release_keeps_clones_cheap_and_inactive() {
+        let m = m5();
+        let mut t = PartialTree::<1>::cherry(&m);
+        assert!(!t.prop_is_active());
+        t.prop_activate();
+        assert!(t.prop_is_active());
+        let cloned = t.clone();
+        assert!(cloned.prop_is_active());
+        t.prop_release();
+        assert!(!t.prop_is_active());
+        assert!(!t.prop_wiped());
     }
 
     proptest! {

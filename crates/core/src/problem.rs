@@ -1,13 +1,18 @@
 use mutree_bnb::bound::{
     self, triple_index, CLOSE_EARLIER, CLOSE_NONE, CLOSE_WITH_HIGH, CLOSE_WITH_LOW,
 };
-use mutree_bnb::{BoundKernel, ChildBuf, Problem};
+use mutree_bnb::kernel::prunable;
+use mutree_bnb::propagate::floor_table;
+use mutree_bnb::{
+    sanitize_lb, BoundKernel, ChildBuf, Problem, PruneStrategy, SearchOptions, TripleDomains,
+};
 use mutree_distmat::{DistanceMatrix, SolverMatrix};
 use mutree_tree::{cluster, triples, Linkage, UltrametricTree};
 
 use mutree_engine::ThreeThree;
 
 use crate::dist::{DistSource, LaneDist};
+use crate::node::ArmIndex;
 use crate::PartialTree;
 
 /// The metric minimum ultrametric tree problem as a branch-and-bound
@@ -59,6 +64,23 @@ pub struct MutProblem<const K: usize = 1> {
     close_pairs: Vec<u8>,
     three_three: ThreeThree,
     use_upgmm: bool,
+    /// Which prune stages the expansion kernel runs for this problem.
+    prune: PruneStrategy,
+    /// Per-pair `[Earlier, WithLow, WithHigh]` arm masks for the
+    /// propagation stage's future-leaf confinements, decoded from the
+    /// packed 2-bit [`TripleDomains`] at construction — the form
+    /// [`PartialTree::prop_advance`] folds with three intersection tests
+    /// per root-path level instead of a per-triple decode. Empty unless
+    /// the strategy propagates *and* the 3-3 rule is
+    /// [`ThreeThree::Full`] — only then is the arm set part of the
+    /// problem semantics, making a confinement wipeout a pure look-ahead
+    /// of checks the filter applies anyway.
+    arms: ArmIndex<K>,
+    /// Per-depth height floors `H[k]` (see
+    /// [`floor_table`]): a sound lower-bound tightening in every
+    /// configuration, so it runs whenever the strategy propagates.
+    /// Empty under [`PruneStrategy::WeightOnly`].
+    floors: Vec<f64>,
     /// Permuted-index → original-index taxon map for checkpoint payloads;
     /// `None` means the identity (no maxmin relabeling was applied).
     /// Checkpoints always store original indexing so a resumed run is
@@ -82,18 +104,32 @@ impl<const K: usize> MutProblem<K> {
     /// wide-enough width automatically).
     pub fn new(m: &DistanceMatrix, three_three: ThreeThree, use_upgmm: bool) -> Self {
         let kernel = mutree_engine::plan::env_forced_bound_kernel().unwrap_or_default();
-        Self::with_kernel(m, three_three, use_upgmm, kernel)
+        let prune = mutree_engine::plan::env_forced_prune().unwrap_or_default();
+        Self::with_config(m, three_three, use_upgmm, kernel, prune)
     }
 
     /// Like [`new`](Self::new) but with an explicit [`BoundKernel`],
     /// bypassing the `MUTREE_FORCE_BOUND_KERNEL` environment hook —
-    /// the entry point the solver's builder and the differential tests
-    /// use.
+    /// the entry point the differential tests use. The prune strategy
+    /// stays at its default.
     pub fn with_kernel(
         m: &DistanceMatrix,
         three_three: ThreeThree,
         use_upgmm: bool,
         kernel: BoundKernel,
+    ) -> Self {
+        Self::with_config(m, three_three, use_upgmm, kernel, PruneStrategy::default())
+    }
+
+    /// The fully explicit constructor: bound kernel *and* prune strategy,
+    /// bypassing every environment hook — what the solver's builder
+    /// resolves to.
+    pub fn with_config(
+        m: &DistanceMatrix,
+        three_three: ThreeThree,
+        use_upgmm: bool,
+        kernel: BoundKernel,
+        prune: PruneStrategy,
     ) -> Self {
         let n = m.len();
         assert!(
@@ -151,6 +187,23 @@ impl<const K: usize> MutProblem<K> {
             }
             table
         };
+        // The confinement domains reuse the close-pair table verbatim —
+        // they are the same arm codes, packed — but only under the Full
+        // rule is pruning on them answer-preserving.
+        let domains = if prune.propagates() && matches!(three_three, ThreeThree::Full) {
+            TripleDomains::pack(&close_pairs)
+        } else {
+            TripleDomains::default()
+        };
+        let arms = ArmIndex::build(n, &domains);
+        let floors = if prune.propagates() {
+            match kernel {
+                BoundKernel::Scalar => floor_table(n, |i, j, u| m.triple_med(i, j, u)),
+                BoundKernel::Lanes => floor_table(n, |i, j, u| sm.triple_med(i, j, u)),
+            }
+        } else {
+            Vec::new()
+        };
         MutProblem {
             m: m.clone(),
             sm,
@@ -159,6 +212,9 @@ impl<const K: usize> MutProblem<K> {
             close_pairs,
             three_three,
             use_upgmm,
+            prune,
+            arms,
+            floors,
             taxon_map: None,
             resume: None,
         }
@@ -177,6 +233,11 @@ impl<const K: usize> MutProblem<K> {
     /// Which bound arithmetic this problem dispatches through.
     pub fn bound_kernel(&self) -> BoundKernel {
         self.kernel
+    }
+
+    /// Which prune stages the expansion kernel runs for this problem.
+    pub fn prune_strategy(&self) -> PruneStrategy {
+        self.prune
     }
 
     /// The precomputed bound tables `(suffix, close_pairs)` — exposed for
@@ -244,7 +305,15 @@ impl<const K: usize> MutProblem<K> {
             ThreeThree::InitialOnly => node.leaves_inserted() == 2,
             ThreeThree::Full => true,
         };
+        // With live confinement masks, the next leaf's fold is complete
+        // (every triple it joins has both earlier leaves placed), so a
+        // mask-rejected site's child is guaranteed to fail its own 3-3
+        // check — skip it before paying for the arena copy.
+        let confine = filter && node.prop_is_active() && !node.prop_wiped();
         for site in node.insertion_sites() {
+            if confine && !node.prop_allows(site) {
+                continue;
+            }
             // Overwrite a retired sibling when one is available: after the
             // pool warms up, branching allocates nothing.
             let mut child = match out.recycle() {
@@ -260,6 +329,18 @@ impl<const K: usize> MutProblem<K> {
             }
             let lb = self.bound_of(&child);
             child.set_lower_bound(lb);
+            if child.prop_is_active() {
+                if self
+                    .prune
+                    .propagates_at(child.leaves_inserted(), self.m.len())
+                {
+                    child.prop_advance(&self.arms);
+                } else {
+                    // The hybrid deep tail: drop the masks; descendants
+                    // skip domain maintenance entirely.
+                    child.prop_release();
+                }
+            }
             out.push(child);
         }
     }
@@ -276,6 +357,10 @@ impl<const K: usize> Problem for MutProblem<K> {
         };
         let lb = self.bound_of(&t);
         t.set_lower_bound(lb);
+        if !self.arms.is_empty() && self.prune.propagates_at(2, self.m.len()) {
+            t.prop_activate();
+            t.prop_advance(&self.arms);
+        }
         t
     }
 
@@ -293,6 +378,27 @@ impl<const K: usize> Problem for MutProblem<K> {
             BoundKernel::Scalar => self.branch_with(&self.m, node, out),
             BoundKernel::Lanes => self.branch_with(&LaneDist::new(&self.sm), node, out),
         }
+    }
+
+    fn propagate(&self, node: &PartialTree<K>, ub: f64, opts: &SearchOptions) -> bool {
+        // A confinement wipeout is ub-independent: every completion of
+        // the node dies in a later 3-3 check, so pruning it now only
+        // skips work, never a solution.
+        if node.prop_wiped() {
+            return true;
+        }
+        if self.floors.is_empty() {
+            return false;
+        }
+        // The height-floor tightening: some ancestor of the partial root
+        // must reach H[k], so any completion pays the raise on top of
+        // the weight bound. `-∞` sentinels (k < 2, k = n) and a NaN from
+        // a degenerate height both land in the no-prune arm.
+        let lift = self.floors[node.leaves_inserted()] - node.root_height();
+        if lift.is_nan() || lift <= 0.0 {
+            return false;
+        }
+        prunable(sanitize_lb(node.lower_bound() + lift), ub, opts)
     }
 
     fn initial_incumbent(&self) -> Option<(UltrametricTree, f64)> {

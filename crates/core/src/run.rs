@@ -45,6 +45,7 @@ impl From<MutSolution> for SolveReport {
             sim: sol.sim,
             leaf_words: None,
             bound_kernel: None,
+            prune: None,
         }
     }
 }
@@ -64,6 +65,7 @@ impl From<PipelineSolution> for SolveReport {
             sim: None,
             leaf_words: None,
             bound_kernel: None,
+            prune: None,
         }
     }
 }
@@ -131,6 +133,9 @@ pub fn plan_solver(plan: &SolvePlan) -> MutSolver {
     }
     if let Some(k) = plan.bound_kernel {
         s = s.bound_kernel(k);
+    }
+    if let Some(p) = plan.prune {
+        s = s.prune(p);
     }
     if let Some(shards) = plan.frontier_shards {
         s = s.frontier_shards(shards);
@@ -203,6 +208,7 @@ pub fn solve_plan(plan: &SolvePlan) -> Result<SolveReport, MutError> {
             let solver = plan_solver(plan);
             let leaf_words = solver.dispatch_leaf_words(m.len());
             let bound_kernel = solver.dispatch_bound_kernel();
+            let prune = solver.dispatch_prune();
             // Whole-solve memoization for explicitly cache-enabled exact
             // requests; the signature gate keeps constrained solves live.
             let cache = (plan.cache_enabled && plan.cache_explicit)
@@ -238,6 +244,7 @@ pub fn solve_plan(plan: &SolvePlan) -> Result<SolveReport, MutError> {
                             sim: None,
                             leaf_words,
                             bound_kernel: Some(bound_kernel),
+                            prune: Some(prune),
                         });
                     }
                     CacheOutcome::Seed { tree, query, .. } => {
@@ -272,6 +279,7 @@ pub fn solve_plan(plan: &SolvePlan) -> Result<SolveReport, MutError> {
             }];
             report.leaf_words = leaf_words;
             report.bound_kernel = Some(bound_kernel);
+            report.prune = Some(prune);
             Ok(report)
         }
         SolveKind::Decompose => Ok(SolveReport::from(plan_pipeline(plan).solve(&m)?)),
@@ -315,7 +323,14 @@ mod tests {
         assert!(report.is_complete());
         assert_eq!(report.timings.len(), 1);
         assert_eq!(report.timings[0].stage, "exact");
-        assert_eq!(report.bound_kernel, Some(Default::default()));
+        // The report records what actually ran; with no plan override
+        // that is whatever an unconstrained solver dispatches to, so
+        // the assert stays valid under the forced-env CI legs.
+        assert_eq!(
+            report.bound_kernel,
+            Some(MutSolver::new().dispatch_bound_kernel())
+        );
+        assert_eq!(report.prune, Some(MutSolver::new().dispatch_prune()));
         assert!(report.leaf_words.is_some());
         assert!(report.groups.is_none());
     }

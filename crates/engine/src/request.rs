@@ -16,7 +16,9 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use mutree_bnb::{BoundKernel, CheckpointPolicy, MemoryBudget, SearchMode, Strategy, TraceLevel};
+use mutree_bnb::{
+    BoundKernel, CheckpointPolicy, MemoryBudget, PruneStrategy, SearchMode, Strategy, TraceLevel,
+};
 use mutree_distmat::DistanceMatrix;
 use mutree_tree::Linkage;
 
@@ -201,6 +203,9 @@ pub struct SolveRequest {
     /// Forced bound-arithmetic kernel. `None` defers to
     /// `MUTREE_FORCE_BOUND_KERNEL`, then to the default.
     pub bound_kernel: Option<BoundKernel>,
+    /// Forced prune-stage strategy. `None` defers to
+    /// `MUTREE_FORCE_PRUNE`, then to the default (propagate).
+    pub prune: Option<PruneStrategy>,
     /// Forced work-stealing shard count. `None` defers to
     /// `MUTREE_FRONTIER_SHARDS`, then to the worker-derived policy.
     pub frontier_shards: Option<usize>,
@@ -247,6 +252,7 @@ impl SolveRequest {
             threads: None,
             leaf_words: None,
             bound_kernel: None,
+            prune: None,
             frontier_shards: None,
             memory: None,
             checkpoint: None,
@@ -306,6 +312,12 @@ impl SolveRequest {
     /// Forces the bound kernel (overrides the environment).
     pub fn bound_kernel(mut self, kernel: BoundKernel) -> Self {
         self.bound_kernel = Some(kernel);
+        self
+    }
+
+    /// Forces the prune-stage strategy (overrides the environment).
+    pub fn prune(mut self, prune: PruneStrategy) -> Self {
+        self.prune = Some(prune);
         self
     }
 
@@ -387,6 +399,9 @@ impl SolveRequest {
                     BoundKernel::Lanes => "lanes",
                 }
             ));
+        }
+        if let Some(p) = self.prune {
+            line(format!("prune {}", p.name()));
         }
         if let Some(s) = self.frontier_shards {
             line(format!("frontier-shards {s}"));
@@ -570,6 +585,12 @@ impl SolveRequest {
                             .ok_or_else(|| fail(ln, format!("unknown bound kernel {rest:?}")))?,
                     )
                 }
+                "prune" => {
+                    req.prune = Some(
+                        PruneStrategy::parse(rest)
+                            .ok_or_else(|| fail(ln, format!("unknown prune strategy {rest:?}")))?,
+                    )
+                }
                 "frontier-shards" => req.frontier_shards = Some(usize_arg()?),
                 "memory-nodes" => {
                     let nodes: u64 = rest
@@ -743,6 +764,7 @@ mod tests {
             .threads(8)
             .leaf_words(2)
             .bound_kernel(BoundKernel::Scalar)
+            .prune(PruneStrategy::Propagate)
             .frontier_shards(16)
             .cache(true);
         req.strategy = Strategy::BestFirst;
@@ -769,6 +791,7 @@ mod tests {
         assert_eq!(back.mode, SearchMode::AllOptimal);
         assert_eq!(back.timeout, Some(Duration::from_millis(1500)));
         assert_eq!(back.cache, Some(true));
+        assert_eq!(back.prune, Some(PruneStrategy::Propagate));
         let MatrixSource::Inline(m) = &back.source else {
             panic!("inline matrix expected");
         };
@@ -785,6 +808,7 @@ mod tests {
         assert_eq!(back.kind, SolveKind::Exact);
         assert_eq!(back.threads, None);
         assert_eq!(back.cache, None);
+        assert_eq!(back.prune, None);
         assert_eq!(back.tol.to_bits(), 1e-9f64.to_bits());
     }
 

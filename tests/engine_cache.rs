@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use mutree::core::{
     solve_plan, BackendSpec, CacheOutcome, CompactPipeline, EnvOverrides, GroupCache, MutSolver,
-    SolvePlan, SolveRequest, StageProvenance,
+    PruneStrategy, SolvePlan, SolveRequest, StageProvenance,
 };
 use mutree::distmat::gen;
 use mutree::tree::compare::robinson_foulds;
@@ -116,6 +116,61 @@ proptest! {
         prop_assert!((seeded.weight - near_cold.weight).abs() < 1e-9);
         prop_assert!(seeded.tree.is_feasible_for(&near, 1e-9));
     }
+}
+
+/// Solvers that differ only in prune strategy must never share a cache
+/// entry: cached reports replay the filing solve's search statistics
+/// (branched/pruned counts), which differ per strategy even though the
+/// optima are bit-identical. The signature therefore hashes the
+/// *dispatched* strategy — so an environment-forced strategy separates
+/// entries exactly like a builder-forced one.
+#[test]
+fn cache_sig_separates_prune_strategies() {
+    let strategies = [
+        PruneStrategy::WeightOnly,
+        PruneStrategy::Propagate,
+        PruneStrategy::Hybrid,
+    ];
+    let sigs: Vec<u64> = strategies
+        .iter()
+        .map(|&p| {
+            MutSolver::new()
+                .prune(p)
+                .cache_sig()
+                .expect("unconstrained solver is cacheable")
+        })
+        .collect();
+    for (i, a) in sigs.iter().enumerate() {
+        for (j, b) in sigs.iter().enumerate() {
+            if i != j {
+                assert_ne!(
+                    a, b,
+                    "{:?} and {:?} share a signature",
+                    strategies[i], strategies[j]
+                );
+            }
+        }
+    }
+    // An unforced solver files under whatever it would dispatch to
+    // (Propagate, unless MUTREE_FORCE_PRUNE redirects the whole
+    // process).
+    let dispatched = MutSolver::new().dispatch_prune();
+    assert_eq!(
+        MutSolver::new().cache_sig(),
+        MutSolver::new().prune(dispatched).cache_sig()
+    );
+    // The bound kernel stays deliberately unhashed: both kernels run
+    // bit-identical searches with identical statistics, so sharing
+    // entries across them is sound (and keeps the cache warm when a
+    // bench toggles kernels).
+    assert_eq!(
+        MutSolver::new()
+            .bound_kernel(mutree::core::BoundKernel::Scalar)
+            .cache_sig(),
+        MutSolver::new()
+            .bound_kernel(mutree::core::BoundKernel::Lanes)
+            .cache_sig()
+    );
 }
 
 /// A corrupted cache entry fails its checksum on probe: it is evicted,

@@ -1,0 +1,188 @@
+//! Differential agreement between the prune-stage strategies: the
+//! weight-only search, the always-on constraint-propagation search, and
+//! the hybrid (shallow-prefix propagation) search must all find *the
+//! same answer* — identical optimum weight to the bit and identical
+//! topology (RF = 0) — on every driver and at every monomorphized leaf
+//! width. Propagation is a valid-lower-bound tightening plus a pure 3-3
+//! look-ahead, so it may only discard nodes whose completions the weight
+//! prune (or the 3-3 feasibility check) would reject anyway; it must
+//! also never *widen* the sequential search.
+//!
+//! `ThreeThree::Full` cases are included deliberately: that is the only
+//! configuration where the triple-domain arm-wipeout masks are active,
+//! so without it the sweep would exercise the height-floor bound alone.
+
+use mutree::clustersim::ClusterSpec;
+use mutree::core::{MutSolver, PruneStrategy, SearchBackend, ThreeThree};
+use mutree::distmat::gen;
+use mutree::seqgen;
+use mutree::tree::compare::robinson_foulds;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STRATEGIES: [PruneStrategy; 2] = [PruneStrategy::Propagate, PruneStrategy::Hybrid];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sequential, all leaf widths, both 3-3 settings: bit-identical
+    /// weight, RF-0 topology, and a search that never grows.
+    #[test]
+    fn strategies_agree_sequentially_at_every_width(
+        n in 6usize..10,
+        seed in any::<u64>(),
+        full_33 in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::perturbed_ultrametric(n, 60.0, 0.08, &mut rng);
+        let rule = if full_33 { ThreeThree::Full } else { ThreeThree::Off };
+        for words in [1usize, 2, 4] {
+            let base = MutSolver::new()
+                .leaf_words(words)
+                .three_three(rule)
+                .prune(PruneStrategy::WeightOnly)
+                .solve(&m)
+                .unwrap();
+            for p in STRATEGIES {
+                let sol = MutSolver::new()
+                    .leaf_words(words)
+                    .three_three(rule)
+                    .prune(p)
+                    .solve(&m)
+                    .unwrap();
+                prop_assert!(sol.is_complete(), "K={words} {rule:?} {p:?}");
+                prop_assert_eq!(
+                    base.weight.to_bits(), sol.weight.to_bits(),
+                    "K={} {:?} {:?}: weight differs", words, rule, p
+                );
+                prop_assert_eq!(
+                    robinson_foulds(&base.tree, &sol.tree).unwrap(), 0,
+                    "K={} {:?} {:?}: topologies differ", words, rule, p
+                );
+                prop_assert!(
+                    sol.stats.branched <= base.stats.branched,
+                    "K={} {:?} {:?}: propagation widened the search ({} > {})",
+                    words, rule, p, sol.stats.branched, base.stats.branched
+                );
+            }
+        }
+    }
+
+    /// The thread-parallel and simulated-cluster drivers agree on the
+    /// optimum under every strategy (parallel expansion order is
+    /// scheduling-dependent, so the cross-driver contract is optimum +
+    /// completeness; the deterministic sim also pins topology).
+    #[test]
+    fn strategies_agree_on_parallel_and_simulated_drivers(
+        seed in any::<u64>(),
+        full_33 in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = gen::perturbed_ultrametric(8, 60.0, 0.08, &mut rng);
+        let rule = if full_33 { ThreeThree::Full } else { ThreeThree::Off };
+        let base = MutSolver::new()
+            .three_three(rule)
+            .prune(PruneStrategy::WeightOnly)
+            .solve(&m)
+            .unwrap();
+        for p in STRATEGIES {
+            let par = MutSolver::new()
+                .three_three(rule)
+                .prune(p)
+                .backend(SearchBackend::Parallel { workers: 4 })
+                .solve(&m)
+                .unwrap();
+            prop_assert!(par.is_complete(), "parallel {rule:?} {p:?}");
+            prop_assert_eq!(
+                base.weight.to_bits(), par.weight.to_bits(),
+                "parallel {:?} {:?}: weight differs", rule, p
+            );
+            let sim = MutSolver::new()
+                .three_three(rule)
+                .prune(p)
+                .backend(SearchBackend::SimulatedCluster {
+                    spec: ClusterSpec::with_slaves(3),
+                })
+                .solve(&m)
+                .unwrap();
+            prop_assert!(sim.is_complete(), "sim {rule:?} {p:?}");
+            prop_assert_eq!(
+                base.weight.to_bits(), sim.weight.to_bits(),
+                "sim {:?} {:?}: weight differs", rule, p
+            );
+            prop_assert_eq!(
+                robinson_foulds(&base.tree, &sim.tree).unwrap(), 0,
+                "sim {:?} {:?}: topologies differ", rule, p
+            );
+        }
+    }
+}
+
+/// Sequence-derived workload under `Full` 3-3, where the triple domains
+/// carry real close-pair structure: propagation must shrink (or at least
+/// not grow) the search while reproducing the optimum bit for bit.
+#[test]
+fn propagation_shrinks_the_search_on_sequence_workloads() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let m = seqgen::hmdna_like_matrix(11, 150, &mut rng);
+    let base = MutSolver::new()
+        .three_three(ThreeThree::Full)
+        .prune(PruneStrategy::WeightOnly)
+        .solve(&m)
+        .unwrap();
+    for p in STRATEGIES {
+        let sol = MutSolver::new()
+            .three_three(ThreeThree::Full)
+            .prune(p)
+            .solve(&m)
+            .unwrap();
+        assert_eq!(base.weight.to_bits(), sol.weight.to_bits(), "{p:?}");
+        assert_eq!(robinson_foulds(&base.tree, &sol.tree).unwrap(), 0, "{p:?}");
+        assert!(sol.stats.branched <= base.stats.branched, "{p:?}");
+        assert_eq!(base.stats.propagation_pruned, 0);
+    }
+}
+
+/// The env hook forces the strategy process-wide; the builder overrides
+/// it when both are set, and junk values mean no override. Env mutation
+/// is confined to this one test (same discipline as the bound-kernel
+/// differential file).
+#[test]
+fn env_hook_forces_prune_strategy() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let m = gen::uniform_metric(8, 1.0, 100.0, &mut rng);
+    let solver = MutSolver::new();
+    let prior = std::env::var_os("MUTREE_FORCE_PRUNE");
+    std::env::remove_var("MUTREE_FORCE_PRUNE");
+    assert_eq!(solver.dispatch_prune(), PruneStrategy::Propagate);
+
+    std::env::set_var("MUTREE_FORCE_PRUNE", "weight");
+    assert_eq!(solver.dispatch_prune(), PruneStrategy::WeightOnly);
+    let forced = solver.solve(&m).unwrap();
+    // Builder beats env.
+    assert_eq!(
+        solver
+            .clone()
+            .prune(PruneStrategy::Propagate)
+            .dispatch_prune(),
+        PruneStrategy::Propagate
+    );
+    std::env::set_var("MUTREE_FORCE_PRUNE", "propagate");
+    assert_eq!(solver.dispatch_prune(), PruneStrategy::Propagate);
+    // Junk values mean no override.
+    std::env::set_var("MUTREE_FORCE_PRUNE", "clairvoyant");
+    assert_eq!(solver.dispatch_prune(), PruneStrategy::Propagate);
+    match prior {
+        Some(v) => std::env::set_var("MUTREE_FORCE_PRUNE", v),
+        None => std::env::remove_var("MUTREE_FORCE_PRUNE"),
+    }
+
+    let baseline = MutSolver::new()
+        .prune(PruneStrategy::WeightOnly)
+        .solve(&m)
+        .unwrap();
+    assert_eq!(forced.weight.to_bits(), baseline.weight.to_bits());
+    assert_eq!(forced.stats.branched, baseline.stats.branched);
+    assert_eq!(robinson_foulds(&forced.tree, &baseline.tree).unwrap(), 0);
+}
