@@ -12,7 +12,7 @@
 use std::process::ExitCode;
 
 use mutree_bench::experiments::{
-    ablations, bound_kernel, cache, frontier, hpcasia, leafwords, pact, propagate,
+    ablations, bound_kernel, cache, frontier, hpcasia, leafwords, pact, propagate, serve,
 };
 use mutree_bench::report::{results_dir, Table};
 
@@ -60,6 +60,7 @@ experiments! {
     "exp_bound_kernel" => bound_kernel::exp_bound_kernel,
     "exp_cache" => cache::exp_cache,
     "exp_propagate" => propagate::exp_propagate,
+    "exp_serve" => serve::exp_serve,
 }
 
 fn main() -> ExitCode {

@@ -22,6 +22,9 @@
 //! * [`propagate`] — the constraint-propagation prune stage (height
 //!   floors + triple-domain arm wipeouts) against the weight-only
 //!   baseline on the frontier batch, at 1/4/8 threads.
+//! * [`serve`] — the solve daemon replaying the frontier batch over a
+//!   real TCP socket at increasing client concurrency: sustained req/s,
+//!   p50/p99 latency, cache hit rate, and shed count under overload.
 
 pub mod ablations;
 pub mod bound_kernel;
@@ -31,3 +34,4 @@ pub mod hpcasia;
 pub mod leafwords;
 pub mod pact;
 pub mod propagate;
+pub mod serve;

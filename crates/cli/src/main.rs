@@ -9,6 +9,9 @@
 //! mutree nj     <matrix.phy>
 //! mutree rf     <a.nwk> <b.nwk>
 //! mutree gen    random|hmdna <n> [--seed S]
+//! mutree serve  <addr> [--queue-depth N] [--serve-workers N] [--no-cache]
+//! mutree serve  --send <addr> <matrix.phy> [--decompose] [--timeout SECS]
+//! mutree serve  --drain <addr>
 //! ```
 //!
 //! Matrices are PHYLIP square format; `-` reads standard input. Trees are
@@ -100,6 +103,14 @@ USAGE:
         Robinson-Foulds distance between two ultrametric Newick trees.
   mutree gen random|hmdna <n> [--seed S]
         Print a synthetic PHYLIP matrix of either workload family.
+  mutree serve <addr> [--queue-depth N] [--serve-workers N] [--threads N] [--no-cache]
+        Run the solve daemon on <addr> (port 0 picks an ephemeral port;
+        the actual address is printed as 'listening on HOST:PORT').
+  mutree serve --send <addr> <matrix.phy> [--decompose] [--timeout SECS] [--no-cache]
+        Send one solve request to a running daemon and print its report.
+  mutree serve --drain <addr>
+        Gracefully drain a running daemon: admission stops, queued and
+        in-flight requests finish, and its lifetime counters are printed.
 
   <matrix.phy> is PHYLIP square format; use '-' for standard input.
 
@@ -142,6 +153,13 @@ USAGE:
   strategy returns the same optimum bit for bit; MUTREE_FORCE_PRUNE
   applies process-wide and the flag wins over it.
 
+  serve runs requests on one shared worker pool behind a bounded
+  earliest-deadline-first queue (--queue-depth, default 64, or
+  MUTREE_SERVE_QUEUE_DEPTH; --serve-workers, default 2, or
+  MUTREE_SERVE_WORKERS; flags win over the environment) with the
+  group-solve cache shared across every connection unless --no-cache.
+  There is no SIGTERM hook; drain with 'mutree serve --drain'.
+
 EXIT CODES:
   0  success            2  usage error       3  bad input
   4  solver failed      5  incomplete (early stop, shed nodes, or a
@@ -177,6 +195,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "nj" => nj(&args[1..]),
         "rf" => rf(&args[1..]),
         "gen" => gen(&args[1..]),
+        "serve" => serve(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -682,6 +701,106 @@ fn gen(args: &[String]) -> Result<ExitCode, CliError> {
     };
     print!("{}", mio::to_phylip(&m));
     Ok(ExitCode::SUCCESS)
+}
+
+/// `mutree serve`: daemon mode, plus the `--send` / `--drain` client
+/// modes (so scripts need no second binary to talk to the daemon).
+fn serve(args: &[String]) -> Result<ExitCode, CliError> {
+    if args.iter().any(|a| a == "--send") {
+        return serve_send(args);
+    }
+    if args.iter().any(|a| a == "--drain") {
+        let addr = flag_value(args, "--drain")
+            .ok_or_else(|| usage("--drain requires the daemon's address"))?;
+        let mut client = mutree_serve::Client::connect(addr)
+            .map_err(|e| CliError::Input(format!("connecting to {addr}: {e}")))?;
+        let summary = client
+            .drain()
+            .map_err(|e| CliError::Solver(format!("draining {addr}: {e}")))?;
+        println!(
+            "drained: served {}  shed {}  cancelled {}  panicked {}  errors {}",
+            summary.served, summary.shed, summary.cancelled, summary.panicked, summary.errors
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let addr = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| usage("serve needs a listen address (e.g. 127.0.0.1:7465)"))?;
+    let queue_depth = parse_count(args, "--queue-depth")?.map(|n| n as usize);
+    if queue_depth == Some(0) {
+        return Err(usage("--queue-depth must be at least 1"));
+    }
+    let workers = parse_count(args, "--serve-workers")?.map(|n| n as usize);
+    if workers == Some(0) {
+        return Err(usage("--serve-workers must be at least 1"));
+    }
+    // Knob precedence: flag > MUTREE_SERVE_* environment > default.
+    let mut config = mutree_serve::ServeConfig::resolve(queue_depth, workers);
+    if let Some(threads) = parse_threads(args)? {
+        config.threads = threads;
+    }
+    if args.iter().any(|a| a == "--no-cache") {
+        config.cache_default = false;
+    }
+    let server = mutree_serve::Server::bind(addr.as_str(), config)
+        .map_err(|e| CliError::Input(format!("binding {addr}: {e}")))?;
+    // The one line scripts parse to learn the ephemeral port.
+    println!("listening on {}", server.local_addr());
+    let summary = server.join();
+    println!(
+        "drained: served {}  shed {}  cancelled {}  panicked {}  errors {}",
+        summary.served, summary.shed, summary.cancelled, summary.panicked, summary.errors
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `mutree serve --send`: one request over the socket, report printed in
+/// the same shape as the in-process subcommands (same exit-code
+/// contract: 0 complete, 5 incomplete-but-feasible).
+fn serve_send(args: &[String]) -> Result<ExitCode, CliError> {
+    let addr =
+        flag_value(args, "--send").ok_or_else(|| usage("--send requires the daemon's address"))?;
+    let path = args
+        .iter()
+        .position(|a| a == "--send")
+        .and_then(|i| args.get(i + 2))
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| usage("--send needs a matrix file after the address"))?;
+    let m = read_matrix(path)?;
+    // The daemon only accepts inline matrices (it never reads
+    // server-side paths), so the file is parsed here and shipped.
+    let mut req = if args.iter().any(|a| a == "--decompose") {
+        SolveRequest::decompose(m.clone())
+    } else {
+        SolveRequest::exact(m.clone())
+    };
+    req.timeout = parse_timeout(args)?;
+    if args.iter().any(|a| a == "--no-cache") {
+        req = req.cache(false);
+    }
+    let mut client = mutree_serve::Client::connect(addr)
+        .map_err(|e| CliError::Input(format!("connecting to {addr}: {e}")))?;
+    let report = client.solve(&req).map_err(|e| match e {
+        mutree_serve::ClientError::Server(err) => {
+            CliError::Solver(format!("daemon refused the request: {err}"))
+        }
+        other => CliError::Solver(other.to_string()),
+    })?;
+    println!("weight: {}", report.weight);
+    print_cache_stats(&report);
+    for tree in &report.trees {
+        println!("{}", newick::to_newick_with(tree, |t| m.label(t)));
+    }
+    if report.is_complete() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "mutree: warning: daemon stopped the search early ({}); weight is an upper bound",
+            report.stop
+        );
+        Ok(ExitCode::from(EXIT_INCOMPLETE))
+    }
 }
 
 fn parse_backend(spec: &str) -> Result<BackendSpec, CliError> {

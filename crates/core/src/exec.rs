@@ -38,7 +38,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -59,15 +59,26 @@ struct PoolQueue {
     jobs: Mutex<VecDeque<PoolJob>>,
     cv: Condvar,
     shutdown: AtomicBool,
+    /// Jobs ever pushed (queue instrumentation; see [`QueueStats`]).
+    submitted: AtomicU64,
+    /// Jobs popped for execution (by a worker or a helping waiter).
+    started: AtomicU64,
+    /// High-water mark of jobs simultaneously queued.
+    peak_depth: AtomicUsize,
 }
 
 impl PoolQueue {
     /// Non-blocking pop, used by helping waiters.
     fn try_pop(&self) -> Option<PoolJob> {
-        self.jobs
+        let job = self
+            .jobs
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .pop_front()
+            .pop_front();
+        if job.is_some() {
+            self.started.fetch_add(1, Ordering::Relaxed);
+        }
+        job
     }
 
     /// Blocking pop, used by pool workers; `None` means shut down.
@@ -75,6 +86,7 @@ impl PoolQueue {
         let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(job) = jobs.pop_front() {
+                self.started.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
             if self.shutdown.load(Ordering::Acquire) {
@@ -85,12 +97,30 @@ impl PoolQueue {
     }
 
     fn push(&self, job: PoolJob) {
-        self.jobs
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push_back(job);
+        let depth = {
+            let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            jobs.push_back(job);
+            jobs.len()
+        };
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.peak_depth.fetch_max(depth, Ordering::Relaxed);
         self.cv.notify_one();
     }
+}
+
+/// A snapshot of an [`Executor`]'s queue counters, for admission-control
+/// observability: a long-lived daemon reports these at drain so sustained
+/// load (jobs submitted), progress (jobs started) and backlog pressure
+/// (the deepest the queue ever got) are visible without tracing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs ever pushed onto the pool queue.
+    pub submitted: u64,
+    /// Jobs popped for execution (by a pool worker or a helping waiter).
+    /// `submitted - started` is the backlog at snapshot time.
+    pub started: u64,
+    /// High-water mark of jobs simultaneously queued.
+    pub peak_depth: usize,
 }
 
 fn worker_loop(queue: &PoolQueue) {
@@ -152,6 +182,9 @@ impl Executor {
             jobs: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            started: AtomicU64::new(0),
+            peak_depth: AtomicUsize::new(0),
         });
         let handles = (0..threads)
             .map(|i| {
@@ -174,6 +207,16 @@ impl Executor {
     /// Number of pool threads.
     pub fn thread_count(&self) -> usize {
         self.core.threads
+    }
+
+    /// A snapshot of the pool queue's lifetime counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        let q = &self.core.queue;
+        QueueStats {
+            submitted: q.submitted.load(Ordering::Relaxed),
+            started: q.started.load(Ordering::Relaxed),
+            peak_depth: q.peak_depth.load(Ordering::Relaxed),
+        }
     }
 
     fn spawn_job(&self, job: PoolJob) {
@@ -678,6 +721,19 @@ mod tests {
             assert_eq!(pooled.best_value, seq.best_value, "threads = {threads}");
             assert!(pooled.is_complete());
         }
+    }
+
+    #[test]
+    fn queue_stats_count_submissions_and_starts() {
+        let exec = Executor::new(2);
+        assert_eq!(exec.queue_stats(), QueueStats::default());
+        let jobs: Vec<PoolJob> = (0..12).map(|_| Box::new(|| {}) as PoolJob).collect();
+        exec.run_all(jobs, Box::new(|| {}));
+        let stats = exec.queue_stats();
+        assert_eq!(stats.submitted, 12);
+        assert_eq!(stats.started, 12);
+        assert!(stats.peak_depth >= 1);
+        assert!(stats.peak_depth <= 12);
     }
 
     #[test]

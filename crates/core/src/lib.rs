@@ -57,12 +57,14 @@ mod solver;
 pub use cluster::{solve_simulated, solve_simulated_observed, SimCost, SimulatedOutcome};
 pub use dist::{DistSource, LaneDist, LaneRowMax, RowMax, ScalarRowMax};
 pub use error::MutError;
-pub use exec::{Executor, TaskDag};
+pub use exec::{Executor, QueueStats, TaskDag};
 pub use leafset::{LeafIter, LeafWords};
 pub use node::PartialTree;
 pub use pipeline::{CompactPipeline, PipelineSolution};
 pub use problem::MutProblem;
-pub use run::{plan_pipeline, plan_solver, solve_plan, solve_request};
+pub use run::{
+    plan_pipeline, plan_solver, solve_plan, solve_plan_hooked, solve_request, SolveHooks,
+};
 pub use solver::{
     leaf_words_for, solution_newick, MutSolution, MutSolver, SearchBackend, LEAF_WIDTHS,
     MAX_EXACT_TAXA,

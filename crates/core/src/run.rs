@@ -25,7 +25,7 @@ use mutree_engine::{
 
 use crate::pipeline::{CompactPipeline, PipelineSolution};
 use crate::solver::{MutSolution, MutSolver, SearchBackend, LEAF_WIDTHS};
-use crate::{Executor, MutError};
+use crate::{CancelToken, Executor, MutError};
 
 impl From<MutSolution> for SolveReport {
     /// An exact solve's report. The caller owns wall-clock measurement:
@@ -79,6 +79,59 @@ impl From<PipelineSolution> for SolveReport {
 fn shared_cache() -> Arc<GroupCache> {
     static GLOBAL: OnceLock<Arc<GroupCache>> = OnceLock::new();
     Arc::clone(GLOBAL.get_or_init(|| Arc::new(GroupCache::new())))
+}
+
+/// Supervision hooks a serving front end layers onto a plan's execution.
+///
+/// A [`SolveRequest`] is deliberately env-free and serializable, so it
+/// cannot carry process-local live objects: the `mutree serve` daemon's
+/// per-request [`CancelToken`] (wired to client disconnect), the
+/// admission controller's *absolute* deadline (queue wait must count
+/// against a request's budget, so the daemon converts the request's
+/// relative `timeout` to an instant at admission), the shared
+/// [`Executor`] every connection's solves run on, and the chaos-test
+/// fault injection. [`solve_plan_hooked`] threads these into the solver
+/// after plan translation; `SolveHooks::default()` makes it equivalent
+/// to [`solve_plan`].
+#[derive(Debug, Clone, Default)]
+pub struct SolveHooks {
+    /// Absolute wall-clock deadline. Overrides the request's relative
+    /// `timeout` (which [`plan_solver`] measures from solver build time,
+    /// not admission time).
+    pub deadline: Option<Instant>,
+    /// Cancel token observed by the search; sticky and level-triggered.
+    pub cancel: Option<CancelToken>,
+    /// Shared worker pool for the solve (and the pipeline, for
+    /// decomposed requests) instead of a per-solve `Executor::new`.
+    pub executor: Option<Executor>,
+    /// Fault-injection test hook: panic on subproblems of exactly this
+    /// many taxa (see [`MutSolver::panic_on_taxa`]).
+    pub panic_on_taxa: Option<usize>,
+}
+
+impl SolveHooks {
+    fn is_empty(&self) -> bool {
+        self.deadline.is_none()
+            && self.cancel.is_none()
+            && self.executor.is_none()
+            && self.panic_on_taxa.is_none()
+    }
+
+    fn apply(&self, mut s: MutSolver) -> MutSolver {
+        if let Some(d) = self.deadline {
+            s = s.deadline(d);
+        }
+        if let Some(token) = &self.cancel {
+            s = s.cancel_token(token.clone());
+        }
+        if let Some(exec) = &self.executor {
+            s = s.executor(exec.clone());
+        }
+        if let Some(n) = self.panic_on_taxa {
+            s = s.panic_on_taxa(n);
+        }
+        s
+    }
 }
 
 /// Loads the request's matrix: inline matrices are cloned, PHYLIP paths
@@ -166,7 +219,16 @@ pub fn plan_solver(plan: &SolvePlan) -> MutSolver {
 /// Builds the pipeline a plan prescribes around [`plan_solver`]'s solver.
 /// See [`plan_solver`] for why this is public.
 pub fn plan_pipeline(plan: &SolvePlan) -> CompactPipeline {
-    let solver = plan_solver(plan);
+    pipeline_with_solver(plan, plan_solver(plan), None)
+}
+
+/// [`plan_pipeline`] with an already-tweaked solver and an optional
+/// shared pool in place of the plan's own `Executor::new`.
+fn pipeline_with_solver(
+    plan: &SolvePlan,
+    solver: MutSolver,
+    shared: Option<&Executor>,
+) -> CompactPipeline {
     let req = &plan.request;
     let mut p = CompactPipeline::new()
         .threshold(req.threshold.max(2))
@@ -176,7 +238,9 @@ pub fn plan_pipeline(plan: &SolvePlan) -> CompactPipeline {
     if let Some(policy) = &req.retry {
         p = p.retry(policy.clone());
     }
-    if let Some(threads) = plan.threads {
+    if let Some(exec) = shared {
+        p = p.executor(exec.clone());
+    } else if let Some(threads) = plan.threads {
         p = p.executor(Executor::new(threads));
     }
     if plan.cache_enabled {
@@ -201,19 +265,45 @@ pub fn plan_pipeline(plan: &SolvePlan) -> CompactPipeline {
 /// [`MutError::Input`] when a PHYLIP source cannot be read or parsed,
 /// plus anything the underlying solver or pipeline returns.
 pub fn solve_plan(plan: &SolvePlan) -> Result<SolveReport, MutError> {
+    solve_plan_hooked(plan, &SolveHooks::default())
+}
+
+/// [`solve_plan`] with [`SolveHooks`] threaded into the solver — the
+/// serving daemon's entry point. Two deliberate differences from the
+/// bare path:
+///
+/// * The whole-solve memo gate relaxes from
+///   [`MutSolver::cache_sig`] to
+///   [`MutSolver::cache_sig_interruptible`]: a daemon wires a cancel
+///   token into *every* request, and strict gating would silently turn
+///   the shared cache off for all of them. Sound because entries are
+///   only filed from completed solves and a hit returns the stored
+///   proven optimum (see `cache_sig_interruptible`'s contract).
+/// * The hooks' executor replaces any per-solve `Executor::new`, so all
+///   requests share one pool.
+///
+/// # Errors
+///
+/// See [`solve_plan`].
+pub fn solve_plan_hooked(plan: &SolvePlan, hooks: &SolveHooks) -> Result<SolveReport, MutError> {
     let req = &plan.request;
     let m = load_matrix(&req.source)?;
     match req.kind {
         SolveKind::Exact => {
-            let solver = plan_solver(plan);
+            let solver = hooks.apply(plan_solver(plan));
             let leaf_words = solver.dispatch_leaf_words(m.len());
             let bound_kernel = solver.dispatch_bound_kernel();
             let prune = solver.dispatch_prune();
             // Whole-solve memoization for explicitly cache-enabled exact
             // requests; the signature gate keeps constrained solves live.
+            let sig = if hooks.is_empty() {
+                solver.cache_sig()
+            } else {
+                solver.cache_sig_interruptible()
+            };
             let cache = (plan.cache_enabled && plan.cache_explicit)
                 .then(shared_cache)
-                .zip(solver.cache_sig());
+                .zip(sig);
             let started = Instant::now();
             let mut pending = None;
             let mut solver = solver;
@@ -282,7 +372,11 @@ pub fn solve_plan(plan: &SolvePlan) -> Result<SolveReport, MutError> {
             report.prune = Some(prune);
             Ok(report)
         }
-        SolveKind::Decompose => Ok(SolveReport::from(plan_pipeline(plan).solve(&m)?)),
+        SolveKind::Decompose => {
+            let solver = hooks.apply(plan_solver(plan));
+            let pipeline = pipeline_with_solver(plan, solver, hooks.executor.as_ref());
+            Ok(SolveReport::from(pipeline.solve(&m)?))
+        }
     }
 }
 
@@ -373,6 +467,57 @@ mod tests {
         ));
         let err = solve_plan(&SolvePlan::resolve(req, &EnvOverrides::none())).unwrap_err();
         assert!(matches!(err, MutError::Input { .. }), "{err}");
+    }
+
+    #[test]
+    fn hooked_solve_matches_bare_solve_bit_identically() {
+        let m = matrix(10, 17);
+        let plan = SolvePlan::resolve(SolveRequest::exact(m.clone()), &EnvOverrides::none());
+        let bare = solve_plan(&plan).unwrap();
+        let hooks = SolveHooks {
+            cancel: Some(CancelToken::new()),
+            executor: Some(Executor::new(2)),
+            deadline: Some(Instant::now() + std::time::Duration::from_secs(600)),
+            panic_on_taxa: None,
+        };
+        let hooked = solve_plan_hooked(&plan, &hooks).unwrap();
+        assert_eq!(hooked.weight.to_bits(), bare.weight.to_bits());
+        assert!(hooked.is_complete());
+    }
+
+    #[test]
+    fn hooked_cancel_token_stops_the_solve() {
+        let m = matrix(12, 19);
+        let plan = SolvePlan::resolve(SolveRequest::exact(m), &EnvOverrides::none());
+        let token = CancelToken::new();
+        token.cancel();
+        let hooks = SolveHooks {
+            cancel: Some(token),
+            ..SolveHooks::default()
+        };
+        let report = solve_plan_hooked(&plan, &hooks).unwrap();
+        assert_eq!(report.stop, crate::StopReason::Cancelled);
+    }
+
+    #[test]
+    fn hooked_requests_still_share_the_whole_solve_memo() {
+        // A daemon attaches a cancel token to every request; the relaxed
+        // signature gate must keep the cache live for them, and a replay
+        // must come back `Cached` with the identical optimum.
+        let m = matrix(9, 23);
+        let plan = SolvePlan::resolve(
+            SolveRequest::exact(m.clone()).cache(true),
+            &EnvOverrides::none(),
+        );
+        let hooks = SolveHooks {
+            cancel: Some(CancelToken::new()),
+            ..SolveHooks::default()
+        };
+        let cold = solve_plan_hooked(&plan, &hooks).unwrap();
+        let warm = solve_plan_hooked(&plan, &hooks).unwrap();
+        assert_eq!(warm.weight.to_bits(), cold.weight.to_bits());
+        assert_eq!(warm.stats.cache_hits, 1);
+        assert_eq!(warm.timings[0].provenance, StageProvenance::Cached);
     }
 
     #[test]

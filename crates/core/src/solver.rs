@@ -464,9 +464,26 @@ impl MutSolver {
     /// injection) can return a non-optimal incumbent or carries
     /// side effects a cache hit would silently skip.
     pub fn cache_sig(&self) -> Option<u64> {
+        if self.deadline.is_some() || self.cancel.is_some() {
+            return None;
+        }
+        self.cache_sig_interruptible()
+    }
+
+    /// Like [`cache_sig`](MutSolver::cache_sig), but tolerating a
+    /// deadline or cancel token — the supervision hooks a serving front
+    /// end attaches to every solve. An interrupt can only stop a search
+    /// *early*; it never changes what a **completed** search answers. So
+    /// a caller that files entries exclusively from completed solves
+    /// (the [`solve_plan`](crate::solve_plan) family checks
+    /// `stop.is_complete()` before inserting) and serves hits as the
+    /// stored proven optimum may share entries across interrupt
+    /// configurations: a hit for a deadlined request just returns the
+    /// exact answer sooner than the deadline required. Every other
+    /// constraint (mode, budgets, checkpoints, tracing, fault injection)
+    /// still disables caching, exactly as in `cache_sig`.
+    pub fn cache_sig_interruptible(&self) -> Option<u64> {
         let unconstrained = self.mode == SearchMode::BestOne
-            && self.deadline.is_none()
-            && self.cancel.is_none()
             && self.max_branches == u64::MAX
             && self.memory.is_none()
             && self.checkpoint.is_none()

@@ -28,6 +28,12 @@
 //! hash of the canonical (maxmin-permuted, tolerance-quantized) matrix
 //! bytes, answering exact re-solves from memory and warm-seeding ε-close
 //! ones.
+//!
+//! The [`wire`] module carries the spine over a socket: the
+//! `mutree-report v1` codec serializes a [`SolveReport`] in the same
+//! bit-exact line style as the request codec, and [`ServeError`] is the
+//! structured error frame the `mutree serve` daemon answers with when a
+//! request is shed, malformed, cancelled or failed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +42,7 @@ pub mod cache;
 pub mod plan;
 pub mod report;
 pub mod request;
+pub mod wire;
 
 pub use cache::{CacheOutcome, CacheProbe, CacheQuery, GroupCache};
 pub use plan::{EnvOverrides, SolvePlan};
@@ -43,3 +50,4 @@ pub use report::{DegradeReason, DegradedGroup, SolveReport, StageProvenance, Sta
 pub use request::{
     BackendSpec, MatrixSource, RequestError, RetryPolicy, SolveKind, SolveRequest, ThreeThree,
 };
+pub use wire::{ReportError, ServeError, ServeErrorCode};

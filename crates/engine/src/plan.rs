@@ -21,6 +21,13 @@
 //! | `MUTREE_FORCE_PRUNE` | `prune` | `weight`, `propagate` or `hybrid` prune stages |
 //! | `MUTREE_FRONTIER_SHARDS` | `frontier_shards` | work-stealing shard count |
 //! | `MUTREE_CACHE` | `cache` | `1`/`true`/`on` enables the group-solve cache |
+//! | `MUTREE_SERVE_QUEUE_DEPTH` | — (daemon knob) | `mutree serve` admission-queue depth |
+//! | `MUTREE_SERVE_WORKERS` | — (daemon knob) | `mutree serve` concurrent solve workers |
+//!
+//! The two `MUTREE_SERVE_*` variables configure the serve daemon rather
+//! than a single solve, so they have no [`SolveRequest`] field; the
+//! daemon's config resolves them here (flag > environment > default) so
+//! this module stays the only environment reader.
 //!
 //! Unparseable or out-of-range values are ignored (the variable behaves
 //! as unset) rather than aborting a solve over a typo; width validation
@@ -88,6 +95,28 @@ pub fn env_cache_enabled() -> Option<bool> {
         "0" | "false" | "off" | "no" => Some(false),
         _ => None,
     }
+}
+
+/// `mutree serve` admission-queue depth from `MUTREE_SERVE_QUEUE_DEPTH`
+/// (integer ≥ 1; anything else is ignored). A daemon knob, not a
+/// per-solve knob — it never appears in a [`SolveRequest`] or a
+/// [`SolvePlan`]; the env read lives here so `tests/env_hygiene.rs`
+/// keeps holding for the whole workspace.
+pub fn env_serve_queue_depth() -> Option<usize> {
+    std::env::var("MUTREE_SERVE_QUEUE_DEPTH")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&d| d >= 1)
+}
+
+/// `mutree serve` concurrent solve-worker count from
+/// `MUTREE_SERVE_WORKERS` (integer ≥ 1; anything else is ignored). Same
+/// daemon-knob caveat as [`env_serve_queue_depth`].
+pub fn env_serve_workers() -> Option<usize> {
+    std::env::var("MUTREE_SERVE_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w >= 1)
 }
 
 /// A snapshot of the `MUTREE_*` environment overrides, decoupled from

@@ -15,6 +15,9 @@
 //!   [`SolvePlan`](engine::SolvePlan)s, unified
 //!   [`SolveReport`](engine::SolveReport)s, and the content-addressed
 //!   group-solve cache;
+//! * [`serve`] — the solve daemon: length-prefixed TCP framing for the
+//!   engine-spine codecs, earliest-deadline-first admission control, and
+//!   the process-wide shared cache behind every connection;
 //! * [`core`] — the PaCT 2005 contribution: exact minimum-ultrametric-tree
 //!   search (Algorithm BBU, sequential, parallel and simulated-cluster), the
 //!   3-3 relationship pruning rule, and the compact-set decomposition
@@ -48,4 +51,5 @@ pub use mutree_distmat as distmat;
 pub use mutree_engine as engine;
 pub use mutree_graph as graph;
 pub use mutree_seqgen as seqgen;
+pub use mutree_serve as serve;
 pub use mutree_tree as tree;

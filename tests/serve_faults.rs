@@ -1,0 +1,116 @@
+//! Chaos tests of the daemon's fault isolation: a worker panic inside
+//! one request's solve must become a `panicked` error frame for that
+//! request alone — the daemon, its shared pool, its shared cache and
+//! every other request keep working.
+//!
+//! The fault is injected with the same `panic_on_taxa` hook the
+//! supervision tests use: the daemon's `fault_taxa` config threads it
+//! into every solve, so a request whose matrix has exactly that many
+//! taxa panics deterministically and every other size is untouched.
+
+use mutree::core::SolveRequest;
+use mutree::distmat::{gen, DistanceMatrix};
+use mutree::engine::ServeErrorCode;
+use mutree::serve::{Client, ClientError, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Taxon count whose solves the fault injection makes panic.
+const DOOMED: usize = 7;
+
+fn matrix(n: usize, seed: u64) -> DistanceMatrix {
+    gen::perturbed_ultrametric(n, 50.0, 0.2, &mut StdRng::seed_from_u64(seed))
+}
+
+fn faulty_server() -> Server {
+    let config = ServeConfig {
+        fault_taxa: Some(DOOMED),
+        workers: 2,
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    Server::bind("127.0.0.1:0", config).expect("bind faulty daemon")
+}
+
+fn expect_panicked(outcome: Result<mutree::core::SolveReport, ClientError>) {
+    match outcome {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ServeErrorCode::Panicked),
+        other => panic!("a doomed solve must answer with a panicked frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_panicking_request_fails_alone() {
+    let server = faulty_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // Healthy before, doomed, healthy after — all on one connection, so
+    // the panic demonstrably neither killed the daemon nor the stream.
+    let before = client
+        .solve(&SolveRequest::exact(matrix(6, 1)))
+        .expect("healthy solve before the panic");
+    assert!(before.is_complete());
+    expect_panicked(client.solve(&SolveRequest::exact(matrix(DOOMED, 2))));
+    let after = client
+        .solve(&SolveRequest::exact(matrix(8, 3)))
+        .expect("healthy solve after the panic");
+    assert!(after.is_complete());
+    let summary = client.drain().expect("drain");
+    assert_eq!(summary.served, 2);
+    assert_eq!(summary.panicked, 1);
+    server.join();
+}
+
+#[test]
+fn concurrent_panics_do_not_poison_other_requests() {
+    let server = faulty_server();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        // Four clients hammering the doomed size...
+        for c in 0..4u64 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect doomed client");
+                for k in 0..3u64 {
+                    expect_panicked(
+                        client.solve(&SolveRequest::exact(matrix(DOOMED, 0xbad + c * 10 + k))),
+                    );
+                }
+            });
+        }
+        // ...interleaved with four clients doing real work.
+        for c in 0..4u64 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect healthy client");
+                for k in 0..3u64 {
+                    let report = client
+                        .solve(&SolveRequest::exact(matrix(6, 0x600d + c * 10 + k)))
+                        .expect("healthy solve amid panics");
+                    assert!(report.is_complete());
+                }
+            });
+        }
+    });
+    let summary = Client::connect(addr)
+        .expect("connect drain client")
+        .drain()
+        .expect("drain");
+    assert_eq!(summary.served, 12);
+    assert_eq!(summary.panicked, 12);
+    assert_eq!(summary.cancelled + summary.shed + summary.errors, 0);
+    server.join();
+}
+
+#[test]
+fn the_shared_pool_survives_a_panic() {
+    let server = faulty_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    expect_panicked(client.solve(&SolveRequest::exact(matrix(DOOMED, 40))));
+    // A request that actually exercises the shared executor (decompose
+    // pipelines fan their stage solves out on it) still completes, so
+    // the pool the panicking solve ran on is demonstrably unharmed.
+    let report = client
+        .solve(&SolveRequest::decompose(matrix(12, 41)))
+        .expect("pipeline solve after the panic");
+    assert!(report.is_complete());
+    client.drain().expect("drain");
+    server.join();
+}
